@@ -1,0 +1,104 @@
+//! Criterion benches for the routing-construction pipeline: topology
+//! generation, coordinated trees, communication graphs, the DOWN/UP
+//! phases, baselines, deadlock verification, and routing-table builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irnet_baselines::{lturn, updown};
+use irnet_core::DownUp;
+use irnet_topology::{gen, CommGraph, CoordinatedTree, PreorderPolicy};
+use irnet_turns::{ChannelDepGraph, RoutingTables, TurnTable};
+use std::hint::black_box;
+
+fn paper_topo(n: u32, ports: u32) -> irnet_topology::Topology {
+    gen::random_irregular(gen::IrregularParams::paper(n, ports), 7).unwrap()
+}
+
+fn bench_topology_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_gen");
+    g.sample_size(20);
+    for (n, ports) in [(128u32, 4u32), (128, 8), (256, 8)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}sw_{ports}p")),
+            &(n, ports),
+            |b, &(n, ports)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(
+                        gen::random_irregular(gen::IrregularParams::paper(n, ports), seed)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_coordinated_tree(c: &mut Criterion) {
+    let topo = paper_topo(128, 8);
+    let mut g = c.benchmark_group("coordinated_tree");
+    g.sample_size(30);
+    for policy in PreorderPolicy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            b.iter(|| black_box(CoordinatedTree::build(&topo, policy, 3).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_comm_graph(c: &mut Criterion) {
+    let topo = paper_topo(128, 8);
+    let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+    c.bench_function("comm_graph/128sw_8p", |b| {
+        b.iter(|| black_box(CommGraph::build(&topo, &tree)))
+    });
+}
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct");
+    g.sample_size(10);
+    for (n, ports) in [(128u32, 4u32), (128, 8)] {
+        let topo = paper_topo(n, ports);
+        let tag = format!("{n}sw_{ports}p");
+        g.bench_function(BenchmarkId::new("downup", &tag), |b| {
+            b.iter(|| black_box(DownUp::new().construct(&topo).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("downup_norelease", &tag), |b| {
+            b.iter(|| black_box(DownUp::new().release(false).construct(&topo).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("lturn", &tag), |b| {
+            b.iter(|| black_box(lturn::construct(&topo).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("updown_bfs", &tag), |b| {
+            b.iter(|| black_box(updown::construct_bfs(&topo).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let topo = paper_topo(128, 8);
+    let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+    let cg = CommGraph::build(&topo, &tree);
+    let table = TurnTable::from_direction_rule(&cg, irnet_core::phase2::turn_allowed);
+    c.bench_function("cdg_acyclicity/128sw_8p", |b| {
+        b.iter(|| {
+            let dep = ChannelDepGraph::build(&cg, &table);
+            black_box(dep.is_acyclic())
+        })
+    });
+    c.bench_function("routing_tables/128sw_8p", |b| {
+        b.iter(|| black_box(RoutingTables::build(&cg, &table).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_topology_gen,
+    bench_coordinated_tree,
+    bench_comm_graph,
+    bench_constructions,
+    bench_verification
+);
+criterion_main!(benches);

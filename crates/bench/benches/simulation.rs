@@ -1,0 +1,62 @@
+//! Criterion benches for the wormhole simulator: cycles/second at the
+//! paper's scale under light and saturating load, with and without virtual
+//! channels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use irnet_core::DownUp;
+use irnet_metrics::Algo;
+use irnet_sim::{SimConfig, Simulator};
+use irnet_topology::{gen, PreorderPolicy};
+use std::hint::black_box;
+
+fn bench_sim_cycles(c: &mut Criterion) {
+    let topo = gen::random_irregular(gen::IrregularParams::paper(128, 8), 7).unwrap();
+    let routing = DownUp::new().construct(&topo).unwrap();
+    let mut g = c.benchmark_group("sim_cycles");
+    g.sample_size(10);
+    const CYCLES: u32 = 3_000;
+    g.throughput(Throughput::Elements(CYCLES as u64));
+    for (label, rate, vcs) in
+        [("light_load", 0.02, 1u32), ("saturated", 0.5, 1), ("saturated_4vc", 0.5, 4)]
+    {
+        let cfg = SimConfig {
+            injection_rate: rate,
+            virtual_channels: vcs,
+            warmup_cycles: 0,
+            measure_cycles: CYCLES,
+            ..SimConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    Simulator::new(routing.comm_graph(), routing.routing_tables(), *cfg, seed)
+                        .run(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_algo_construct_and_route(c: &mut Criterion) {
+    // End-to-end "operator" cost: construct a routing for a fresh fabric.
+    let mut g = c.benchmark_group("end_to_end_construct");
+    g.sample_size(10);
+    for algo in [Algo::DownUp { release: true }, Algo::LTurn { release: true }] {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let topo =
+                    gen::random_irregular(gen::IrregularParams::paper(128, 4), seed).unwrap();
+                black_box(algo.construct(&topo, PreorderPolicy::M1, seed).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_cycles, bench_algo_construct_and_route);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation A10: spanning-tree root selection. The paper roots every
+//! coordinated tree at the smallest node id (§4.1, Step 2); rooting at a
+//! graph center shortens the tree. This ablation measures what the choice
+//! is worth for DOWN/UP.
+//!
+//! Usage: `ablation_root [--quick|--full] [--samples N] ...`
+
+use irnet_bench::{parse_args, ExperimentConfig};
+use irnet_core::DownUp;
+use irnet_metrics::paper::PaperMetrics;
+use irnet_metrics::report::TextTable;
+use irnet_metrics::sweep;
+use irnet_metrics::Instance;
+use irnet_topology::{gen, RootPolicy};
+
+const USAGE: &str = "ablation_root — smallest-id vs center spanning-tree root (A10)
+options: same as fig8 (see `fig8 --help`)";
+
+fn main() {
+    let cli = parse_args(std::env::args(), USAGE);
+    let cfg = ExperimentConfig::from_cli(&cli);
+
+    let mut table = TextTable::new(&[
+        "root policy",
+        "tree depth",
+        "avg hops",
+        "max thpt",
+        "hot spot %",
+        "leaf util",
+    ]);
+    for (label, root) in [("smallest id (paper)", RootPolicy::Smallest), ("center", RootPolicy::Center)]
+    {
+        let mut depth = 0.0;
+        let mut hops = 0.0;
+        let mut sat = Vec::new();
+        for s in 0..cfg.samples {
+            let topo = gen::random_irregular(
+                gen::IrregularParams::paper(cfg.num_switches, cfg.ports[0]),
+                cfg.topo_seed + s as u64,
+            )
+            .unwrap();
+            let routing = DownUp::new().root(root).construct(&topo).unwrap();
+            let (tree, cg, tbl, tables) = routing.into_parts();
+            depth += tree.max_level() as f64;
+            hops += tables.avg_route_len(&cg);
+            let inst = Instance { tree, cg, table: tbl, tables };
+            let curve = sweep::sweep(&inst, &cfg.sim, &cfg.rates, cfg.sim_seed + s as u64);
+            sat.push(curve.saturation().metrics);
+        }
+        let n = cfg.samples as f64;
+        let m = PaperMetrics::mean(sat.iter());
+        table.row(vec![
+            label.to_string(),
+            format!("{:.1}", depth / n),
+            format!("{:.3}", hops / n),
+            format!("{:.4}", m.accepted_traffic),
+            format!("{:.1}", m.hot_spot_degree),
+            format!("{:.4}", m.leaf_utilization),
+        ]);
+    }
+    println!(
+        "\nRoot-selection ablation (DOWN/UP, {} switches, {}-port, {} samples):\n",
+        cfg.num_switches, cfg.ports[0], cfg.samples
+    );
+    println!("{}", table.render());
+}

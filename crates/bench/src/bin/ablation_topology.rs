@@ -1,0 +1,94 @@
+//! Ablation A9: topology-family sensitivity — fully random irregular
+//! networks (the paper's setup) versus clustered rack-based fabrics and
+//! sparse (half-filled) networks. Checks that DOWN/UP's advantage is not
+//! specific to port-saturated random graphs.
+//!
+//! Usage: `ablation_topology [--quick|--full] [--samples N] ...`
+
+use irnet_bench::{parse_args, ExperimentConfig};
+use irnet_metrics::report::TextTable;
+use irnet_metrics::sweep;
+use irnet_metrics::Algo;
+use irnet_topology::{gen, PreorderPolicy, Topology};
+
+const USAGE: &str = "ablation_topology — random vs clustered vs sparse fabrics (A9)
+options: same as fig8 (see `fig8 --help`)";
+
+fn main() {
+    let cli = parse_args(std::env::args(), USAGE);
+    let cfg = ExperimentConfig::from_cli(&cli);
+    let n = cfg.num_switches;
+    let ports = cfg.ports[0];
+    type Family<'a> = (&'a str, Box<dyn Fn(u64) -> Topology>);
+    let families: Vec<Family> = vec![
+        (
+            "random (saturated)",
+            Box::new(move |s| {
+                gen::random_irregular(gen::IrregularParams::paper(n, ports), s).unwrap()
+            }),
+        ),
+        (
+            "random (half-filled)",
+            Box::new(move |s| {
+                gen::random_irregular(
+                    gen::IrregularParams { num_nodes: n, ports, fill: 0.5 },
+                    s,
+                )
+                .unwrap()
+            }),
+        ),
+        (
+            "clustered racks",
+            Box::new(move |s| {
+                let cluster_size = 8.min(n);
+                gen::clustered(
+                    gen::ClusteredParams {
+                        clusters: (n / cluster_size).max(1),
+                        cluster_size,
+                        ports,
+                        uplinks: 1,
+                    },
+                    s,
+                )
+                .unwrap()
+            }),
+        ),
+    ];
+
+    let mut table = TextTable::new(&[
+        "family",
+        "avg degree",
+        "L-turn thpt",
+        "DOWN/UP thpt",
+        "DOWN/UP gain",
+    ]);
+    for (label, make) in families {
+        let mut deg = 0.0;
+        let mut thpt = [0.0f64; 2];
+        for s in 0..cfg.samples {
+            let topo = make(cfg.topo_seed + s as u64);
+            deg += topo.avg_degree();
+            for (i, &algo) in
+                [Algo::LTurn { release: true }, Algo::DownUp { release: true }].iter().enumerate()
+            {
+                let inst = algo.construct(&topo, PreorderPolicy::M1, s as u64).unwrap();
+                let curve =
+                    sweep::sweep(&inst, &cfg.sim, &cfg.rates, cfg.sim_seed + s as u64);
+                thpt[i] += curve.max_throughput();
+            }
+        }
+        let samples = cfg.samples as f64;
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", deg / samples),
+            format!("{:.4}", thpt[0] / samples),
+            format!("{:.4}", thpt[1] / samples),
+            format!("{:+.1} %", 100.0 * (thpt[1] / thpt[0] - 1.0)),
+        ]);
+    }
+    println!(
+        "\nTopology-family sensitivity — {} switches, {}-port, {} samples:\n",
+        n, ports, cfg.samples
+    );
+    println!("{}", table.render());
+}

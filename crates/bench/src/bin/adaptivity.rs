@@ -1,0 +1,85 @@
+//! Ablation A7: adaptivity and traffic-direction analysis.
+//!
+//! Measures, per algorithm: the degree of adaptivity (average number of
+//! minimal legal output candidates at injection and in transit), minimal-
+//! path diversity, and the measured share of flit traffic per direction
+//! class (up / down / horizontal) — the mechanism behind the paper's
+//! "push the traffic downward to the leaves" claim.
+//!
+//! Usage: `adaptivity [--quick|--full] [--samples N] ...`
+
+use irnet_bench::{parse_args, ExperimentConfig};
+use irnet_metrics::direction::DirectionBreakdown;
+use irnet_metrics::report::TextTable;
+use irnet_metrics::Algo;
+use irnet_sim::{SimConfig, Simulator};
+use irnet_topology::{gen, PreorderPolicy};
+use irnet_turns::adaptivity;
+
+const USAGE: &str = "adaptivity — adaptivity degree, path diversity, and direction shares (A7)
+options: same as fig8 (see `fig8 --help`)";
+
+fn main() {
+    let cli = parse_args(std::env::args(), USAGE);
+    let cfg = ExperimentConfig::from_cli(&cli);
+    let algos = [
+        Algo::UpDownBfs,
+        Algo::UpDownDfs,
+        Algo::LTurn { release: true },
+        Algo::DownUp { release: false },
+        Algo::DownUp { release: true },
+    ];
+    let sim_cfg = SimConfig { injection_rate: 0.15, ..cfg.sim };
+
+    let mut table = TextTable::new(&[
+        "algorithm",
+        "inj choices",
+        "transit choices",
+        "path div (gmean)",
+        "up %",
+        "down %",
+        "horiz %",
+    ]);
+    for algo in algos {
+        let mut inj = 0.0;
+        let mut transit = 0.0;
+        let mut div = 0.0;
+        let mut up = 0.0;
+        let mut down = 0.0;
+        let mut horiz = 0.0;
+        for s in 0..cfg.samples {
+            let topo = gen::random_irregular(
+                gen::IrregularParams::paper(cfg.num_switches, cfg.ports[0]),
+                cfg.topo_seed + s as u64,
+            )
+            .unwrap();
+            let inst = algo.construct(&topo, PreorderPolicy::M1, s as u64).unwrap();
+            let a = adaptivity(&inst.cg, &inst.tables);
+            inj += a.injection_choices;
+            transit += a.transit_choices;
+            div += a.path_diversity_gmean;
+            let stats =
+                Simulator::new(&inst.cg, &inst.tables, sim_cfg, cfg.sim_seed + s as u64).run();
+            let b = DirectionBreakdown::compute(&stats, &inst.cg);
+            up += b.up;
+            down += b.down;
+            horiz += b.horizontal;
+        }
+        let n = cfg.samples as f64;
+        table.row(vec![
+            algo.to_string(),
+            format!("{:.2}", inj / n),
+            format!("{:.2}", transit / n),
+            format!("{:.2}", div / n),
+            format!("{:.1}", 100.0 * up / n),
+            format!("{:.1}", 100.0 * down / n),
+            format!("{:.1}", 100.0 * horiz / n),
+        ]);
+    }
+    println!(
+        "\nAdaptivity and direction shares — {} switches, {}-port, {} samples, \
+         offered load {:.2}:\n",
+        cfg.num_switches, cfg.ports[0], cfg.samples, sim_cfg.injection_rate
+    );
+    println!("{}", table.render());
+}

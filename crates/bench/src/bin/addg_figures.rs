@@ -1,0 +1,36 @@
+//! Regenerates the paper's ADDG construction figures (Figures 3–6) as
+//! Graphviz DOT files: one per Step 1–4 snapshot of the Phase-2
+//! derivation, plus the complete direction graph for reference.
+//!
+//! Usage: `addg_figures [--out results]`
+
+use irnet_bench::parse_args;
+use irnet_core::phase2;
+use irnet_topology::Direction;
+use irnet_turns::DirGraph;
+
+const USAGE: &str = "addg_figures — dump the ADDG derivation (Figures 3-6) as DOT
+options:
+  --out DIR    output directory (default results)";
+
+fn main() {
+    let cli = parse_args(std::env::args(), USAGE);
+    let out_dir = cli.opt("out").unwrap_or("results").to_string();
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let labels: Vec<&str> = Direction::ALL.iter().map(|d| d.name()).collect();
+
+    let complete = DirGraph::complete(Direction::COUNT);
+    let path = format!("{out_dir}/addg_0_complete.dot");
+    std::fs::write(&path, complete.to_dot("complete direction graph", &labels))
+        .expect("write dot");
+    println!("wrote {path} ({} turns)", complete.num_edges());
+
+    for (i, (label, g)) in phase2::derivation_steps().into_iter().enumerate() {
+        let path = format!("{out_dir}/addg_{}.dot", i + 1);
+        std::fs::write(&path, g.to_dot(label, &labels)).expect("write dot");
+        println!("wrote {path} — {label} ({} turns kept)", g.num_edges());
+    }
+    println!(
+        "render with e.g.: dot -Tsvg {out_dir}/addg_4.dot -o addg7.svg (Figure 6f)"
+    );
+}

@@ -1,0 +1,171 @@
+//! Reproduces **Tables 1–4** of the paper: node utilization, traffic load,
+//! degree of hot spots, and leaf utilization, measured at each routing's
+//! maximal throughput, averaged over the random topology samples.
+//!
+//! Layout matches the paper: one row per coordinated-tree policy
+//! (M1/M2/M3), columns L-turn {4,8}-port then DOWN/UP {4,8}-port.
+//!
+//! Usage: `tables [--quick|--full] [--ports 4,8] [--samples N] ...`
+//! (same options as `fig8`).
+
+use irnet_bench::{parse_args, run_grid, ExperimentConfig, GridResults};
+use irnet_metrics::paper::PaperMetrics;
+use irnet_metrics::report::{fmt6, fmt_pct, TextTable};
+use irnet_metrics::Algo;
+use irnet_topology::PreorderPolicy;
+
+const USAGE: &str = "tables — reproduce Tables 1-4 (metrics at maximal throughput)
+options: same as fig8 (see `fig8 --help`); plus --out DIR";
+
+fn paper_table(
+    results: &GridResults,
+    cfg: &ExperimentConfig,
+    title: &str,
+    better: &str,
+    value: impl Fn(&PaperMetrics) -> String,
+) -> String {
+    let mut header = vec!["".to_string()];
+    for &algo in &cfg.algos {
+        for &ports in &cfg.ports {
+            header.push(format!("{algo} {ports}-port"));
+        }
+    }
+    let mut t = TextTable::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for &policy in &cfg.policies {
+        let mut row = vec![policy.to_string()];
+        for &algo in &cfg.algos {
+            for &ports in &cfg.ports {
+                let cell = results.cell(ports, policy, algo).expect("cell exists");
+                row.push(value(&cell.saturation));
+            }
+        }
+        t.row(row);
+    }
+    format!("{title} ({better})\n{}", t.render())
+}
+
+fn main() {
+    let cli = parse_args(std::env::args(), USAGE);
+    let cfg = ExperimentConfig::from_cli(&cli);
+    let out_dir = cli.opt("out").unwrap_or("results").to_string();
+    eprintln!(
+        "tables: {} switches, ports {:?}, {} samples, {} policies, {} threads",
+        cfg.num_switches,
+        cfg.ports,
+        cfg.samples,
+        cfg.policies.len(),
+        cfg.threads
+    );
+    let results = run_grid(&cfg);
+
+    println!(
+        "\n{}",
+        paper_table(&results, &cfg, "Table 1. Node utilization", "higher is better", |m| fmt6(
+            m.node_utilization
+        ))
+    );
+    println!(
+        "{}",
+        paper_table(&results, &cfg, "Table 2. Traffic load", "lower is better", |m| fmt6(
+            m.traffic_load
+        ))
+    );
+    println!(
+        "{}",
+        paper_table(
+            &results,
+            &cfg,
+            "Table 3. Degree of hot spots",
+            "lower is better",
+            |m| fmt_pct(m.hot_spot_degree)
+        )
+    );
+    println!(
+        "{}",
+        paper_table(
+            &results,
+            &cfg,
+            "Table 4. Leaf utilization",
+            "higher is better",
+            |m| fmt6(m.leaf_utilization)
+        )
+    );
+
+    // Shape check against the paper's qualitative claims (Remark 2):
+    // DOWN/UP beats L-turn on every metric in every cell; M1 is the best
+    // policy for both algorithms (Remark 1).
+    let lturn = cfg.algos.iter().copied().find(|a| matches!(a, Algo::LTurn { .. }));
+    let downup = cfg.algos.iter().copied().find(|a| matches!(a, Algo::DownUp { .. }));
+    if let (Some(l), Some(d)) = (lturn, downup) {
+        let mut wins = 0;
+        let mut cells = 0;
+        for &ports in &cfg.ports {
+            for &policy in &cfg.policies {
+                let lm = results.cell(ports, policy, l).unwrap().saturation;
+                let dm = results.cell(ports, policy, d).unwrap().saturation;
+                cells += 4;
+                wins += (dm.node_utilization >= lm.node_utilization) as u32;
+                wins += (dm.traffic_load <= lm.traffic_load) as u32;
+                wins += (dm.hot_spot_degree <= lm.hot_spot_degree) as u32;
+                wins += (dm.leaf_utilization >= lm.leaf_utilization) as u32;
+            }
+        }
+        println!(
+            "Shape check (paper Remark 2): DOWN/UP wins {wins}/{cells} metric cells vs L-turn"
+        );
+        if !cfg.policies.is_empty() && cfg.policies.len() == 3 {
+            for &ports in &cfg.ports {
+                for &algo in [l, d].iter() {
+                    let m1 = results
+                        .cell(ports, PreorderPolicy::M1, algo)
+                        .unwrap()
+                        .throughput();
+                    let best = cfg
+                        .policies
+                        .iter()
+                        .map(|&p| results.cell(ports, p, algo).unwrap().throughput())
+                        .fold(f64::MIN, f64::max);
+                    println!(
+                        "Shape check (Remark 1): {algo} {ports}-port M1 throughput {m1:.4} \
+                         (best of M1/M2/M3: {best:.4})"
+                    );
+                }
+            }
+        }
+    }
+
+    // CSV dump of every saturation metric.
+    let mut csv = TextTable::new(&[
+        "ports",
+        "policy",
+        "algorithm",
+        "node_utilization",
+        "traffic_load",
+        "hot_spot_degree_pct",
+        "leaf_utilization",
+        "avg_latency",
+        "max_throughput",
+    ]);
+    for &ports in &cfg.ports {
+        for &policy in &cfg.policies {
+            for &algo in &cfg.algos {
+                let m = results.cell(ports, policy, algo).unwrap().saturation;
+                csv.row(vec![
+                    ports.to_string(),
+                    policy.to_string(),
+                    algo.to_string(),
+                    fmt6(m.node_utilization),
+                    fmt6(m.traffic_load),
+                    format!("{:.3}", m.hot_spot_degree),
+                    fmt6(m.leaf_utilization),
+                    format!("{:.2}", m.avg_latency),
+                    fmt6(m.accepted_traffic),
+                ]);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let path = format!("{out_dir}/tables.csv");
+    std::fs::write(&path, csv.to_csv()).expect("write csv");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,324 @@
+//! The sample × tree-policy × algorithm × load grid runner behind every
+//! reproduction binary.
+
+use crate::args::Cli;
+use irnet_metrics::paper::PaperMetrics;
+use irnet_metrics::sweep::{self, SweepCurve};
+use irnet_metrics::Algo;
+use irnet_sim::SimConfig;
+use irnet_topology::{gen, PreorderPolicy};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Full experiment description.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Switches per network (paper: 128).
+    pub num_switches: u32,
+    /// Port configurations to evaluate (paper: 4 and 8).
+    pub ports: Vec<u32>,
+    /// Random topologies per configuration (paper: 10).
+    pub samples: u32,
+    /// Coordinated-tree preorder policies (paper: M1, M2, M3).
+    pub policies: Vec<PreorderPolicy>,
+    /// Routing algorithms under test.
+    pub algos: Vec<Algo>,
+    /// Offered-load ladder (flits/node/clock).
+    pub rates: Vec<f64>,
+    /// Base simulator configuration (injection rate is overridden per
+    /// point).
+    pub sim: SimConfig,
+    /// Base seed for topology generation (sample `s` uses
+    /// `topo_seed + s`).
+    pub topo_seed: u64,
+    /// Base seed for simulation randomness.
+    pub sim_seed: u64,
+    /// Worker threads for the grid (each simulation stays single-threaded).
+    pub threads: usize,
+}
+
+impl ExperimentConfig {
+    /// CI-sized configuration: small networks, short runs, one policy.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            num_switches: 32,
+            ports: vec![4],
+            samples: 2,
+            policies: vec![PreorderPolicy::M1],
+            algos: Algo::PAPER_PAIR.to_vec(),
+            rates: sweep::default_rates(5),
+            sim: SimConfig {
+                packet_len: 32,
+                warmup_cycles: 500,
+                measure_cycles: 2_000,
+                ..SimConfig::default()
+            },
+            topo_seed: 1_000,
+            sim_seed: 42,
+            threads: 1,
+        }
+    }
+
+    /// Paper-sized configuration: 128 switches, 10 samples, 3 policies,
+    /// 128-flit packets.
+    pub fn full() -> ExperimentConfig {
+        ExperimentConfig {
+            num_switches: 128,
+            ports: vec![4, 8],
+            samples: 10,
+            policies: PreorderPolicy::ALL.to_vec(),
+            algos: Algo::PAPER_PAIR.to_vec(),
+            rates: sweep::default_rates(10),
+            sim: SimConfig::default(),
+            topo_seed: 1_000,
+            sim_seed: 42,
+            threads: 1,
+        }
+    }
+
+    /// Builds a configuration from a CLI: `--full` selects the paper-sized
+    /// preset (default is `--quick`), and individual values can be
+    /// overridden with `--switches`, `--ports 4,8`, `--samples`,
+    /// `--rates 0.01,0.05`, `--packet-len`, `--warmup`, `--measure`,
+    /// `--threads`, `--seed`.
+    pub fn from_cli(cli: &Cli) -> ExperimentConfig {
+        let mut cfg =
+            if cli.flag("full") { ExperimentConfig::full() } else { ExperimentConfig::quick() };
+        cfg.num_switches = cli.opt_parse("switches", cfg.num_switches);
+        cfg.ports = cli.opt_list("ports", &cfg.ports);
+        cfg.samples = cli.opt_parse("samples", cfg.samples);
+        cfg.rates = cli.opt_list("rates", &cfg.rates);
+        cfg.sim.packet_len = cli.opt_parse("packet-len", cfg.sim.packet_len);
+        cfg.sim.warmup_cycles = cli.opt_parse("warmup", cfg.sim.warmup_cycles);
+        cfg.sim.measure_cycles = cli.opt_parse("measure", cfg.sim.measure_cycles);
+        cfg.sim.buffer_depth = cli.opt_parse("buffer-depth", cfg.sim.buffer_depth);
+        cfg.sim.virtual_channels = cli.opt_parse("vcs", cfg.sim.virtual_channels);
+        cfg.topo_seed = cli.opt_parse("seed", cfg.topo_seed);
+        cfg.threads = cli.opt_parse("threads", cfg.threads).max(1);
+        if let Some(raw) = cli.opt("policies") {
+            cfg.policies = raw
+                .split(',')
+                .map(|p| match p.trim() {
+                    "M1" | "m1" => PreorderPolicy::M1,
+                    "M2" | "m2" => PreorderPolicy::M2,
+                    "M3" | "m3" => PreorderPolicy::M3,
+                    other => {
+                        eprintln!("unknown policy {other:?}");
+                        std::process::exit(2);
+                    }
+                })
+                .collect();
+        }
+        cfg
+    }
+}
+
+/// Identifies one cell of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    pub ports: u32,
+    pub policy: PreorderPolicy,
+    pub algo: Algo,
+}
+
+/// Per-load averages across samples (Figure 8 series).
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPoint {
+    pub offered: f64,
+    pub metrics: PaperMetrics,
+}
+
+/// A fully aggregated grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub key: CellKey,
+    /// Average of the paper metrics at each offered load, over samples.
+    pub points: Vec<AvgPoint>,
+    /// Average of each sample's maximal-throughput metrics (Tables 1–4).
+    pub saturation: PaperMetrics,
+}
+
+impl CellResult {
+    /// Average maximal throughput over samples.
+    pub fn throughput(&self) -> f64 {
+        self.saturation.accepted_traffic
+    }
+}
+
+/// All aggregated cells for one experiment.
+#[derive(Debug, Clone)]
+pub struct GridResults {
+    pub cells: Vec<CellResult>,
+}
+
+impl GridResults {
+    /// Finds one cell.
+    pub fn cell(&self, ports: u32, policy: PreorderPolicy, algo: Algo) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.key.ports == ports && c.key.policy == policy && c.key.algo == algo)
+    }
+}
+
+/// Runs the whole grid, distributing (cell × sample) sweeps over
+/// `cfg.threads` workers. Deterministic regardless of thread count.
+pub fn run_grid(cfg: &ExperimentConfig) -> GridResults {
+    struct Task {
+        cell: usize,
+        key: CellKey,
+        sample: u32,
+    }
+    let mut keys = Vec::new();
+    for &ports in &cfg.ports {
+        for &policy in &cfg.policies {
+            for &algo in &cfg.algos {
+                keys.push(CellKey { ports, policy, algo });
+            }
+        }
+    }
+    let mut tasks = Vec::new();
+    for (ci, &key) in keys.iter().enumerate() {
+        for s in 0..cfg.samples {
+            tasks.push(Task { cell: ci, key, sample: s });
+        }
+    }
+
+    // curves[cell][sample]
+    let curves: Vec<Mutex<Vec<Option<SweepCurve>>>> =
+        keys.iter().map(|_| Mutex::new(vec![None; cfg.samples as usize])).collect();
+    let next = AtomicUsize::new(0);
+    let run_task = |t: &Task| {
+        let topo = gen::random_irregular(
+            gen::IrregularParams::paper(cfg.num_switches, t.key.ports),
+            cfg.topo_seed + t.sample as u64,
+        )
+        .expect("topology generation failed");
+        let inst = t
+            .key
+            .algo
+            .construct(&topo, t.key.policy, cfg.topo_seed + t.sample as u64)
+            .expect("routing construction failed");
+        let seed = cfg
+            .sim_seed
+            .wrapping_add(t.sample as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(t.cell as u64);
+        let curve = sweep::sweep(&inst, &cfg.sim, &cfg.rates, seed);
+        curves[t.cell].lock().unwrap()[t.sample as usize] = Some(curve);
+    };
+    if cfg.threads <= 1 {
+        for t in &tasks {
+            run_task(t);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    run_task(&tasks[i]);
+                });
+            }
+        });
+    }
+
+    let cells = keys
+        .iter()
+        .enumerate()
+        .map(|(ci, &key)| {
+            let sample_curves: Vec<SweepCurve> = curves[ci]
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|c| c.clone().expect("missing sample"))
+                .collect();
+            aggregate_cell(key, &sample_curves, &cfg.rates)
+        })
+        .collect();
+    GridResults { cells }
+}
+
+/// Averages one cell's sample curves point-wise and at saturation.
+fn aggregate_cell(key: CellKey, samples: &[SweepCurve], rates: &[f64]) -> CellResult {
+    let points = (0..rates.len())
+        .map(|i| {
+            let ms: Vec<&PaperMetrics> =
+                samples.iter().map(|c| &c.points[i].metrics).collect();
+            AvgPoint { offered: rates[i], metrics: PaperMetrics::mean(ms) }
+        })
+        .collect();
+    let sats: Vec<PaperMetrics> =
+        samples.iter().map(|c| c.saturation().metrics).collect();
+    CellResult { key, points, saturation: PaperMetrics::mean(sats.iter()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            num_switches: 12,
+            ports: vec![4],
+            samples: 2,
+            policies: vec![PreorderPolicy::M1],
+            algos: Algo::PAPER_PAIR.to_vec(),
+            rates: vec![0.02, 0.2],
+            sim: SimConfig {
+                packet_len: 8,
+                warmup_cycles: 200,
+                measure_cycles: 800,
+                ..SimConfig::default()
+            },
+            topo_seed: 7,
+            sim_seed: 9,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn grid_produces_all_cells_and_points() {
+        let cfg = tiny();
+        let res = run_grid(&cfg);
+        assert_eq!(res.cells.len(), 2);
+        for c in &res.cells {
+            assert_eq!(c.points.len(), 2);
+            assert!(c.throughput() > 0.0);
+        }
+        assert!(res.cell(4, PreorderPolicy::M1, Algo::PAPER_PAIR[0]).is_some());
+        assert!(res.cell(8, PreorderPolicy::M1, Algo::PAPER_PAIR[0]).is_none());
+    }
+
+    #[test]
+    fn grid_is_thread_count_invariant() {
+        let mut cfg = tiny();
+        let single = run_grid(&cfg);
+        cfg.threads = 3;
+        let multi = run_grid(&cfg);
+        for (a, b) in single.cells.iter().zip(&multi.cells) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.saturation.accepted_traffic, b.saturation.accepted_traffic);
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.metrics.avg_latency.to_bits(), pb.metrics.avg_latency.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cli_presets_and_overrides() {
+        let cli = crate::parse_args(
+            ["p", "--full", "--samples", "3", "--ports", "8", "--threads", "2"]
+                .iter()
+                .map(|s| s.to_string()),
+            "u",
+        );
+        let cfg = ExperimentConfig::from_cli(&cli);
+        assert_eq!(cfg.num_switches, 128);
+        assert_eq!(cfg.samples, 3);
+        assert_eq!(cfg.ports, vec![8]);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.policies.len(), 3);
+    }
+}

@@ -1,0 +1,24 @@
+//! The reproduction harness: shared experiment configuration, the
+//! sample × tree × algorithm × load grid runner, and result aggregation for
+//! every table and figure of the paper.
+//!
+//! Reproduction binaries (`src/bin/`):
+//!
+//! * `fig8` — Figure 8(a)/(b): average message latency and accepted
+//!   traffic vs offered load.
+//! * `tables` — Tables 1–4: node utilization, traffic load, degree of hot
+//!   spots, leaf utilization at maximal throughput.
+//! * `ablation_release` — A1: Phase-3 release on/off.
+//! * `ablation_baselines` — A3: up\*/down\* (BFS/DFS) vs L-turn vs DOWN/UP.
+//! * `ablation_sim` — A4: buffer depth and packet length sensitivity.
+//! * `ablation_scale` — A5: network size sweep.
+//! * `ablation_vc` — A6: virtual channels.
+//!
+//! Every binary accepts `--quick` (CI-sized, the default) or `--full`
+//! (paper-sized), plus overrides; run with `--help` for the list.
+
+pub mod args;
+pub mod grid;
+
+pub use args::{parse_args, Cli};
+pub use grid::{run_grid, AvgPoint, CellKey, CellResult, ExperimentConfig, GridResults};

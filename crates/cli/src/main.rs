@@ -1,0 +1,405 @@
+//! `irnet` — command-line interface to the workspace.
+//!
+//! Subcommands:
+//!
+//! * `gen`      — generate a random irregular topology (JSON to stdout/file)
+//! * `verify`   — construct a routing over a topology and verify deadlock
+//!   freedom + connectivity
+//! * `routes`   — print route statistics (and a sample route)
+//! * `simulate` — run one wormhole simulation and print the paper metrics
+//!
+//! Examples:
+//!
+//! ```text
+//! irnet gen --switches 128 --ports 4 --seed 1 --out net.json
+//! irnet verify --topology net.json --algo downup
+//! irnet simulate --topology net.json --algo lturn --rate 0.1
+//! ```
+
+use irnet_metrics::paper::PaperMetrics;
+use irnet_metrics::{sweep, Algo, Instance};
+use irnet_sim::{SimConfig, Simulator};
+use irnet_topology::{gen, topology_from_json, topology_to_json, PreorderPolicy, Topology};
+use irnet_turns::verify_routing;
+use std::collections::BTreeMap;
+
+const USAGE: &str = "irnet <gen|analyze|verify|routes|simulate|sweep|export|render|replay> [options]
+
+common options:
+  --topology FILE     read a topology JSON (otherwise --switches/--ports/--seed generate one)
+  --switches N        switches for generated topologies (default 64)
+  --ports N           port budget (default 4)
+  --seed N            generation seed (default 1)
+  --algo NAME         downup | downup-norelease | lturn | updown-bfs | updown-dfs (default downup)
+  --policy M1|M2|M3   coordinated-tree preorder policy (default M1)
+
+gen options:
+  --out FILE          write the topology JSON to FILE (default stdout)
+
+simulate options:
+  --rate R            offered load, flits/node/clock (default 0.1)
+  --packet-len N      flits per packet (default 128)
+  --warmup N          warm-up cycles (default 2000)
+  --measure N         measured cycles (default 8000)
+  --vcs N             virtual channels (default 1)
+  --sim-seed N        simulation seed (default 7)
+
+sweep options (in addition to the simulate options):
+  --rates r1,r2,...   offered-load ladder (default an 8-step ramp)
+
+export options:
+  --out FILE          write the forwarding tables (irnet-fwd v1) to FILE
+
+render options (in addition to the simulate options):
+  --out FILE          write an SVG of the network in coordinated-tree
+                      layout, switches colored by measured utilization
+
+replay options:
+  --trace FILE        CSV trace (time,src,dst) to replay; without it a
+                      synthetic uniform trace is generated
+  --trace-packets N   synthetic trace size (default 500)
+  --trace-span N      synthetic trace injection window in clocks (default 4000)";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("irnet: {msg}\n\n{USAGE}");
+    std::process::exit(2)
+}
+
+struct Opts {
+    kv: BTreeMap<String, String>,
+}
+
+impl Opts {
+    fn get(&self, k: &str) -> Option<&str> {
+        self.kv.get(k).map(String::as_str)
+    }
+    fn parse<T: std::str::FromStr>(&self, k: &str, default: T) -> T {
+        match self.get(k) {
+            None => default,
+            Some(raw) => {
+                raw.parse().unwrap_or_else(|_| fail(&format!("invalid --{k} value {raw:?}")))
+            }
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut kv = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--help" || a == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        let Some(name) = a.strip_prefix("--") else { fail(&format!("unexpected argument {a:?}")) };
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            kv.insert(name.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            fail(&format!("option --{name} needs a value"));
+        }
+    }
+    Opts { kv }
+}
+
+fn load_topology(o: &Opts) -> Topology {
+    if let Some(path) = o.get("topology") {
+        let raw = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        topology_from_json(&raw).unwrap_or_else(|e| fail(&format!("invalid topology: {e}")))
+    } else {
+        let n = o.parse("switches", 64u32);
+        let ports = o.parse("ports", 4u32);
+        let seed = o.parse("seed", 1u64);
+        gen::random_irregular(gen::IrregularParams::paper(n, ports), seed)
+            .unwrap_or_else(|e| fail(&format!("generation failed: {e}")))
+    }
+}
+
+fn parse_algo(o: &Opts) -> Algo {
+    match o.get("algo").unwrap_or("downup") {
+        "downup" => Algo::DownUp { release: true },
+        "downup-norelease" => Algo::DownUp { release: false },
+        "lturn" => Algo::LTurn { release: true },
+        "lturn-norelease" => Algo::LTurn { release: false },
+        "updown-bfs" => Algo::UpDownBfs,
+        "updown-dfs" => Algo::UpDownDfs,
+        other => fail(&format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn parse_policy(o: &Opts) -> PreorderPolicy {
+    match o.get("policy").unwrap_or("M1") {
+        "M1" | "m1" => PreorderPolicy::M1,
+        "M2" | "m2" => PreorderPolicy::M2,
+        "M3" | "m3" => PreorderPolicy::M3,
+        other => fail(&format!("unknown policy {other:?}")),
+    }
+}
+
+fn build_instance(o: &Opts, topo: &Topology) -> Instance {
+    let algo = parse_algo(o);
+    let policy = parse_policy(o);
+    let seed = o.parse("seed", 1u64);
+    algo.construct(topo, policy, seed)
+        .unwrap_or_else(|e| fail(&format!("construction failed: {e}")))
+}
+
+fn cmd_gen(o: &Opts) {
+    let topo = load_topology(o);
+    let json = topology_to_json(&topo);
+    match o.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!(
+                "wrote {path}: {} switches, {} links, avg degree {:.2}, diameter {}",
+                topo.num_nodes(),
+                topo.num_links(),
+                topo.avg_degree(),
+                topo.diameter()
+            );
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn cmd_verify(o: &Opts) {
+    let topo = load_topology(o);
+    let inst = build_instance(o, &topo);
+    let report = verify_routing(&inst.cg, &inst.table);
+    println!("algorithm          : {}", parse_algo(o));
+    println!("switches / links   : {} / {}", topo.num_nodes(), topo.num_links());
+    println!("prohibited pairs   : {}", report.prohibited_pairs);
+    println!(
+        "deadlock-free      : {}",
+        if report.cycle.is_none() { "yes (channel dependency graph is acyclic)" } else { "NO" }
+    );
+    if let Some(cycle) = &report.cycle {
+        println!("  witness turn cycle through {} channels", cycle.len());
+    }
+    println!(
+        "connected          : {}",
+        if report.disconnected.is_none() { "yes (all ordered pairs reachable)" } else { "NO" }
+    );
+    if report.is_ok() {
+        println!("avg / max route len: {:.3} / {}", report.avg_route_len, report.max_route_len);
+    } else {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_routes(o: &Opts) {
+    let topo = load_topology(o);
+    let inst = build_instance(o, &topo);
+    println!("avg route length: {:.3}", inst.tables.avg_route_len(&inst.cg));
+    println!("max route length: {}", inst.tables.max_route_len(&inst.cg));
+    let n = topo.num_nodes();
+    let (s, t) = (0u32, n - 1);
+    let route = inst.tables.route(&inst.cg, s, t);
+    let ch = inst.cg.channels();
+    print!("sample route {s} -> {t}: {s}");
+    for &c in &route {
+        print!(" -({})-> {}", inst.cg.direction(c), ch.sink(c));
+    }
+    println!();
+}
+
+fn cmd_simulate(o: &Opts) {
+    let topo = load_topology(o);
+    let inst = build_instance(o, &topo);
+    let cfg = SimConfig {
+        packet_len: o.parse("packet-len", 128u32),
+        injection_rate: o.parse("rate", 0.1f64),
+        warmup_cycles: o.parse("warmup", 2_000u32),
+        measure_cycles: o.parse("measure", 8_000u32),
+        virtual_channels: o.parse("vcs", 1u32),
+        ..SimConfig::default()
+    };
+    let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64)).run();
+    let m = PaperMetrics::compute(&stats, &inst.cg, &inst.tree);
+    println!("offered load     : {:.4} flits/clock/node", cfg.injection_rate);
+    println!("accepted traffic : {:.4} flits/clock/node", m.accepted_traffic);
+    println!("avg latency      : {:.1} clocks", m.avg_latency);
+    println!("node utilization : {:.6}", m.node_utilization);
+    println!("traffic load     : {:.6} (stddev of node utilization)", m.traffic_load);
+    println!("hot spot degree  : {:.2} % (levels 0-1)", m.hot_spot_degree);
+    println!("leaf utilization : {:.6}", m.leaf_utilization);
+    println!("packets delivered: {}", stats.packets_delivered);
+    if stats.deadlocked {
+        println!("!! simulation aborted by the deadlock watchdog");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_analyze(o: &Opts) {
+    use irnet_topology::analysis;
+    let topo = load_topology(o);
+    let deg = analysis::degree_stats(&topo);
+    let dist = analysis::distance_stats(&topo);
+    let cuts = analysis::articulation_points(&topo);
+    println!("switches / links    : {} / {}", topo.num_nodes(), topo.num_links());
+    println!("degree min/mean/max : {} / {:.2} / {}", deg.min, deg.mean, deg.max);
+    println!("mean distance       : {:.3} hops", dist.mean);
+    println!("diameter            : {} hops", dist.diameter);
+    println!(
+        "articulation points : {} {}",
+        cuts.len(),
+        if cuts.is_empty() { "(2-connected: survives any single-switch failure)".to_string() }
+        else { format!("{cuts:?}") }
+    );
+    let tree = irnet_topology::CoordinatedTree::build(&topo, parse_policy(o), o.parse("seed", 1))
+        .unwrap_or_else(|e| fail(&format!("tree construction failed: {e}")));
+    let lvl = analysis::level_profile(&topo, &tree);
+    println!("tree levels         : {:?} switches per level", lvl.population);
+    println!("tree leaves         : {} total", tree.leaves().len());
+    println!(
+        "cross links         : {:.1} % of links ({} same-level)",
+        100.0 * lvl.cross_link_fraction,
+        lvl.same_level_cross_links
+    );
+}
+
+fn cmd_sweep(o: &Opts) {
+    let topo = load_topology(o);
+    let inst = build_instance(o, &topo);
+    let base = SimConfig {
+        packet_len: o.parse("packet-len", 128u32),
+        warmup_cycles: o.parse("warmup", 2_000u32),
+        measure_cycles: o.parse("measure", 8_000u32),
+        virtual_channels: o.parse("vcs", 1u32),
+        ..SimConfig::default()
+    };
+    let rates: Vec<f64> = match o.get("rates") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| s.trim().parse().unwrap_or_else(|_| fail("invalid --rates element")))
+            .collect(),
+        None => sweep::default_rates(8),
+    };
+    let curve = sweep::sweep(&inst, &base, &rates, o.parse("sim-seed", 7u64));
+    println!("offered,accepted,latency,node_util,hot_spot_pct");
+    for p in &curve.points {
+        println!(
+            "{:.5},{:.5},{:.2},{:.5},{:.2}",
+            p.offered,
+            p.metrics.accepted_traffic,
+            p.metrics.avg_latency,
+            p.metrics.node_utilization,
+            p.metrics.hot_spot_degree
+        );
+    }
+    eprintln!(
+        "max throughput {:.4} flits/clock/node at offered {:.4}",
+        curve.max_throughput(),
+        curve.saturation().offered
+    );
+}
+
+fn cmd_export(o: &Opts) {
+    let topo = load_topology(o);
+    let inst = build_instance(o, &topo);
+    let text = irnet_turns::export_tables(&inst.cg, &inst.tables);
+    match o.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!(
+                "wrote {path}: forwarding tables for {} switches ({} bytes)",
+                topo.num_nodes(),
+                text.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn cmd_render(o: &Opts) {
+    use irnet_metrics::netplot::{render_network, NetPlotOptions};
+    let topo = load_topology(o);
+    let inst = build_instance(o, &topo);
+    let cfg = SimConfig {
+        packet_len: o.parse("packet-len", 128u32),
+        injection_rate: o.parse("rate", 0.1f64),
+        warmup_cycles: o.parse("warmup", 2_000u32),
+        measure_cycles: o.parse("measure", 8_000u32),
+        ..SimConfig::default()
+    };
+    let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64)).run();
+    let svg = render_network(&topo, &inst.tree, &inst.cg, Some(&stats), NetPlotOptions::default());
+    match o.get("out") {
+        Some(path) => {
+            std::fs::write(path, &svg)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {path} ({} bytes)", svg.len());
+        }
+        None => print!("{svg}"),
+    }
+}
+
+fn cmd_replay(o: &Opts) {
+    use irnet_sim::{replay, Trace};
+    let topo = load_topology(o);
+    let inst = build_instance(o, &topo);
+    let trace = match o.get("trace") {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            Trace::from_csv(&raw, topo.num_nodes())
+                .unwrap_or_else(|e| fail(&format!("invalid trace: {e}")))
+        }
+        None => Trace::synthetic_uniform(
+            topo.num_nodes(),
+            o.parse("trace-packets", 500u32),
+            o.parse("trace-span", 4_000u32),
+            o.parse("seed", 1u64),
+        ),
+    };
+    let cfg = SimConfig {
+        packet_len: o.parse("packet-len", 128u32),
+        warmup_cycles: 0,
+        measure_cycles: u32::MAX / 2,
+        virtual_channels: o.parse("vcs", 1u32),
+        ..SimConfig::default()
+    };
+    let result = replay(
+        &inst.cg,
+        &inst.tables,
+        cfg,
+        &trace,
+        o.parse("sim-seed", 7u64),
+        10_000_000,
+    );
+    println!("packets          : {}", trace.len());
+    match result.makespan {
+        Some(m) => println!("makespan         : {m} clocks"),
+        None => {
+            println!("!! network failed to drain");
+            std::process::exit(1);
+        }
+    }
+    println!("avg latency      : {:.1} clocks", result.stats.avg_latency());
+    if let Some(p99) = result.stats.latency_quantile(0.99) {
+        println!("p99 latency      : {p99} clocks");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { fail("missing subcommand") };
+    let opts = parse_opts(rest);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "verify" => cmd_verify(&opts),
+        "routes" => cmd_routes(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "export" => cmd_export(&opts),
+        "render" => cmd_render(&opts),
+        "replay" => cmd_replay(&opts),
+        "--help" | "-h" | "help" => println!("{USAGE}"),
+        other => fail(&format!("unknown subcommand {other:?}")),
+    }
+}

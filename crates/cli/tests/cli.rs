@@ -1,0 +1,180 @@
+//! End-to-end tests of the `irnet` command-line tool: every subcommand is
+//! exercised as a real process against files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn irnet(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_irnet"))
+        .args(args)
+        .output()
+        .expect("spawn irnet")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("irnet-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_writes_valid_topology_json() {
+    let out = tmpfile("net.json");
+    let r = irnet(&[
+        "gen",
+        "--switches",
+        "24",
+        "--ports",
+        "4",
+        "--seed",
+        "3",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let json = std::fs::read_to_string(&out).unwrap();
+    let topo = irnet_topology::topology_from_json(&json).unwrap();
+    assert_eq!(topo.num_nodes(), 24);
+    std::fs::remove_file(out).ok();
+}
+
+#[test]
+fn verify_reports_deadlock_freedom_for_every_algo() {
+    for algo in ["downup", "downup-norelease", "lturn", "updown-bfs", "updown-dfs"] {
+        let r = irnet(&["verify", "--switches", "20", "--seed", "2", "--algo", algo]);
+        assert!(r.status.success(), "algo {algo}: {}", String::from_utf8_lossy(&r.stderr));
+        let stdout = String::from_utf8_lossy(&r.stdout);
+        assert!(stdout.contains("deadlock-free      : yes"), "algo {algo}: {stdout}");
+        assert!(stdout.contains("connected          : yes"));
+    }
+}
+
+#[test]
+fn simulate_prints_paper_metrics() {
+    let r = irnet(&[
+        "simulate",
+        "--switches",
+        "16",
+        "--rate",
+        "0.05",
+        "--packet-len",
+        "16",
+        "--warmup",
+        "300",
+        "--measure",
+        "1500",
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    assert!(stdout.contains("accepted traffic"));
+    assert!(stdout.contains("hot spot degree"));
+    assert!(!stdout.contains("deadlock watchdog"));
+}
+
+#[test]
+fn sweep_emits_csv() {
+    let r = irnet(&[
+        "sweep",
+        "--switches",
+        "12",
+        "--rates",
+        "0.02,0.2",
+        "--packet-len",
+        "8",
+        "--warmup",
+        "200",
+        "--measure",
+        "800",
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "offered,accepted,latency,node_util,hot_spot_pct");
+    assert_eq!(lines.len(), 3, "expected header + 2 data rows: {stdout}");
+}
+
+#[test]
+fn analyze_describes_the_fabric() {
+    let r = irnet(&["analyze", "--switches", "20", "--ports", "4"]);
+    assert!(r.status.success());
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    assert!(stdout.contains("diameter"));
+    assert!(stdout.contains("tree levels"));
+    assert!(stdout.contains("cross links"));
+}
+
+#[test]
+fn export_roundtrips_through_the_parser() {
+    let out = tmpfile("tables.fwd");
+    let r = irnet(&[
+        "export",
+        "--switches",
+        "12",
+        "--seed",
+        "4",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let text = std::fs::read_to_string(&out).unwrap();
+    let parsed = irnet_turns::parse_exported(&text).unwrap();
+    assert_eq!(parsed.num_nodes(), 12);
+    std::fs::remove_file(out).ok();
+}
+
+#[test]
+fn unknown_arguments_fail_with_usage() {
+    let r = irnet(&["frobnicate"]);
+    assert!(!r.status.success());
+    assert!(String::from_utf8_lossy(&r.stderr).contains("irnet <gen"));
+    let r = irnet(&["simulate", "--bogus", "1"]);
+    // Unknown options are accepted syntactically but ignored; a malformed
+    // known option must fail.
+    let _ = r;
+    let r = irnet(&["simulate", "--rate", "not-a-number"]);
+    assert!(!r.status.success());
+}
+
+#[test]
+fn replay_runs_a_synthetic_trace() {
+    let r = irnet(&[
+        "replay",
+        "--switches",
+        "16",
+        "--trace-packets",
+        "40",
+        "--trace-span",
+        "500",
+        "--packet-len",
+        "8",
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    assert!(stdout.contains("makespan"));
+    assert!(stdout.contains("packets          : 40"));
+}
+
+#[test]
+fn render_emits_svg() {
+    let out = tmpfile("net.svg");
+    let r = irnet(&[
+        "render",
+        "--switches",
+        "16",
+        "--rate",
+        "0.1",
+        "--packet-len",
+        "8",
+        "--warmup",
+        "200",
+        "--measure",
+        "800",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let svg = std::fs::read_to_string(&out).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("node utilization"));
+    std::fs::remove_file(out).ok();
+}

@@ -1,0 +1,200 @@
+use crate::phase2;
+use crate::phase3::{self, ReleasedTurn};
+use irnet_topology::{CommGraph, CoordinatedTree, PreorderPolicy, RootPolicy, Topology, TopologyError};
+use irnet_turns::{RoutingError, RoutingTables, TurnTable};
+
+/// Errors from [`DownUp::construct`].
+#[derive(Debug)]
+pub enum ConstructError {
+    /// Coordinated-tree construction failed.
+    Topology(TopologyError),
+    /// The turn restrictions disconnected some pair — this would indicate a
+    /// bug in the algorithm and is surfaced rather than hidden.
+    Routing(RoutingError),
+}
+
+impl std::fmt::Display for ConstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstructError::Topology(e) => write!(f, "topology error: {e}"),
+            ConstructError::Routing(e) => write!(f, "routing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConstructError {}
+
+impl From<TopologyError> for ConstructError {
+    fn from(e: TopologyError) -> Self {
+        ConstructError::Topology(e)
+    }
+}
+
+impl From<RoutingError> for ConstructError {
+    fn from(e: RoutingError) -> Self {
+        ConstructError::Routing(e)
+    }
+}
+
+/// Builder for the DOWN/UP routing. Defaults match the paper's best
+/// configuration: `M1` preorder policy, Phase 3 release enabled.
+#[derive(Debug, Clone, Copy)]
+pub struct DownUp {
+    policy: PreorderPolicy,
+    root: RootPolicy,
+    seed: u64,
+    release: bool,
+}
+
+impl Default for DownUp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DownUp {
+    /// A builder with the paper's defaults.
+    pub fn new() -> DownUp {
+        DownUp { policy: PreorderPolicy::M1, root: RootPolicy::Smallest, seed: 0, release: true }
+    }
+
+    /// Selects the preorder policy (`M1`/`M2`/`M3`) for the coordinated
+    /// tree.
+    pub fn policy(mut self, policy: PreorderPolicy) -> DownUp {
+        self.policy = policy;
+        self
+    }
+
+    /// Selects how the spanning-tree root is chosen (paper: smallest id).
+    pub fn root(mut self, root: RootPolicy) -> DownUp {
+        self.root = root;
+        self
+    }
+
+    /// Seed for the `M2` (random preorder) policy.
+    pub fn seed(mut self, seed: u64) -> DownUp {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the Phase-3 `cycle_detection` release pass
+    /// (enabled by default; disabling it is the A1 ablation of DESIGN.md).
+    pub fn release(mut self, release: bool) -> DownUp {
+        self.release = release;
+        self
+    }
+
+    /// Runs the three construction phases on `topo`.
+    pub fn construct(self, topo: &Topology) -> Result<DownUpRouting, ConstructError> {
+        // Phase 1: coordinated tree + communication graph.
+        let root = self.root.pick(topo);
+        let tree = CoordinatedTree::build_rooted(topo, root, self.policy, self.seed)?;
+        let cg = CommGraph::build(topo, &tree);
+        // Phase 2: apply the 18 globally prohibited turns.
+        let mut table = TurnTable::from_direction_rule(&cg, phase2::turn_allowed);
+        // Phase 3: release redundant per-node prohibitions.
+        let released =
+            if self.release { phase3::cycle_detection(&cg, &mut table) } else { Vec::new() };
+        // Shortest legal paths; also proves connectivity (Theorem 1).
+        let tables = RoutingTables::build(&cg, &table)?;
+        Ok(DownUpRouting { tree, cg, table, tables, released })
+    }
+}
+
+/// A fully constructed DOWN/UP routing for one topology: the coordinated
+/// tree, the communication graph, the per-node turn table, and the
+/// shortest-path routing tables the simulator consumes.
+#[derive(Debug, Clone)]
+pub struct DownUpRouting {
+    tree: CoordinatedTree,
+    cg: CommGraph,
+    table: TurnTable,
+    tables: RoutingTables,
+    released: Vec<ReleasedTurn>,
+}
+
+impl DownUpRouting {
+    /// The coordinated tree (Phase 1).
+    pub fn tree(&self) -> &CoordinatedTree {
+        &self.tree
+    }
+
+    /// The communication graph (Phase 1).
+    pub fn comm_graph(&self) -> &CommGraph {
+        &self.cg
+    }
+
+    /// The per-node turn permissions after Phases 2–3.
+    pub fn turn_table(&self) -> &TurnTable {
+        &self.table
+    }
+
+    /// The shortest-legal-path routing tables.
+    pub fn routing_tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+
+    /// The turns Phase 3 released.
+    pub fn released_turns(&self) -> &[ReleasedTurn] {
+        &self.released
+    }
+
+    /// Decomposes into owned parts `(tree, comm graph, turn table,
+    /// routing tables)` — used by harness code that stores the artifacts
+    /// uniformly across algorithms.
+    pub fn into_parts(self) -> (CoordinatedTree, CommGraph, TurnTable, RoutingTables) {
+        (self.tree, self.cg, self.table, self.tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnet_topology::gen;
+    use irnet_turns::verify_routing;
+
+    #[test]
+    fn construct_verifies_on_random_networks() {
+        for seed in 0..4 {
+            for ports in [4u32, 8] {
+                let topo =
+                    gen::random_irregular(gen::IrregularParams::paper(32, ports), seed).unwrap();
+                for policy in PreorderPolicy::ALL {
+                    let routing = DownUp::new()
+                        .policy(policy)
+                        .seed(seed)
+                        .construct(&topo)
+                        .unwrap();
+                    let report = verify_routing(routing.comm_graph(), routing.turn_table());
+                    assert!(
+                        report.is_ok(),
+                        "seed {seed} ports {ports} policy {policy}: {:?} {:?}",
+                        report.cycle,
+                        report.disconnected
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn release_never_lengthens_routes() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(32, 4), 7).unwrap();
+        let with = DownUp::new().construct(&topo).unwrap();
+        let without = DownUp::new().release(false).construct(&topo).unwrap();
+        let cg = with.comm_graph();
+        assert!(
+            with.routing_tables().avg_route_len(cg)
+                <= without.routing_tables().avg_route_len(without.comm_graph()) + 1e-12
+        );
+    }
+
+    #[test]
+    fn routing_is_reproducible() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 3).unwrap();
+        let a = DownUp::new().policy(PreorderPolicy::M2).seed(11).construct(&topo).unwrap();
+        let b = DownUp::new().policy(PreorderPolicy::M2).seed(11).construct(&topo).unwrap();
+        assert_eq!(a.turn_table(), b.turn_table());
+        assert_eq!(a.released_turns(), b.released_turns());
+    }
+}

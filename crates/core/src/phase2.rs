@@ -1,0 +1,351 @@
+//! Phase 2 — deriving the maximal acyclic direction dependency graph
+//! (`ADDG₇`) from the complete direction graph, following §4.2 of the paper
+//! step by step.
+//!
+//! # The paper's two disagreeing statements of `PT`
+//!
+//! The paper gives the 18 prohibited turns twice:
+//!
+//! * The **construction** (§4.2): Step 3 removes the four turns *from* the
+//!   up-cross directions *to* the horizontal directions
+//!   (`{LU_CROSS, RU_CROSS} → {L_CROSS, R_CROSS}`). This is required for the
+//!   rest of the paper to make sense — Step 4's cycles `C3`/`C4` explicitly
+//!   use `T(L_CROSS → RU_CROSS)` and `T(R_CROSS → LU_CROSS)` as edges that
+//!   still *exist* in `ADDG₆`.
+//! * The **flat list** (§4.3) instead contains the four reversed turns
+//!   `{L_CROSS, R_CROSS} → {LU_CROSS, RU_CROSS}`.
+//!
+//! The printed variant is not deadlock-free: with up→horizontal allowed, the
+//! turn cycle `RU_CROSS → L_CROSS → LD_CROSS → RU_CROSS` is fully allowed
+//! and realizable in a five-switch communication graph (see
+//! `printed_pt_list_admits_a_turn_cycle` below). The construction variant is
+//! provably safe: no turn may enter `LU_TREE`, the up-cross directions can
+//! only be followed by up-cross directions (so any cross-ascent is
+//! terminal), and the remaining down/horizontal directions are Y-monotone.
+//! This crate therefore uses the construction-derived set,
+//! [`PROHIBITED_TURNS`], and exposes the printed one as
+//! [`PROHIBITED_TURNS_AS_PRINTED`] for documentation and testing.
+
+use irnet_topology::Direction;
+use irnet_turns::{DirGraph, Movement};
+
+use Direction::*;
+
+/// The 18 prohibited turns of the DOWN/UP routing, as derived by the §4.2
+/// construction (see the module docs). `PT = T(complete) − T(ADDG₇)`.
+pub const PROHIBITED_TURNS: [(Direction, Direction); 18] = [
+    // Step 1 — break the opposite-direction pairs (Figure 3).
+    (LuCross, RdCross), // ADDG1: keep RD_CROSS → LU_CROSS
+    (RuCross, LdCross), // ADDG2: keep LD_CROSS → RU_CROSS
+    (LCross, RCross),   // ADDG3: keep R_CROSS → L_CROSS
+    (RdTree, LuTree),   // ADDG4: keep LU_TREE → RD_TREE
+    // Step 2 — no "up before down" among cross directions (Figure 4).
+    (RuCross, RdCross),
+    (LuCross, LdCross),
+    // Step 3 — no leaving an ascent sideways (Figure 5; Region 1 → ADDG3).
+    (LuCross, LCross),
+    (LuCross, RCross),
+    (RuCross, LCross),
+    (RuCross, RCross),
+    // Step 4 — break C3/C4 and protect the root (Figure 6).
+    (LuCross, RdTree),
+    (RuCross, RdTree),
+    (RdCross, LuTree),
+    (LdCross, LuTree),
+    (RuCross, LuTree),
+    (LuCross, LuTree),
+    (LCross, LuTree),
+    (RCross, LuTree),
+];
+
+/// The 18 turns exactly as printed in §4.3 of the paper. **Not
+/// deadlock-free** — kept for documentation and for the regression test
+/// demonstrating the admissible turn cycle.
+pub const PROHIBITED_TURNS_AS_PRINTED: [(Direction, Direction); 18] = [
+    (RdTree, LuTree),
+    (RdCross, LuTree),
+    (LCross, LuTree),
+    (RCross, LuTree),
+    (LuCross, LuTree),
+    (LdCross, LuTree),
+    (RuCross, LuTree),
+    (RuCross, LdCross),
+    (RuCross, RdCross),
+    (LuCross, LdCross),
+    (LuCross, RdCross),
+    (LuCross, RdTree),
+    (RuCross, RdTree),
+    (LCross, RCross),
+    (RCross, RuCross),
+    (RCross, LuCross),
+    (LCross, RuCross),
+    (LCross, LuCross),
+];
+
+/// X/Y movement of each of the eight directions, indexed by
+/// [`Direction::index`]. Used by the realizability predicate.
+pub fn movements() -> [Movement; Direction::COUNT] {
+    let mv = |d: Direction| -> Movement {
+        let dx = if d.goes_left() { -1 } else { 1 };
+        let dy = if d.goes_up() {
+            -1
+        } else if d.goes_down() {
+            1
+        } else {
+            0
+        };
+        Movement::new(dx, dy)
+    };
+    let mut out = [Movement::new(1, 0); Direction::COUNT];
+    for d in Direction::ALL {
+        out[d.index()] = mv(d);
+    }
+    out
+}
+
+/// Whether the turn `(from, to)` is allowed under [`PROHIBITED_TURNS`].
+/// Same-direction transitions are always allowed (they are not turns).
+pub fn turn_allowed(from: Direction, to: Direction) -> bool {
+    from == to || !PROHIBITED_TURNS.contains(&(from, to))
+}
+
+/// Executes the paper's Step 1–4 construction, returning every
+/// intermediate ADDG with its paper label: after Step 1 (the four pair
+/// ADDGs of Figure 3, combined), `ADDG₅` (Figure 4(d)), `ADDG₆`
+/// (Figure 5(d)) and `ADDG₇` (Figure 6(f)).
+pub fn derivation_steps() -> Vec<(&'static str, DirGraph)> {
+    let mut steps = Vec::new();
+    let g = derive_with(|label, snapshot| steps.push((label, snapshot)));
+    debug_assert_eq!(steps.last().map(|(_, g)| g.num_edges()), Some(g.num_edges()));
+    steps
+}
+
+/// Executes the paper's Step 1–4 construction and returns `ADDG₇`.
+///
+/// Each step removes exactly the edges §4.2 removes, with debug assertions
+/// that the intermediate graph stays free of realizable cycles. A unit test
+/// checks the final edge set equals the complete graph minus
+/// [`PROHIBITED_TURNS`] and is *maximal* (Definition 11).
+pub fn derive_addg7() -> DirGraph {
+    derive_with(|_, _| {})
+}
+
+fn derive_with(mut snapshot: impl FnMut(&'static str, DirGraph)) -> DirGraph {
+    let moves = movements();
+    let idx = |d: Direction| d.index();
+    let mut g = DirGraph::empty(Direction::COUNT);
+
+    // -- Step 1: the four opposite-direction pairs.
+    // ADDG1 on {LU_CROSS, RD_CROSS}: drop LU→RD (up before down).
+    g.add_edge(idx(RdCross), idx(LuCross));
+    // ADDG2 on {LD_CROSS, RU_CROSS}: drop RU→LD.
+    g.add_edge(idx(LdCross), idx(RuCross));
+    // ADDG3 on {L_CROSS, R_CROSS}: drop L→R (the paper's arbitrary pick).
+    g.add_edge(idx(RCross), idx(LCross));
+    // ADDG4 on {LU_TREE, RD_TREE}: drop RD→LU (protect the root).
+    g.add_edge(idx(LuTree), idx(RdTree));
+    debug_assert!(g.is_safe(&moves), "step 1 left a realizable cycle");
+    snapshot("Step 1: ADDG1-ADDG4 (Figure 3)", g.clone());
+
+    // -- Step 2: combine ADDG1 with ADDG2 into ADDG5. All eight edges
+    // between the pairs are added except the two "up before down" ones.
+    for &a in &[LuCross, RdCross] {
+        for &b in &[LdCross, RuCross] {
+            g.add_edge(idx(a), idx(b));
+            g.add_edge(idx(b), idx(a));
+        }
+    }
+    g.remove_edge(idx(RuCross), idx(RdCross));
+    g.remove_edge(idx(LuCross), idx(LdCross));
+    debug_assert!(g.is_safe(&moves), "ADDG5 has a realizable cycle");
+    snapshot("Step 2: ADDG5 (Figure 4d)", g.clone());
+
+    // -- Step 3: combine ADDG3 with ADDG5 into ADDG6. All sixteen edges
+    // between {L,R} and the four cross directions are added, then the four
+    // edges from Region 1 (the up-cross directions) to ADDG3 are removed so
+    // an ascent cannot leave sideways.
+    for &h in &[LCross, RCross] {
+        for &c in &[LuCross, LdCross, RuCross, RdCross] {
+            g.add_edge(idx(h), idx(c));
+            g.add_edge(idx(c), idx(h));
+        }
+    }
+    g.remove_edge(idx(LuCross), idx(LCross));
+    g.remove_edge(idx(LuCross), idx(RCross));
+    g.remove_edge(idx(RuCross), idx(LCross));
+    g.remove_edge(idx(RuCross), idx(RCross));
+    debug_assert!(g.is_safe(&moves), "ADDG6 has a realizable cycle");
+    snapshot("Step 3: ADDG6 (Figure 5d)", g.clone());
+
+    // -- Step 4: combine ADDG4 with ADDG6 into ADDG7.
+    let addg6_nodes = [LuCross, LdCross, RuCross, RdCross, LCross, RCross];
+    // RD_TREE <-> ADDG6 edges, minus the C3/C4 breakers.
+    for &c in &addg6_nodes {
+        g.add_edge(idx(RdTree), idx(c));
+        g.add_edge(idx(c), idx(RdTree));
+    }
+    g.remove_edge(idx(LuCross), idx(RdTree));
+    g.remove_edge(idx(RuCross), idx(RdTree));
+    // LU_TREE edges: everything out of LU_TREE, nothing into it.
+    for &c in &addg6_nodes {
+        g.add_edge(idx(LuTree), idx(c));
+    }
+    debug_assert!(g.is_safe(&moves), "ADDG7 has a realizable cycle");
+    snapshot("Step 4: ADDG7 (Figure 6f)", g.clone());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnet_topology::{CommGraph, CoordinatedTree, PreorderPolicy, Topology};
+    use irnet_turns::{ChannelDepGraph, TurnTable};
+
+    #[test]
+    fn construction_matches_the_constant() {
+        let addg7 = derive_addg7();
+        let complete = DirGraph::complete(Direction::COUNT);
+        let mut removed: Vec<(Direction, Direction)> = complete
+            .edge_difference(&addg7)
+            .into_iter()
+            .map(|(a, b)| (Direction::from_index(a), Direction::from_index(b)))
+            .collect();
+        let mut expected = PROHIBITED_TURNS.to_vec();
+        removed.sort_by_key(|&(a, b)| (a.index(), b.index()));
+        expected.sort_by_key(|&(a, b)| (a.index(), b.index()));
+        assert_eq!(removed, expected);
+        assert_eq!(removed.len(), 18);
+    }
+
+    #[test]
+    fn addg7_is_a_maximal_addg() {
+        // Definition 11: safe, and adding any missing turn creates a
+        // realizable cycle.
+        let addg7 = derive_addg7();
+        assert!(addg7.is_maximal_safe(&movements()));
+        assert_eq!(addg7.num_edges(), 8 * 7 - 18);
+    }
+
+    #[test]
+    fn derivation_steps_match_the_figures() {
+        let steps = derivation_steps();
+        assert_eq!(steps.len(), 4);
+        // Edge counts of the paper's figures: 4 pair edges after Step 1;
+        // ADDG5 adds 6 cross-pair edges; ADDG6 adds 12 of the 16
+        // horizontal<->cross edges + the existing ones; ADDG7 ends at
+        // 56 - 18 = 38.
+        let counts: Vec<usize> = steps.iter().map(|(_, g)| g.num_edges()).collect();
+        assert_eq!(counts, vec![4, 10, 22, 38]);
+        let moves = movements();
+        for (label, g) in &steps {
+            assert!(g.is_safe(&moves), "{label} is not safe");
+        }
+        // Each step only ever adds direction pairs relative to its
+        // predecessor's node set; the edge sets grow monotonically except
+        // for the documented removals, so later steps contain every edge
+        // kept earlier.
+        for w in steps.windows(2) {
+            let (_, ref a) = w[0];
+            let (_, ref b) = w[1];
+            for (x, y) in a.edges() {
+                assert!(b.has_edge(x, y), "edge {x}->{y} lost between steps");
+            }
+        }
+        assert_eq!(steps[3].1, derive_addg7());
+    }
+
+    #[test]
+    fn printed_list_differs_in_exactly_four_turns() {
+        let a: std::collections::HashSet<_> = PROHIBITED_TURNS.iter().collect();
+        let b: std::collections::HashSet<_> = PROHIBITED_TURNS_AS_PRINTED.iter().collect();
+        assert_eq!(a.len(), 18);
+        assert_eq!(b.len(), 18);
+        assert_eq!(a.difference(&b).count(), 4);
+        let ours_only: Vec<_> = a.difference(&b).collect();
+        for &&(from, _) in &ours_only {
+            assert!(matches!(from, LuCross | RuCross));
+        }
+    }
+
+    /// The five-switch counterexample from DESIGN.md: under the §4.3
+    /// printed list the turn cycle
+    /// `RU_CROSS → L_CROSS → LD_CROSS → RU_CROSS` is fully allowed.
+    fn counterexample_cg() -> CommGraph {
+        // Root 0 with children 1, 2, 3; node 4 is the child of 1 and has
+        // cross links to 2 and 3; 2-3 is a same-level cross link.
+        let topo =
+            Topology::new(5, 4, [(0, 1), (0, 2), (0, 3), (1, 4), (2, 3), (2, 4), (3, 4)])
+                .unwrap();
+        let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+        // Preorder: 0, 1, 4, 2, 3 -> X = [0, 1, 3, 4, 2].
+        assert_eq!(tree.x(4), 2);
+        assert_eq!(tree.x(2), 3);
+        assert_eq!(tree.x(3), 4);
+        CommGraph::build(&topo, &tree)
+    }
+
+    #[test]
+    fn printed_pt_list_admits_a_turn_cycle() {
+        let cg = counterexample_cg();
+        let printed = TurnTable::from_direction_rule(&cg, |a, b| {
+            !PROHIBITED_TURNS_AS_PRINTED.contains(&(a, b))
+        });
+        let dep = ChannelDepGraph::build(&cg, &printed);
+        let cycle = dep.find_cycle().expect("the printed PT list must admit a turn cycle");
+        // No cycle can ever pass through LU_TREE (all its in-turns are
+        // prohibited in both variants).
+        for &c in &cycle {
+            assert_ne!(cg.direction(c), Direction::LuTree);
+        }
+    }
+
+    #[test]
+    fn construction_pt_is_safe_on_the_counterexample() {
+        let cg = counterexample_cg();
+        let table = TurnTable::from_direction_rule(&cg, turn_allowed);
+        let dep = ChannelDepGraph::build(&cg, &table);
+        assert!(dep.is_acyclic());
+    }
+
+    #[test]
+    fn no_turn_enters_lu_tree_and_ascents_are_terminal() {
+        // The structural properties behind the safety proof.
+        for d in Direction::ALL {
+            if d != LuTree {
+                assert!(
+                    !turn_allowed(d, LuTree),
+                    "{d} -> LU_TREE must be prohibited"
+                );
+            }
+        }
+        for up in [LuCross, RuCross] {
+            for to in Direction::ALL {
+                if to != up {
+                    let ok = turn_allowed(up, to);
+                    let to_is_up_cross = matches!(to, LuCross | RuCross);
+                    assert_eq!(
+                        ok, to_is_up_cross,
+                        "from {up} only up-cross successors may be allowed (checked {to})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lca_turnaround_is_allowed() {
+        // Theorem 1's connectivity argument requires LU_TREE -> RD_TREE.
+        assert!(turn_allowed(LuTree, RdTree));
+        assert!(!turn_allowed(RdTree, LuTree));
+    }
+
+    #[test]
+    fn movements_are_consistent_with_direction_predicates() {
+        let m = movements();
+        for d in Direction::ALL {
+            assert_eq!(m[d.index()].dx < 0, d.goes_left());
+            assert_eq!(m[d.index()].dy < 0, d.goes_up());
+            assert_eq!(m[d.index()].dy > 0, d.goes_down());
+        }
+    }
+}

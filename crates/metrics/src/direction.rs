@@ -1,0 +1,113 @@
+//! Traffic breakdown by channel direction.
+//!
+//! The DOWN/UP routing's design goal is to push traffic downward (to the
+//! leaves) and off the tree-ascent channels. This module measures exactly
+//! that: the share of measured flit traffic carried by each of the eight
+//! communication-graph directions, and the aggregate up/down/horizontal
+//! split.
+
+use irnet_sim::SimStats;
+use irnet_topology::{CommGraph, Direction};
+use serde::Serialize;
+
+/// Flit-traffic share per direction, plus aggregates. All shares are in
+/// `[0, 1]` and the per-direction shares sum to 1 (when any flit moved).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DirectionBreakdown {
+    /// `share[d]` — fraction of link-stage flit transfers on channels of
+    /// direction `d` (indexed by `Direction::index`).
+    pub share: [f64; Direction::COUNT],
+    /// Fraction on upward channels (`LU_TREE`, `LU_CROSS`, `RU_CROSS`).
+    pub up: f64,
+    /// Fraction on downward channels (`RD_TREE`, `LD_CROSS`, `RD_CROSS`).
+    pub down: f64,
+    /// Fraction on same-level cross channels (`L_CROSS`, `R_CROSS`).
+    pub horizontal: f64,
+    /// Fraction on tree channels (both directions).
+    pub tree: f64,
+}
+
+impl DirectionBreakdown {
+    /// Computes the breakdown from one run's per-channel flit counters.
+    pub fn compute(stats: &SimStats, cg: &CommGraph) -> DirectionBreakdown {
+        let mut by_dir = [0u64; Direction::COUNT];
+        for c in 0..cg.num_channels() {
+            by_dir[cg.direction(c).index()] += stats.channel_flits[c as usize];
+        }
+        let total: u64 = by_dir.iter().sum();
+        let mut share = [0.0; Direction::COUNT];
+        if total > 0 {
+            for (s, &n) in share.iter_mut().zip(&by_dir) {
+                *s = n as f64 / total as f64;
+            }
+        }
+        let pick = |d: Direction| share[d.index()];
+        DirectionBreakdown {
+            share,
+            up: pick(Direction::LuTree) + pick(Direction::LuCross) + pick(Direction::RuCross),
+            down: pick(Direction::RdTree) + pick(Direction::LdCross) + pick(Direction::RdCross),
+            horizontal: pick(Direction::LCross) + pick(Direction::RCross),
+            tree: pick(Direction::LuTree) + pick(Direction::RdTree),
+        }
+    }
+
+    /// Renders a one-line summary, e.g. for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "up {:.1}% / down {:.1}% / horizontal {:.1}% (tree {:.1}%)",
+            100.0 * self.up,
+            100.0 * self.down,
+            100.0 * self.horizontal,
+            100.0 * self.tree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algo;
+    use irnet_sim::{SimConfig, Simulator};
+    use irnet_topology::{gen, PreorderPolicy};
+
+    fn breakdown_for(algo: Algo) -> DirectionBreakdown {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(32, 4), 8).unwrap();
+        let inst = algo.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+        let cfg = SimConfig {
+            packet_len: 16,
+            injection_rate: 0.2,
+            warmup_cycles: 500,
+            measure_cycles: 3_000,
+            ..SimConfig::default()
+        };
+        let stats = Simulator::new(&inst.cg, &inst.tables, cfg, 3).run();
+        DirectionBreakdown::compute(&stats, &inst.cg)
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_partition() {
+        let b = breakdown_for(Algo::DownUp { release: true });
+        let sum: f64 = b.share.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum}");
+        assert!((b.up + b.down + b.horizontal - 1.0).abs() < 1e-9);
+        assert!(b.tree > 0.0, "tree channels must carry some traffic");
+    }
+
+    #[test]
+    fn summary_is_readable() {
+        let b = breakdown_for(Algo::DownUp { release: true });
+        let s = b.summary();
+        assert!(s.contains("up") && s.contains("down") && s.contains('%'));
+    }
+
+    #[test]
+    fn up_and_down_are_roughly_balanced_overall() {
+        // Every packet that ascends k levels must descend k levels (and
+        // vice versa), so aggregate up and down shares cannot be wildly
+        // asymmetric for uniform traffic.
+        let b = breakdown_for(Algo::DownUp { release: true });
+        assert!(b.up > 0.1 && b.down > 0.1, "up {:.3} down {:.3}", b.up, b.down);
+        let ratio = b.up / b.down;
+        assert!((0.4..=2.5).contains(&ratio), "up/down ratio {ratio:.2}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fairness metrics across nodes.
+//!
+//! The paper's "traffic load" (stddev of node utilization) measures how
+//! evenly *links* are used; these metrics measure how evenly *endpoints*
+//! are served, which is what applications observe. Jain's fairness index
+//! `(Σx)² / (n·Σx²)` is 1.0 for perfect fairness and `1/n` when a single
+//! node receives everything.
+
+use irnet_sim::SimStats;
+use serde::Serialize;
+
+/// Endpoint-fairness summary of one run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FairnessReport {
+    /// Jain's index of flits delivered per destination node.
+    pub delivery_jain: f64,
+    /// Jain's index of packets generated (injection opportunity) per node.
+    pub generation_jain: f64,
+    /// Ratio of the least- to most-served destination (0 when some node
+    /// received nothing).
+    pub min_max_ratio: f64,
+}
+
+/// Jain's fairness index of a sample; 1.0 for an empty or all-zero
+/// sample (vacuously fair).
+pub fn jain_index(xs: &[u64]) -> f64 {
+    let n = xs.len() as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().map(|&x| x as f64).sum();
+    let sq: f64 = xs.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (n * sq)
+    }
+}
+
+impl FairnessReport {
+    /// Computes endpoint fairness from one run's statistics.
+    pub fn compute(stats: &SimStats) -> FairnessReport {
+        let delivered = &stats.node_flits_delivered;
+        let min = delivered.iter().copied().min().unwrap_or(0);
+        let max = delivered.iter().copied().max().unwrap_or(0);
+        FairnessReport {
+            delivery_jain: jain_index(delivered),
+            generation_jain: jain_index(&stats.node_packets_generated),
+            min_max_ratio: if max == 0 { 0.0 } else { min as f64 / max as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algo;
+    use irnet_sim::{SimConfig, Simulator, TrafficPattern};
+    use irnet_topology::{gen, PreorderPolicy};
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0, 0, 0]), 1.0);
+        assert!((jain_index(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+        // One node takes everything: 1/n.
+        assert!((jain_index(&[100, 0, 0, 0]) - 0.25).abs() < 1e-12);
+        // Monotone in skew.
+        assert!(jain_index(&[3, 1]) > jain_index(&[9, 1]));
+    }
+
+    fn run(pattern: TrafficPattern) -> FairnessReport {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 4).unwrap();
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap();
+        let cfg = SimConfig {
+            packet_len: 16,
+            injection_rate: 0.1,
+            warmup_cycles: 400,
+            measure_cycles: 3_000,
+            traffic: pattern,
+            ..SimConfig::default()
+        };
+        let stats = Simulator::new(&inst.cg, &inst.tables, cfg, 9).run();
+        FairnessReport::compute(&stats)
+    }
+
+    #[test]
+    fn uniform_traffic_is_fair() {
+        let f = run(TrafficPattern::Uniform);
+        assert!(f.delivery_jain > 0.85, "uniform delivery Jain {:.3}", f.delivery_jain);
+        assert!(f.generation_jain > 0.85);
+    }
+
+    #[test]
+    fn hotspot_traffic_is_unfair_by_construction() {
+        let uniform = run(TrafficPattern::Uniform);
+        let hot = run(TrafficPattern::Hotspot { hot_node: 3, hot_fraction: 0.7 });
+        assert!(
+            hot.delivery_jain < uniform.delivery_jain,
+            "hotspot Jain {:.3} not below uniform {:.3}",
+            hot.delivery_jain,
+            uniform.delivery_jain
+        );
+        assert!(hot.min_max_ratio < uniform.min_max_ratio);
+    }
+}

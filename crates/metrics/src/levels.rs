@@ -1,0 +1,120 @@
+//! Per-level utilization profiles — a finer-grained view of the paper's
+//! "degree of hot spots" (Table 3), which only aggregates levels 0–1.
+//!
+//! The profile shows the whole vertical distribution of traffic across the
+//! coordinated tree: tree-based routings concentrate load near the root;
+//! the DOWN/UP design goal is a flatter profile with more weight at the
+//! leaves.
+
+use irnet_sim::SimStats;
+use irnet_topology::{CommGraph, CoordinatedTree};
+use serde::Serialize;
+
+/// Average node utilization per coordinated-tree level, plus each level's
+/// share of the total.
+#[derive(Debug, Clone, Serialize)]
+pub struct LevelProfile {
+    /// `avg_util[y]` — mean node utilization of switches at level `y`.
+    pub avg_util: Vec<f64>,
+    /// `share[y]` — fraction of total node utilization carried at level
+    /// `y` (sums to 1 when any traffic moved).
+    pub share: Vec<f64>,
+    /// Switches per level.
+    pub population: Vec<u32>,
+}
+
+impl LevelProfile {
+    /// Computes the profile from one run.
+    pub fn compute(stats: &SimStats, cg: &CommGraph, tree: &CoordinatedTree) -> LevelProfile {
+        let levels = tree.max_level() as usize + 1;
+        let utils = stats.node_utilizations(cg);
+        let mut sum = vec![0.0f64; levels];
+        let mut population = vec![0u32; levels];
+        for v in 0..cg.num_nodes() {
+            sum[tree.y(v) as usize] += utils[v as usize];
+            population[tree.y(v) as usize] += 1;
+        }
+        let total: f64 = sum.iter().sum();
+        let avg_util = sum
+            .iter()
+            .zip(&population)
+            .map(|(s, &p)| if p > 0 { s / p as f64 } else { 0.0 })
+            .collect();
+        let share = sum
+            .iter()
+            .map(|s| if total > 0.0 { s / total } else { 0.0 })
+            .collect();
+        LevelProfile { avg_util, share, population }
+    }
+
+    /// The paper's Table 3 metric recovered from the profile: the
+    /// percentage of utilization at levels 0 and 1.
+    pub fn hot_spot_degree(&self) -> f64 {
+        100.0 * self.share.iter().take(2).sum::<f64>()
+    }
+
+    /// One-line rendering, e.g. `L0 9.1% | L1 22.4% | L2 31.0% | ...`.
+    pub fn summary(&self) -> String {
+        self.share
+            .iter()
+            .enumerate()
+            .map(|(y, s)| format!("L{y} {:.1}%", 100.0 * s))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::PaperMetrics;
+    use crate::Algo;
+    use irnet_sim::{SimConfig, Simulator};
+    use irnet_topology::{gen, PreorderPolicy};
+
+    fn profile() -> (LevelProfile, PaperMetrics) {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 5).unwrap();
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap();
+        let cfg = SimConfig {
+            packet_len: 16,
+            injection_rate: 0.15,
+            warmup_cycles: 400,
+            measure_cycles: 2_000,
+            ..SimConfig::default()
+        };
+        let stats = Simulator::new(&inst.cg, &inst.tables, cfg, 8).run();
+        (
+            LevelProfile::compute(&stats, &inst.cg, &inst.tree),
+            PaperMetrics::compute(&stats, &inst.cg, &inst.tree),
+        )
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_population_is_complete() {
+        let (p, _) = profile();
+        assert!((p.share.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(p.population.iter().sum::<u32>(), 24);
+        assert_eq!(p.population[0], 1, "exactly one root");
+    }
+
+    #[test]
+    fn agrees_with_the_table3_metric() {
+        let (p, m) = profile();
+        assert!(
+            (p.hot_spot_degree() - m.hot_spot_degree).abs() < 1e-9,
+            "profile {:.4} vs paper metric {:.4}",
+            p.hot_spot_degree(),
+            m.hot_spot_degree
+        );
+    }
+
+    #[test]
+    fn summary_lists_every_level() {
+        let (p, _) = profile();
+        let s = p.summary();
+        assert_eq!(s.matches('L').count(), p.share.len());
+        assert!(s.contains("L0"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Network-layout rendering: draws a topology using its coordinated-tree
+//! coordinates (`x = X(v)` preorder index, `y = Y(v)` level), with tree
+//! links solid and cross links dashed, and optionally colors each switch by
+//! its measured node utilization.
+//!
+//! The result is the picture behind the paper's hot-spot story: under
+//! up\*/down\*-style routings the top of the tree glows; under DOWN/UP the
+//! heat spreads toward the leaves.
+
+use irnet_sim::SimStats;
+use irnet_topology::{CommGraph, CoordinatedTree, Topology};
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct NetPlotOptions {
+    /// Pixel width of the drawing area.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+    /// Draw node ids inside the circles.
+    pub labels: bool,
+}
+
+impl Default for NetPlotOptions {
+    fn default() -> Self {
+        NetPlotOptions { width: 900, height: 540, labels: true }
+    }
+}
+
+/// Renders the topology in coordinated-tree layout. If `stats` is given,
+/// switches are colored white→red by node utilization (normalized to the
+/// maximum observed), making hot spots visible at a glance.
+pub fn render_network(
+    topo: &Topology,
+    tree: &CoordinatedTree,
+    cg: &CommGraph,
+    stats: Option<&SimStats>,
+    opts: NetPlotOptions,
+) -> String {
+    let n = topo.num_nodes();
+    let (w, h) = (opts.width as f64, opts.height as f64);
+    let margin = 36.0;
+    let levels = tree.max_level().max(1) as f64;
+    let xmax = (n - 1).max(1) as f64;
+    let px = |v: u32| margin + tree.x(v) as f64 / xmax * (w - 2.0 * margin);
+    let py = |v: u32| margin + tree.y(v) as f64 / levels * (h - 2.0 * margin);
+
+    let utils = stats.map(|s| s.node_utilizations(cg));
+    let max_util = utils
+        .as_ref()
+        .map(|u| u.iter().cloned().fold(0.0f64, f64::max).max(1e-12))
+        .unwrap_or(1.0);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    // Links first (under the nodes).
+    for l in 0..topo.num_links() {
+        let (a, b) = topo.link(l);
+        let dash = if tree.is_tree_link(l) { "" } else { r#" stroke-dasharray="4 3""# };
+        let color = if tree.is_tree_link(l) { "#444" } else { "#999" };
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}"{dash}/>"#,
+            px(a),
+            py(a),
+            px(b),
+            py(b)
+        );
+    }
+    // Nodes.
+    let radius = (220.0 / n as f64).clamp(5.0, 14.0);
+    for v in 0..n {
+        let fill = match &utils {
+            Some(u) => heat_color(u[v as usize] / max_util),
+            None => "#cfe2f3".to_string(),
+        };
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="{radius:.1}" fill="{fill}" stroke="#222"/>"##,
+            px(v),
+            py(v)
+        );
+        if opts.labels && radius >= 7.0 {
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="{:.0}">{v}</text>"#,
+                px(v),
+                py(v) + radius * 0.35,
+                radius
+            );
+        }
+    }
+    // Legend.
+    if utils.is_some() {
+        let _ = writeln!(
+            svg,
+            r#"<text x="{margin}" y="20" font-size="12">node utilization: white = 0, red = {max_util:.4} (max)</text>"#
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// White→red heat ramp for `t` in `[0, 1]`.
+fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let g = (255.0 * (1.0 - 0.85 * t)) as u8;
+    let b = (255.0 * (1.0 - 0.95 * t)) as u8;
+    format!("#ff{g:02x}{b:02x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algo;
+    use irnet_sim::{SimConfig, Simulator};
+    use irnet_topology::{gen, PreorderPolicy};
+
+    #[test]
+    fn renders_without_stats() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 2).unwrap();
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap();
+        let svg = render_network(&topo, &inst.tree, &inst.cg, None, NetPlotOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<circle").count() as u32, topo.num_nodes());
+        assert_eq!(svg.matches("<line").count() as u32, topo.num_links());
+        assert!(svg.contains("stroke-dasharray"), "cross links should be dashed");
+    }
+
+    #[test]
+    fn heatmap_uses_utilization() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 2).unwrap();
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap();
+        let cfg = SimConfig {
+            packet_len: 8,
+            injection_rate: 0.2,
+            warmup_cycles: 200,
+            measure_cycles: 1_000,
+            ..SimConfig::default()
+        };
+        let stats = Simulator::new(&inst.cg, &inst.tables, cfg, 3).run();
+        let svg = render_network(
+            &topo,
+            &inst.tree,
+            &inst.cg,
+            Some(&stats),
+            NetPlotOptions::default(),
+        );
+        assert!(svg.contains("node utilization"));
+        // At least one node must be at full heat (the max is normalized).
+        assert!(svg.contains("#ff26"), "expected a saturated heat color: {svg}");
+    }
+
+    #[test]
+    fn heat_ramp_endpoints() {
+        assert_eq!(heat_color(0.0), "#ffffff");
+        let hot = heat_color(1.0);
+        assert!(hot.starts_with("#ff"));
+        assert_ne!(hot, "#ffffff");
+        assert_eq!(heat_color(1.0), heat_color(2.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Plain-text table rendering and CSV output for the reproduction harness.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table with a title row.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", c, w = width[i] + 2);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = width.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 6 significant decimals, the paper's table style.
+pub fn fmt6(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// Formats a percentage with two decimals, the paper's Table 3 style.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{x:.2} %")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["tree", "L-turn", "DOWN/UP"]);
+        t.row(vec!["M1".into(), fmt6(0.115772), fmt6(0.123295)]);
+        t.row(vec!["M3".into(), fmt6(0.095841), fmt6(0.120955)]);
+        let s = t.render();
+        assert!(s.contains("DOWN/UP"));
+        assert!(s.contains("0.123295"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt6(0.1), "0.100000");
+        assert_eq!(fmt_pct(12.846), "12.85 %");
+    }
+}

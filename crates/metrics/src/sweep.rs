@@ -1,0 +1,134 @@
+//! Offered-load sweeps and saturation search — the mechanics behind
+//! Figure 8 and the at-saturation measurements of Tables 1–4.
+
+use crate::paper::PaperMetrics;
+use crate::Instance;
+use irnet_sim::{SimConfig, Simulator};
+use serde::Serialize;
+
+/// One measured operating point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Offered load (flits/node/clock).
+    pub offered: f64,
+    /// The paper metrics at this load.
+    pub metrics: PaperMetrics,
+}
+
+/// A full latency/throughput curve for one routing instance.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepCurve {
+    /// One point per offered load, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepCurve {
+    /// The point with the highest accepted traffic — the paper's
+    /// "maximal throughput" operating point used for Tables 1–4.
+    pub fn saturation(&self) -> &SweepPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.metrics
+                    .accepted_traffic
+                    .partial_cmp(&b.metrics.accepted_traffic)
+                    .expect("accepted traffic is never NaN")
+            })
+            .expect("sweep has at least one point")
+    }
+
+    /// Maximum accepted traffic (throughput) over the sweep.
+    pub fn max_throughput(&self) -> f64 {
+        self.saturation().metrics.accepted_traffic
+    }
+}
+
+/// Runs `inst` at each offered load in `rates` and collects the curve.
+///
+/// Each point uses a distinct derived seed so the Bernoulli processes are
+/// independent but reproducible.
+pub fn sweep(inst: &Instance, base: &SimConfig, rates: &[f64], seed: u64) -> SweepCurve {
+    let points = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| run_point(inst, base, rate, seed.wrapping_add(i as u64)))
+        .collect();
+    SweepCurve { points }
+}
+
+/// Runs one operating point.
+pub fn run_point(inst: &Instance, base: &SimConfig, rate: f64, seed: u64) -> SweepPoint {
+    let cfg = SimConfig { injection_rate: rate, ..*base };
+    let stats = Simulator::new(&inst.cg, &inst.tables, cfg, seed).run();
+    SweepPoint { offered: rate, metrics: PaperMetrics::compute(&stats, &inst.cg, &inst.tree) }
+}
+
+/// The default offered-load ladder used by the reproduction harness: a
+/// geometric ramp that comfortably brackets saturation for 4- and 8-port
+/// 128-switch networks.
+pub fn default_rates(steps: usize) -> Vec<f64> {
+    // From 1% to 60% of a flit per node per clock.
+    let lo = 0.01f64;
+    let hi = 0.6f64;
+    let steps = steps.max(2);
+    (0..steps)
+        .map(|i| lo * (hi / lo).powf(i as f64 / (steps - 1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algo;
+    use irnet_topology::{gen, PreorderPolicy};
+
+    fn small_instance() -> Instance {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 4).unwrap();
+        Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap()
+    }
+
+    fn quick_base() -> SimConfig {
+        SimConfig {
+            packet_len: 8,
+            warmup_cycles: 200,
+            measure_cycles: 1_200,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_rate() {
+        let inst = small_instance();
+        let curve = sweep(&inst, &quick_base(), &[0.01, 0.05, 0.2], 1);
+        assert_eq!(curve.points.len(), 3);
+        assert!((curve.points[0].offered - 0.01).abs() < 1e-12);
+        // Saturation point is the max-throughput one.
+        let sat = curve.saturation();
+        for p in &curve.points {
+            assert!(p.metrics.accepted_traffic <= sat.metrics.accepted_traffic + 1e-12);
+        }
+    }
+
+    #[test]
+    fn throughput_saturates_as_load_grows() {
+        let inst = small_instance();
+        let curve = sweep(&inst, &quick_base(), &[0.01, 0.1, 0.4, 0.9], 2);
+        let acc: Vec<f64> =
+            curve.points.iter().map(|p| p.metrics.accepted_traffic).collect();
+        // Accepted traffic at the lowest load roughly equals offered, and
+        // the curve cannot exceed the physical ejection bound of 1.
+        assert!((acc[0] - 0.01).abs() < 0.006, "accepted {} at offered 0.01", acc[0]);
+        for &a in &acc {
+            assert!(a <= 1.0);
+        }
+        assert!(curve.max_throughput() >= acc[0]);
+    }
+
+    #[test]
+    fn default_rates_are_increasing_and_bracketing() {
+        let r = default_rates(10);
+        assert_eq!(r.len(), 10);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+        assert!(r[0] <= 0.011 && r[9] >= 0.59);
+    }
+}

@@ -1,0 +1,133 @@
+use crate::traffic::{ArrivalProcess, TrafficPattern};
+
+/// How the simulator picks among the minimal legal output candidates of a
+/// header flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// Each arbitration cycle, pick uniformly at random among the minimal
+    /// candidates whose output (virtual) channel is currently free; wait if
+    /// none is. This is the paper's setup: shortest possible paths with a
+    /// random choice when several exist, made adaptively hop by hop.
+    AdaptiveRandom,
+    /// Pick one minimal candidate port uniformly at random when the header
+    /// first arbitrates and wait for that specific port (oblivious).
+    ObliviousRandom,
+    /// Always prefer the lowest-numbered free minimal candidate
+    /// (deterministic given traffic; useful for debugging).
+    FirstFree,
+    /// Fully deterministic routing: always wait for the lowest-numbered
+    /// minimal candidate port, ignoring availability of the others. This
+    /// models deterministic (source-routed) schemes such as the DFS
+    /// up*/down* of Robles et al., where each (position, destination) pair
+    /// uses one fixed output.
+    DeterministicMinimal,
+}
+
+/// Simulator configuration. Defaults mirror the paper's setup (§5) except
+/// for run lengths, which callers size per experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Flits per packet (paper: 128).
+    pub packet_len: u32,
+    /// Offered load in flits per node per clock. Each node starts a new
+    /// packet each cycle with probability `injection_rate / packet_len`.
+    pub injection_rate: f64,
+    /// FIFO depth, in flits, of each input (virtual) channel buffer.
+    pub buffer_depth: u32,
+    /// Virtual channels per physical channel (paper baseline: 1).
+    pub virtual_channels: u32,
+    /// Cycles simulated before measurement starts.
+    pub warmup_cycles: u32,
+    /// Cycles measured.
+    pub measure_cycles: u32,
+    /// Output-selection policy.
+    pub route_choice: RouteChoice,
+    /// Traffic pattern (paper: uniform).
+    pub traffic: TrafficPattern,
+    /// Packet arrival process (paper: Bernoulli).
+    pub arrivals: ArrivalProcess,
+    /// Non-minimal escape routing ("misrouting"): when a header has been
+    /// blocked for this many consecutive cycles, it may also claim a
+    /// non-minimal but turn-legal output (both routings in the paper are
+    /// non-minimal adaptive; `None`, the default, keeps the paper's
+    /// shortest-possible-paths setup).
+    pub misroute_patience: Option<u32>,
+    /// Per-packet cap on non-minimal detours (livelock bound).
+    pub max_detours: u32,
+    /// Abort and report a deadlock if no flit moves for this many
+    /// consecutive cycles while packets are in flight. With a verified
+    /// deadlock-free routing this never triggers; it exists so tests can
+    /// demonstrate that unrestricted routing deadlocks.
+    pub deadlock_threshold: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            packet_len: 128,
+            injection_rate: 0.01,
+            buffer_depth: 2,
+            virtual_channels: 1,
+            warmup_cycles: 2_000,
+            measure_cycles: 8_000,
+            route_choice: RouteChoice::AdaptiveRandom,
+            traffic: TrafficPattern::Uniform,
+            arrivals: ArrivalProcess::Bernoulli,
+            misroute_patience: None,
+            max_detours: 4,
+            deadlock_threshold: 20_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's configuration at a given offered load, with run lengths
+    /// sized for the 128-switch experiments.
+    pub fn paper(injection_rate: f64) -> SimConfig {
+        SimConfig { injection_rate, ..SimConfig::default() }
+    }
+
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u32 {
+        self.warmup_cycles + self.measure_cycles
+    }
+
+    /// Validates the configuration, panicking with a clear message on
+    /// nonsensical values. Called by the simulator constructor.
+    pub fn validate(&self) {
+        assert!(self.packet_len >= 2, "packets need a header and a tail flit");
+        assert!(self.injection_rate >= 0.0, "negative injection rate");
+        assert!(self.buffer_depth >= 1, "buffers must hold at least one flit");
+        assert!(
+            (1..=8).contains(&self.virtual_channels),
+            "virtual channels must be in 1..=8"
+        );
+        assert!(self.measure_cycles > 0, "nothing to measure");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.packet_len, 128);
+        assert_eq!(c.virtual_channels, 1);
+        assert_eq!(c.route_choice, RouteChoice::AdaptiveRandom);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "header and a tail")]
+    fn rejects_single_flit_packets() {
+        SimConfig { packet_len: 1, ..SimConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual channels")]
+    fn rejects_zero_vcs() {
+        SimConfig { virtual_channels: 0, ..SimConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,893 @@
+use crate::config::{RouteChoice, SimConfig};
+use crate::hist::Histogram;
+use crate::stats::SimStats;
+use irnet_topology::{CommGraph, NodeId};
+use irnet_turns::{RoutingTables, INJECTION_SLOT};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Route sentinel: no output assigned yet.
+const ROUTE_NONE: u32 = u32::MAX;
+/// Route sentinel: deliver to the local processor.
+const ROUTE_EJECT: u32 = u32::MAX - 1;
+/// Owner sentinel: virtual channel is free.
+const FREE: u32 = u32::MAX;
+/// No pending oblivious port.
+const NO_PORT: u8 = u8::MAX;
+
+/// One flit in flight. `time` is the cycle the flit entered its current
+/// stage; a flit only advances when `time < now`, which enforces the
+/// one-stage-per-clock pipeline.
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    pkt: u32,
+    seq: u32,
+    time: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dst: NodeId,
+    gen_time: u32,
+    len: u32,
+    /// Non-minimal detours taken so far (bounded by `max_detours`).
+    detours: u32,
+}
+
+/// The wormhole network simulator. See the crate docs for the model.
+pub struct Simulator<'a> {
+    cg: &'a CommGraph,
+    tables: &'a RoutingTables,
+    cfg: SimConfig,
+    rng: ChaCha8Rng,
+
+    now: u32,
+    vcs: u32,
+    num_invc: usize,
+    num_inputs: usize,
+
+    packets: Vec<Packet>,
+    /// Input FIFO per (physical channel, vc).
+    bufs: Vec<VecDeque<Flit>>,
+    /// Current route per input (physical in-vcs then injection per node).
+    route: Vec<u32>,
+    /// Oblivious pending port per input.
+    pending_port: Vec<u8>,
+    /// Consecutive cycles the current header at each input has been
+    /// blocked (drives the misrouting patience threshold).
+    blocked: Vec<u32>,
+    /// Owner input of each output (physical channel, vc); `FREE` if none.
+    owner: Vec<u32>,
+    /// Output staging register per (physical channel, vc).
+    staged: Vec<Option<Flit>>,
+    /// Round-robin pointer per physical channel for link arbitration.
+    rr: Vec<u8>,
+    /// Ejection staging register and owner, per node.
+    eject_staged: Vec<Option<Flit>>,
+    eject_owner: Vec<u32>,
+    /// Source queues: pending packet ids per node, plus flits already sent
+    /// of the head packet.
+    src_queue: Vec<VecDeque<u32>>,
+    src_sent: Vec<u32>,
+    /// On/off state per source (used by the bursty arrival process).
+    src_on: Vec<bool>,
+
+    /// Flits buffered in FIFOs and staging registers.
+    buffered_flits: u64,
+    /// Packets not yet fully delivered (includes queued ones).
+    live_packets: u64,
+    last_progress: u32,
+
+    // Measurement (only touched when `now >= warmup_cycles`).
+    flits_delivered: u64,
+    packets_delivered: u64,
+    latency_sum: u64,
+    latency_max: u32,
+    latency_hist: Histogram,
+    packets_generated: u64,
+    channel_flits: Vec<u64>,
+    node_flits_delivered: Vec<u64>,
+    node_packets_generated: Vec<u64>,
+    header_block_cycles: u64,
+    buffered_flit_cycles: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over a communication graph and its routing
+    /// tables. Deterministic per `seed`.
+    pub fn new(
+        cg: &'a CommGraph,
+        tables: &'a RoutingTables,
+        cfg: SimConfig,
+        seed: u64,
+    ) -> Simulator<'a> {
+        cfg.validate();
+        assert_eq!(
+            cg.num_nodes(),
+            tables.num_nodes(),
+            "routing tables belong to a different network"
+        );
+        let n = cg.num_nodes() as usize;
+        let nch = cg.num_channels() as usize;
+        let vcs = cfg.virtual_channels;
+        let num_invc = nch * vcs as usize;
+        let num_inputs = num_invc + n;
+        Simulator {
+            cg,
+            tables,
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            now: 0,
+            vcs,
+            num_invc,
+            num_inputs,
+            packets: Vec::new(),
+            bufs: (0..num_invc)
+                .map(|_| VecDeque::with_capacity(cfg.buffer_depth as usize))
+                .collect(),
+            route: vec![ROUTE_NONE; num_inputs],
+            pending_port: vec![NO_PORT; num_inputs],
+            blocked: vec![0; num_inputs],
+            owner: vec![FREE; num_invc],
+            staged: vec![None; num_invc],
+            rr: vec![0; nch],
+            eject_staged: vec![None; n],
+            eject_owner: vec![FREE; n],
+            src_queue: vec![VecDeque::new(); n],
+            src_sent: vec![0; n],
+            src_on: vec![false; n],
+            buffered_flits: 0,
+            live_packets: 0,
+            last_progress: 0,
+            flits_delivered: 0,
+            packets_delivered: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            latency_hist: Histogram::new(),
+            packets_generated: 0,
+            channel_flits: vec![0; nch],
+            node_flits_delivered: vec![0; n],
+            node_packets_generated: vec![0; n],
+            header_block_cycles: 0,
+            buffered_flit_cycles: 0,
+        }
+    }
+
+    /// Runs warm-up plus measurement and returns the collected statistics.
+    pub fn run(mut self) -> SimStats {
+        let total = self.cfg.total_cycles();
+        let mut deadlocked = false;
+        while self.now < total {
+            self.step();
+            if self.live_packets > 0
+                && self.now - self.last_progress > self.cfg.deadlock_threshold
+            {
+                deadlocked = true;
+                break;
+            }
+        }
+        self.into_stats(deadlocked)
+    }
+
+    /// Manually enqueues one packet at `src` for `dst` (generated at the
+    /// current clock), independent of the configured injection rate. Useful
+    /// for trace-style workloads and controlled experiments. Returns the
+    /// packet id.
+    pub fn enqueue_packet(&mut self, src: NodeId, dst: NodeId) -> u32 {
+        assert_ne!(src, dst, "self-traffic does not enter the network");
+        assert!(src < self.cg.num_nodes() && dst < self.cg.num_nodes());
+        let id = self.packets.len() as u32;
+        self.packets.push(Packet { dst, gen_time: self.now, len: self.cfg.packet_len, detours: 0 });
+        self.src_queue[src as usize].push_back(id);
+        self.live_packets += 1;
+        if self.measuring() {
+            self.packets_generated += 1;
+            self.node_packets_generated[src as usize] += 1;
+        }
+        id
+    }
+
+    /// Advances the clock by one cycle (public stepping for custom loops;
+    /// [`Simulator::run`] is the turnkey driver).
+    pub fn tick(&mut self) {
+        self.step();
+    }
+
+    /// Runs until every in-flight packet is delivered or `max_cycles` more
+    /// cycles elapse; returns true if the network drained.
+    pub fn drain(&mut self, max_cycles: u32) -> bool {
+        for _ in 0..max_cycles {
+            if self.live_packets == 0 {
+                return true;
+            }
+            self.step();
+        }
+        self.live_packets == 0
+    }
+
+    /// Packets not yet fully delivered.
+    pub fn live_packet_count(&self) -> u64 {
+        self.live_packets
+    }
+
+    /// The current clock.
+    pub fn now(&self) -> u32 {
+        self.now
+    }
+
+    /// Finalizes the run and returns the statistics collected so far.
+    pub fn finish(self) -> SimStats {
+        self.into_stats(false)
+    }
+
+    fn into_stats(self, deadlocked: bool) -> SimStats {
+        SimStats {
+            cycles: self.cfg.measure_cycles.min(self.now.saturating_sub(self.cfg.warmup_cycles)).max(1),
+            num_nodes: self.cg.num_nodes(),
+            flits_delivered: self.flits_delivered,
+            packets_delivered: self.packets_delivered,
+            latency_sum: self.latency_sum,
+            latency_max: self.latency_max,
+            latency_hist: self.latency_hist,
+            packets_generated: self.packets_generated,
+            channel_flits: self.channel_flits,
+            node_flits_delivered: self.node_flits_delivered,
+            node_packets_generated: self.node_packets_generated,
+            header_block_cycles: self.header_block_cycles,
+            buffered_flit_cycles: self.buffered_flit_cycles,
+            deadlocked,
+            flits_in_flight: self.buffered_flits,
+        }
+    }
+
+    #[inline]
+    fn measuring(&self) -> bool {
+        self.now >= self.cfg.warmup_cycles
+    }
+
+    /// Advances the network by one clock.
+    fn step(&mut self) {
+        self.inject();
+        self.link_stage();
+        self.eject_stage();
+        self.crossbar_stage();
+        if self.measuring() {
+            self.buffered_flit_cycles += self.buffered_flits;
+        }
+        self.now += 1;
+    }
+
+    /// Generates new packets at each node (Bernoulli process with rate
+    /// `injection_rate / packet_len` packets per node per cycle).
+    fn inject(&mut self) {
+        let n = self.cg.num_nodes();
+        if n < 2 {
+            return;
+        }
+        let p = (self.cfg.injection_rate / self.cfg.packet_len as f64).clamp(0.0, 1.0);
+        if p == 0.0 {
+            return;
+        }
+        let arrivals = self.cfg.arrivals;
+        for v in 0..n {
+            let mut on = self.src_on[v as usize];
+            let arrived = arrivals.arrives(&mut self.rng, &mut on, p);
+            self.src_on[v as usize] = on;
+            if arrived {
+                let dst = self.cfg.traffic.pick_dest(&mut self.rng, v, n);
+                let id = self.packets.len() as u32;
+                self.packets.push(Packet { dst, gen_time: self.now, len: self.cfg.packet_len, detours: 0 });
+                self.src_queue[v as usize].push_back(id);
+                self.live_packets += 1;
+                if self.measuring() {
+                    self.packets_generated += 1;
+                    self.node_packets_generated[v as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// Moves at most one flit per physical channel from its staging
+    /// registers to the downstream input FIFO (1-clock link traversal).
+    fn link_stage(&mut self) {
+        let vcs = self.vcs as usize;
+        for c in 0..self.cg.num_channels() as usize {
+            let start = self.rr[c] as usize;
+            for k in 0..vcs {
+                let vc = (start + k) % vcs;
+                let idx = c * vcs + vc;
+                let Some(flit) = self.staged[idx] else { continue };
+                if flit.time >= self.now {
+                    continue;
+                }
+                if self.bufs[idx].len() >= self.cfg.buffer_depth as usize {
+                    continue;
+                }
+                self.staged[idx] = None;
+                self.bufs[idx].push_back(Flit { time: self.now, ..flit });
+                if self.measuring() {
+                    self.channel_flits[c] += 1;
+                }
+                self.note_progress();
+                if flit.seq + 1 == self.packets[flit.pkt as usize].len {
+                    // Tail has traversed the link: the virtual channel is
+                    // released for a new reservation.
+                    self.owner[idx] = FREE;
+                }
+                self.rr[c] = ((vc + 1) % vcs) as u8;
+                break;
+            }
+        }
+    }
+
+    /// Delivers at most one flit per node from the ejection register to the
+    /// local processor.
+    fn eject_stage(&mut self) {
+        for v in 0..self.cg.num_nodes() as usize {
+            let Some(flit) = self.eject_staged[v] else { continue };
+            if flit.time >= self.now {
+                continue;
+            }
+            self.eject_staged[v] = None;
+            self.buffered_flits -= 1;
+            self.note_progress();
+            let pkt = self.packets[flit.pkt as usize];
+            let measuring = self.measuring();
+            if measuring {
+                self.flits_delivered += 1;
+                self.node_flits_delivered[v] += 1;
+            }
+            if flit.seq + 1 == pkt.len {
+                self.eject_owner[v] = FREE;
+                self.live_packets -= 1;
+                if measuring {
+                    self.packets_delivered += 1;
+                    let lat = self.now - pkt.gen_time;
+                    self.latency_sum += lat as u64;
+                    self.latency_max = self.latency_max.max(lat);
+                    self.latency_hist.record(lat);
+                }
+            }
+        }
+    }
+
+    /// Routes headers and moves eligible flits from input FIFOs (and
+    /// injection sources) into output staging registers — the 1-clock
+    /// crossbar / routing-and-arbitration stage.
+    fn crossbar_stage(&mut self) {
+        // Rotate the scan order so no input is systematically favoured.
+        let offset = self.now as usize % self.num_inputs;
+        for k in 0..self.num_inputs {
+            let i = (k + offset) % self.num_inputs;
+            self.advance_input(i);
+        }
+    }
+
+    /// Processes one input: (a) arbitrate if its head flit is an unrouted
+    /// header, (b) move the head flit along its assigned route if the next
+    /// stage is free.
+    fn advance_input(&mut self, i: usize) {
+        let head = self.peek_head(i);
+        let Some(flit) = head else { return };
+        if flit.time >= self.now {
+            return;
+        }
+        if self.route[i] == ROUTE_NONE {
+            debug_assert_eq!(flit.seq, 0, "only headers arbitrate");
+            if !self.arbitrate(i, flit) {
+                self.blocked[i] += 1;
+                if self.measuring() {
+                    self.header_block_cycles += 1;
+                }
+                return;
+            }
+            self.blocked[i] = 0;
+        }
+        let route = self.route[i];
+        let moved = if route == ROUTE_EJECT {
+            let v = self.input_node(i) as usize;
+            if self.eject_staged[v].is_none() {
+                self.eject_staged[v] = Some(Flit { time: self.now, ..flit });
+                true
+            } else {
+                false
+            }
+        } else if self.staged[route as usize].is_none() {
+            debug_assert_eq!(self.owner[route as usize], i as u32);
+            self.staged[route as usize] = Some(Flit { time: self.now, ..flit });
+            true
+        } else {
+            false
+        };
+        if moved {
+            self.pop_head(i);
+            self.note_progress();
+            if flit.seq + 1 == self.packets[flit.pkt as usize].len {
+                self.route[i] = ROUTE_NONE;
+            }
+        }
+    }
+
+    /// The node an input belongs to.
+    #[inline]
+    fn input_node(&self, i: usize) -> NodeId {
+        if i < self.num_invc {
+            self.cg.channels().sink((i / self.vcs as usize) as u32)
+        } else {
+            (i - self.num_invc) as NodeId
+        }
+    }
+
+    /// Head flit of an input, if any.
+    fn peek_head(&self, i: usize) -> Option<Flit> {
+        if i < self.num_invc {
+            self.bufs[i].front().copied()
+        } else {
+            let v = i - self.num_invc;
+            let &pkt = self.src_queue[v].front()?;
+            let seq = self.src_sent[v];
+            // A source flit is ready one cycle after generation (header) or
+            // one cycle after its predecessor left (body); using the packet
+            // generation time for the header and `now - 1` for body flits
+            // models a processor that can feed one flit per clock.
+            let time = if seq == 0 { self.packets[pkt as usize].gen_time } else { self.now - 1 };
+            Some(Flit { pkt, seq, time })
+        }
+    }
+
+    /// Consumes the head flit of an input after it moved.
+    fn pop_head(&mut self, i: usize) {
+        if i < self.num_invc {
+            self.bufs[i].pop_front();
+            // The flit left a FIFO and entered a staging register:
+            // buffered count is unchanged.
+        } else {
+            let v = i - self.num_invc;
+            self.src_sent[v] += 1;
+            let pkt = *self.src_queue[v].front().expect("popped empty source") as usize;
+            // A source flit entered the network.
+            self.buffered_flits += 1;
+            if self.src_sent[v] == self.packets[pkt].len {
+                self.src_queue[v].pop_front();
+                self.src_sent[v] = 0;
+            }
+        }
+    }
+
+    /// Tries to assign an output to the header at input `i`. Returns true
+    /// if a route was claimed.
+    fn arbitrate(&mut self, i: usize, header: Flit) -> bool {
+        let ch = self.cg.channels();
+        let v = self.input_node(i);
+        let dst = self.packets[header.pkt as usize].dst;
+        if v == dst {
+            if self.eject_owner[v as usize] == FREE {
+                self.eject_owner[v as usize] = i as u32;
+                self.route[i] = ROUTE_EJECT;
+                return true;
+            }
+            return false;
+        }
+        let slot = if i < self.num_invc {
+            ch.in_port((i / self.vcs as usize) as u32) as usize + 1
+        } else {
+            INJECTION_SLOT
+        };
+        let mask = self.tables.candidates(dst, v, slot);
+        debug_assert_ne!(mask, 0, "no minimal candidate at node {v} slot {slot} for dst {dst}");
+
+        // Committed modes: decide on one port up front and wait for it.
+        if matches!(
+            self.cfg.route_choice,
+            RouteChoice::ObliviousRandom | RouteChoice::DeterministicMinimal
+        ) {
+            if self.pending_port[i] == NO_PORT {
+                self.pending_port[i] = match self.cfg.route_choice {
+                    RouteChoice::DeterministicMinimal => mask.trailing_zeros() as u8,
+                    _ => {
+                        let nbits = mask.count_ones();
+                        let pick = self.rng.gen_range(0..nbits);
+                        nth_set_bit(mask, pick) as u8
+                    }
+                };
+            }
+            let p = self.pending_port[i];
+            if let Some(out) = self.free_outvc(v, p) {
+                self.claim(i, out);
+                self.pending_port[i] = NO_PORT;
+                return true;
+            }
+            return false;
+        }
+
+        // Adaptive modes: consider every candidate port with a free VC.
+        let mut free_mask = 0u16;
+        let mut m = mask;
+        while m != 0 {
+            let p = m.trailing_zeros() as u8;
+            m &= m - 1;
+            if self.free_outvc(v, p).is_some() {
+                free_mask |= 1 << p;
+            }
+        }
+        let mut misrouting = false;
+        if free_mask == 0 {
+            // Non-minimal escape: after `misroute_patience` blocked cycles a
+            // packet with remaining detour budget may claim any turn-legal,
+            // non-dead-end output. Staying inside the allowed turn set keeps
+            // the escape deadlock-free; the per-packet budget bounds
+            // livelock.
+            let Some(patience) = self.cfg.misroute_patience else { return false };
+            if self.blocked[i] < patience
+                || self.packets[header.pkt as usize].detours >= self.cfg.max_detours
+            {
+                return false;
+            }
+            let escape = self.tables.candidates_any(dst, v, slot) & !mask;
+            let mut m = escape;
+            while m != 0 {
+                let p = m.trailing_zeros() as u8;
+                m &= m - 1;
+                if self.free_outvc(v, p).is_some() {
+                    free_mask |= 1 << p;
+                }
+            }
+            if free_mask == 0 {
+                return false;
+            }
+            misrouting = true;
+        }
+        let p = match self.cfg.route_choice {
+            RouteChoice::FirstFree => free_mask.trailing_zeros() as u8,
+            _ => {
+                let nbits = free_mask.count_ones();
+                let pick = self.rng.gen_range(0..nbits);
+                nth_set_bit(free_mask, pick) as u8
+            }
+        };
+        let out = self.free_outvc(v, p).expect("port had a free vc");
+        if misrouting {
+            self.packets[header.pkt as usize].detours += 1;
+        }
+        self.claim(i, out);
+        true
+    }
+
+    /// Lowest free virtual channel of output port `p` at node `v`.
+    fn free_outvc(&self, v: NodeId, p: u8) -> Option<usize> {
+        let c = self.cg.channels().output_at(v, p) as usize;
+        let vcs = self.vcs as usize;
+        (0..vcs).map(|vc| c * vcs + vc).find(|&idx| self.owner[idx] == FREE)
+    }
+
+    fn claim(&mut self, i: usize, out: usize) {
+        self.owner[out] = i as u32;
+        self.route[i] = out as u32;
+    }
+
+    #[inline]
+    fn note_progress(&mut self) {
+        self.last_progress = self.now;
+    }
+}
+
+/// Index of the `k`-th (0-based) set bit of `mask`.
+fn nth_set_bit(mask: u16, k: u32) -> u32 {
+    let mut m = mask;
+    for _ in 0..k {
+        m &= m - 1;
+    }
+    m.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnet_baselines::updown;
+    use irnet_core::DownUp;
+    use irnet_topology::gen;
+    use irnet_turns::TurnTable;
+
+    fn quick_cfg(rate: f64) -> SimConfig {
+        SimConfig {
+            packet_len: 8,
+            injection_rate: rate,
+            warmup_cycles: 300,
+            measure_cycles: 1_500,
+            deadlock_threshold: 3_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn nth_set_bit_works() {
+        assert_eq!(nth_set_bit(0b1011, 0), 0);
+        assert_eq!(nth_set_bit(0b1011, 1), 1);
+        assert_eq!(nth_set_bit(0b1011, 2), 3);
+    }
+
+    #[test]
+    fn low_load_latency_tracks_route_length() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let cfg = quick_cfg(0.005);
+        let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 1).run();
+        assert!(!stats.deadlocked);
+        assert!(stats.packets_delivered > 0);
+        // At near-zero load latency ≈ serialization (packet_len) + a couple
+        // of clocks per hop; it must exceed the packet length and stay far
+        // below the congested regime.
+        let lat = stats.avg_latency();
+        assert!(lat > cfg.packet_len as f64, "latency {lat} below serialization floor");
+        assert!(lat < 40.0 * cfg.packet_len as f64, "latency {lat} absurdly high at low load");
+    }
+
+    #[test]
+    fn delivered_flits_are_multiples_of_progress() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 2).unwrap();
+        let r = updown::construct_bfs(&topo).unwrap();
+        let stats =
+            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.02), 3).run();
+        assert!(!stats.deadlocked);
+        // Every delivered packet contributes exactly packet_len flits, but
+        // flit deliveries of in-flight packets also count; the inequality
+        // below must hold.
+        assert!(stats.flits_delivered >= stats.packets_delivered * 8);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 7).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let a = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 9).run();
+        let b = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 9).run();
+        assert_eq!(a.flits_delivered, b.flits_delivered);
+        assert_eq!(a.latency_sum, b.latency_sum);
+        assert_eq!(a.channel_flits, b.channel_flits);
+        let c = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 10).run();
+        assert_ne!(a.channel_flits, c.channel_flits);
+    }
+
+    #[test]
+    fn unrestricted_routing_on_a_ring_deadlocks_under_load() {
+        // The negative control: with every turn allowed, a ring saturated
+        // with traffic must produce a cyclic wait and trip the watchdog.
+        let topo = gen::ring(8).unwrap();
+        let tree =
+            irnet_topology::CoordinatedTree::build(&topo, irnet_topology::PreorderPolicy::M1, 0)
+                .unwrap();
+        let cg = irnet_topology::CommGraph::build(&topo, &tree);
+        let table = TurnTable::all_allowed(&cg);
+        let rt = irnet_turns::RoutingTables::build(&cg, &table).unwrap();
+        let cfg = SimConfig {
+            packet_len: 16,
+            injection_rate: 0.9,
+            buffer_depth: 1,
+            warmup_cycles: 0,
+            measure_cycles: 50_000,
+            deadlock_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let stats = Simulator::new(&cg, &rt, cfg, 4).run();
+        assert!(stats.deadlocked, "expected the watchdog to fire on an unrestricted ring");
+    }
+
+    #[test]
+    fn verified_routing_never_deadlocks_under_heavy_load() {
+        for seed in 0..3 {
+            let topo =
+                gen::random_irregular(gen::IrregularParams::paper(16, 4), seed).unwrap();
+            let r = DownUp::new().construct(&topo).unwrap();
+            let cfg = SimConfig {
+                packet_len: 8,
+                injection_rate: 1.0,
+                warmup_cycles: 0,
+                measure_cycles: 6_000,
+                deadlock_threshold: 3_000,
+                ..SimConfig::default()
+            };
+            let stats =
+                Simulator::new(r.comm_graph(), r.routing_tables(), cfg, seed).run();
+            assert!(!stats.deadlocked, "DOWN/UP deadlocked at saturation (seed {seed})");
+            assert!(stats.accepted_traffic() > 0.0);
+        }
+    }
+
+    #[test]
+    fn accepted_traffic_saturates_monotonically_at_low_rates() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 11).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let mut prev = 0.0;
+        for rate in [0.002, 0.01, 0.05] {
+            let stats =
+                Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(rate), 2).run();
+            let acc = stats.accepted_traffic();
+            assert!(acc >= prev * 0.8, "throughput collapsed: {acc} after {prev}");
+            prev = acc;
+        }
+        // At very low load, accepted ≈ offered.
+        let stats =
+            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.01), 2).run();
+        let acc = stats.accepted_traffic();
+        assert!((acc - 0.01).abs() < 0.005, "accepted {acc} far from offered 0.01");
+    }
+
+    #[test]
+    fn virtual_channels_do_not_break_anything() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 3).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let cfg = SimConfig { virtual_channels: 2, ..quick_cfg(0.05) };
+        let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 8).run();
+        assert!(!stats.deadlocked);
+        assert!(stats.packets_delivered > 0);
+    }
+
+    #[test]
+    fn oblivious_and_first_free_policies_run() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 6).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        for choice in [
+            RouteChoice::ObliviousRandom,
+            RouteChoice::FirstFree,
+            RouteChoice::DeterministicMinimal,
+        ] {
+            let cfg = SimConfig { route_choice: choice, ..quick_cfg(0.03) };
+            let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 5).run();
+            assert!(!stats.deadlocked, "{choice:?} deadlocked");
+            assert!(stats.packets_delivered > 0, "{choice:?} delivered nothing");
+        }
+    }
+
+    #[test]
+    fn deterministic_routing_narrows_channel_usage() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 9).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let det = SimConfig {
+            route_choice: RouteChoice::DeterministicMinimal,
+            ..quick_cfg(0.05)
+        };
+        let a = Simulator::new(r.comm_graph(), r.routing_tables(), det, 4).run();
+        let b = Simulator::new(r.comm_graph(), r.routing_tables(), det, 4).run();
+        assert_eq!(a.channel_flits, b.channel_flits);
+        assert!(!a.deadlocked);
+        let adaptive =
+            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 4).run();
+        let used = |s: &crate::SimStats| s.channel_flits.iter().filter(|&&f| f > 0).count();
+        assert!(
+            used(&adaptive) >= used(&a),
+            "adaptive routing should exercise at least as many channels"
+        );
+    }
+
+    #[test]
+    fn single_packet_latency_matches_the_timing_model() {
+        // On an uncontended path s -> ... -> t with h hops, the paper's
+        // timing (1 clock routing/arbitration, 1 clock crossbar, 1 clock
+        // link) gives: the header reaches the destination buffer after
+        // 2h clocks, takes 1 clock through the ejection crossbar and 1 to
+        // deliver, and the remaining L-1 flits stream at 1 flit/clock:
+        //     latency = 2h + L + 1.
+        let topo =
+            irnet_topology::Topology::new(4, 2, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let tree =
+            irnet_topology::CoordinatedTree::build(&topo, irnet_topology::PreorderPolicy::M1, 0)
+                .unwrap();
+        let cg = irnet_topology::CommGraph::build(&topo, &tree);
+        let table = TurnTable::all_allowed(&cg);
+        let rt = irnet_turns::RoutingTables::build(&cg, &table).unwrap();
+        for (len, hops, dst) in [(4u32, 3u32, 3u32), (8, 2, 2), (2, 1, 1)] {
+            let cfg = SimConfig {
+                packet_len: len,
+                injection_rate: 0.0,
+                warmup_cycles: 0,
+                measure_cycles: 1,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(&cg, &rt, cfg, 1);
+            sim.enqueue_packet(0, dst);
+            assert!(sim.drain(10_000), "single packet failed to drain");
+            let stats = sim.finish();
+            assert_eq!(stats.packets_delivered, 1);
+            assert_eq!(
+                stats.latency_max,
+                2 * hops + len + 1,
+                "len {len} hops {hops}: wrong latency"
+            );
+        }
+    }
+
+    #[test]
+    fn manual_enqueue_and_drain_api() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(10, 4), 1).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let cfg = SimConfig {
+            packet_len: 4,
+            injection_rate: 0.0,
+            warmup_cycles: 0,
+            measure_cycles: 1,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 2);
+        for s in 0..10u32 {
+            sim.enqueue_packet(s, (s + 3) % 10);
+        }
+        assert_eq!(sim.live_packet_count(), 10);
+        assert!(sim.drain(50_000));
+        assert_eq!(sim.live_packet_count(), 0);
+        let stats = sim.finish();
+        assert_eq!(stats.packets_delivered, 10);
+        assert_eq!(stats.flits_delivered, 40);
+        assert!(!stats.deadlocked);
+    }
+
+    #[test]
+    fn misrouting_keeps_deadlock_freedom_and_delivers() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 8).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let cfg = SimConfig {
+            misroute_patience: Some(4),
+            max_detours: 6,
+            ..quick_cfg(0.8)
+        };
+        let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 3).run();
+        assert!(!stats.deadlocked, "misrouting must stay inside the safe turn set");
+        assert!(stats.packets_delivered > 0);
+        // At low load misrouting never triggers: results identical to the
+        // plain configuration.
+        let low = SimConfig { misroute_patience: Some(50), ..quick_cfg(0.01) };
+        let a = Simulator::new(r.comm_graph(), r.routing_tables(), low, 5).run();
+        let b = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.01), 5).run();
+        assert_eq!(a.channel_flits, b.channel_flits);
+    }
+
+    #[test]
+    fn contention_counters_track_load() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 3).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let low =
+            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.01), 2).run();
+        let high =
+            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.9), 2).run();
+        assert!(low.header_block_rate() < high.header_block_rate());
+        assert!(low.avg_network_occupancy() < high.avg_network_occupancy());
+        // Little's law sanity at low load: occupancy ≈ throughput × mean
+        // time in network. Just check the occupancy is in a sane range.
+        assert!(low.avg_network_occupancy() > 0.0);
+        assert!(high.avg_network_occupancy() < 10_000.0);
+    }
+
+    #[test]
+    fn flit_conservation_when_drained() {
+        // With injection only in the first half and enough time to drain,
+        // everything generated must be delivered.
+        let topo = gen::random_irregular(gen::IrregularParams::paper(10, 4), 4).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let cfg = SimConfig {
+            packet_len: 4,
+            injection_rate: 0.02,
+            warmup_cycles: 0,
+            measure_cycles: 4_000,
+            ..SimConfig::default()
+        };
+        // Run a bespoke loop: inject for 1000 cycles, then drain.
+        let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 12);
+        for _ in 0..1_000 {
+            sim.step();
+        }
+        // Stop generating and drain.
+        sim.cfg.injection_rate = 0.0;
+        for _ in 0..20_000 {
+            sim.step();
+            if sim.live_packets == 0 {
+                break;
+            }
+        }
+        assert_eq!(sim.live_packets, 0, "network failed to drain");
+        assert_eq!(sim.buffered_flits, 0);
+        let generated = sim.packets.len() as u64;
+        assert_eq!(sim.flits_delivered, generated * 4);
+        assert_eq!(sim.packets_delivered, generated);
+    }
+}

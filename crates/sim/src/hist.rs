@@ -1,0 +1,159 @@
+//! A compact latency histogram with percentile queries.
+//!
+//! Buckets grow geometrically (~9% per bucket), so percentile estimates
+//! stay within a few percent of the exact value across the whole
+//! clock-latency range while the histogram itself stays a few hundred
+//! counters regardless of run length.
+
+/// Geometric-bucket histogram of `u32` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+/// Growth factor between bucket upper bounds.
+const GROWTH: f64 = 1.09;
+/// Exact buckets below this value (one per integer).
+const LINEAR_LIMIT: u32 = 64;
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { counts: Vec::new(), total: 0 }
+    }
+
+    fn bucket_of(value: u32) -> usize {
+        if value < LINEAR_LIMIT {
+            value as usize
+        } else {
+            let extra = (value as f64 / LINEAR_LIMIT as f64).ln() / GROWTH.ln();
+            LINEAR_LIMIT as usize + extra as usize
+        }
+    }
+
+    /// Lower bound of a bucket (used to report percentile estimates).
+    fn bucket_floor(b: usize) -> u32 {
+        if b < LINEAR_LIMIT as usize {
+            b as u32
+        } else {
+            (LINEAR_LIMIT as f64 * GROWTH.powi((b - LINEAR_LIMIT as usize) as i32)) as u32
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u32) {
+        let b = Self::bucket_of(value);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`; `None` when empty.
+    /// Returns the lower bound of the bucket containing the quantile, so
+    /// the estimate never exceeds the true value by more than one bucket.
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_floor(b));
+            }
+        }
+        Some(Self::bucket_floor(self.counts.len().saturating_sub(1)))
+    }
+
+    /// Median estimate.
+    pub fn median(&self) -> Option<u32> {
+        self.quantile(0.5)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.median(), None);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1u32, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.median(), Some(3));
+        assert_eq!(h.quantile(1.0), Some(5));
+    }
+
+    #[test]
+    fn large_values_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 0..10_000u32 {
+            h.record(v);
+        }
+        let p95 = h.quantile(0.95).unwrap() as f64;
+        assert!((p95 / 9_500.0 - 1.0).abs() < 0.10, "p95 estimate {p95}");
+        let p50 = h.median().unwrap() as f64;
+        assert!((p50 / 5_000.0 - 1.0).abs() < 0.10, "p50 estimate {p50}");
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut prev = 0;
+        for v in (0..200_000u32).step_by(997) {
+            let b = Histogram::bucket_of(v);
+            assert!(b >= prev);
+            prev = b;
+            assert!(Histogram::bucket_floor(b) <= v.max(1));
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 500);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.quantile(0.9).unwrap() >= 500);
+        assert!(a.quantile(0.1).unwrap() < 100);
+    }
+}

@@ -1,0 +1,171 @@
+use crate::hist::Histogram;
+use irnet_topology::{ChannelId, CommGraph, NodeId};
+
+/// Raw measurement counters plus derived metrics for one simulation run.
+///
+/// All counters cover only the measurement window (after warm-up).
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    /// Measured cycles.
+    pub cycles: u32,
+    /// Number of switches.
+    pub num_nodes: u32,
+    /// Flits delivered to their destination processors.
+    pub flits_delivered: u64,
+    /// Packets fully delivered (tail flit received).
+    pub packets_delivered: u64,
+    /// Sum of packet latencies (injection-queue entry to tail delivery),
+    /// over `packets_delivered`.
+    pub latency_sum: u64,
+    /// Maximum single-packet latency observed.
+    pub latency_max: u32,
+    /// Full latency distribution (geometric buckets; supports percentile
+    /// queries via [`Histogram::quantile`]).
+    pub latency_hist: Histogram,
+    /// Packets generated during measurement (offered, not necessarily
+    /// delivered).
+    pub packets_generated: u64,
+    /// Flits that crossed each inter-switch physical channel's link stage,
+    /// indexed by channel id.
+    pub channel_flits: Vec<u64>,
+    /// Flits delivered at each node (traffic *received* per destination).
+    pub node_flits_delivered: Vec<u64>,
+    /// Packets generated at each node during measurement.
+    pub node_packets_generated: Vec<u64>,
+    /// Cycles during which some header flit was blocked waiting for a free
+    /// output (virtual) channel — a direct contention measure.
+    pub header_block_cycles: u64,
+    /// Sum over measured cycles of flits buffered in the network; divide by
+    /// `cycles` for the average network occupancy.
+    pub buffered_flit_cycles: u64,
+    /// Whether the run was aborted by the deadlock watchdog.
+    pub deadlocked: bool,
+    /// Flits still buffered in the network when the run ended.
+    pub flits_in_flight: u64,
+}
+
+impl SimStats {
+    /// Accepted traffic in flits per clock per node — the paper's
+    /// throughput metric.
+    pub fn accepted_traffic(&self) -> f64 {
+        self.flits_delivered as f64 / (self.cycles as f64 * self.num_nodes as f64)
+    }
+
+    /// Average message latency in clocks — the paper's latency metric.
+    /// `NaN` when no packet was delivered.
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            f64::NAN
+        } else {
+            self.latency_sum as f64 / self.packets_delivered as f64
+        }
+    }
+
+    /// Offered load actually generated, in flits per clock per node.
+    pub fn offered_traffic(&self, packet_len: u32) -> f64 {
+        self.packets_generated as f64 * packet_len as f64
+            / (self.cycles as f64 * self.num_nodes as f64)
+    }
+
+    /// Utilization of one output channel: average flits per clock crossing
+    /// it (paper §5, Table 1 definition).
+    pub fn channel_utilization(&self, c: ChannelId) -> f64 {
+        self.channel_flits[c as usize] as f64 / self.cycles as f64
+    }
+
+    /// The paper's *node utilization*: the sum of the utilizations of all
+    /// of a node's output channels divided by the number of ports
+    /// connected to other switches.
+    pub fn node_utilization(&self, cg: &CommGraph, v: NodeId) -> f64 {
+        let outs = cg.channels().outputs(v);
+        if outs.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = outs.iter().map(|&c| self.channel_utilization(c)).sum();
+        sum / outs.len() as f64
+    }
+
+    /// Node utilization of every node.
+    pub fn node_utilizations(&self, cg: &CommGraph) -> Vec<f64> {
+        (0..self.num_nodes).map(|v| self.node_utilization(cg, v)).collect()
+    }
+
+    /// Latency percentile estimate in clocks (`None` if no packet was
+    /// delivered).
+    pub fn latency_quantile(&self, q: f64) -> Option<u32> {
+        self.latency_hist.quantile(q)
+    }
+
+    /// Average number of flits buffered in the network per measured cycle
+    /// (Little's-law style occupancy).
+    pub fn avg_network_occupancy(&self) -> f64 {
+        self.buffered_flit_cycles as f64 / self.cycles as f64
+    }
+
+    /// Header-blocking rate: blocked header-cycles per measured cycle.
+    pub fn header_block_rate(&self) -> f64 {
+        self.header_block_cycles as f64 / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        SimStats {
+            cycles: 1000,
+            num_nodes: 4,
+            flits_delivered: 2000,
+            packets_delivered: 100,
+            latency_sum: 25_000,
+            latency_max: 900,
+            latency_hist: {
+                let mut h = Histogram::new();
+                for i in 0..100 {
+                    h.record(200 + 2 * i);
+                }
+                h
+            },
+            packets_generated: 120,
+            channel_flits: vec![500, 250, 0, 1000],
+            node_flits_delivered: vec![500, 500, 500, 500],
+            node_packets_generated: vec![30, 30, 30, 30],
+            header_block_cycles: 150,
+            buffered_flit_cycles: 12_000,
+            deadlocked: false,
+            flits_in_flight: 0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = stats();
+        assert!((s.accepted_traffic() - 0.5).abs() < 1e-12);
+        assert!((s.avg_latency() - 250.0).abs() < 1e-12);
+        assert!((s.channel_utilization(0) - 0.5).abs() < 1e-12);
+        assert!((s.offered_traffic(20) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_is_nan_without_deliveries() {
+        let mut s = stats();
+        s.packets_delivered = 0;
+        assert!(s.avg_latency().is_nan());
+    }
+
+    #[test]
+    fn occupancy_and_blocking_rates() {
+        let s = stats();
+        assert!((s.avg_network_occupancy() - 12.0).abs() < 1e-12);
+        assert!((s.header_block_rate() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_quantiles_come_from_the_histogram() {
+        let s = stats();
+        let p50 = s.latency_quantile(0.5).unwrap();
+        assert!((190..=310).contains(&p50), "median {p50}");
+        assert!(s.latency_quantile(0.99).unwrap() >= p50);
+    }
+}

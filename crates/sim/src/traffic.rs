@@ -1,0 +1,275 @@
+use irnet_topology::NodeId;
+use rand::Rng;
+
+/// The packet arrival process at each node.
+///
+/// The paper uses a Bernoulli process (a packet starts each cycle with a
+/// fixed probability). The on/off (bursty) process is provided for
+/// sensitivity studies: sources alternate between an *on* state, where
+/// they inject at `burst_rate × base rate`, and an *off* state where they
+/// are silent, with geometric sojourn times chosen so the long-run offered
+/// load equals the configured injection rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Independent Bernoulli trials each cycle (the paper's model).
+    Bernoulli,
+    /// Markov-modulated on/off source. `mean_burst` is the average number
+    /// of cycles an on-period lasts; `burstiness` (> 1) is the ratio of
+    /// the on-state injection rate to the long-run rate.
+    OnOff {
+        /// Average on-period length in cycles.
+        mean_burst: u32,
+        /// Ratio of on-state rate to the long-run rate (> 1).
+        burstiness: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Per-cycle state update + arrival decision for one node.
+    /// `state` is the node's on/off flag (unused by Bernoulli);
+    /// `p` is the long-run per-cycle packet probability.
+    pub fn arrives(self, rng: &mut impl Rng, state: &mut bool, p: f64) -> bool {
+        match self {
+            ArrivalProcess::Bernoulli => p > 0.0 && rng.gen_bool(p.min(1.0)),
+            ArrivalProcess::OnOff { mean_burst, burstiness } => {
+                let b = burstiness.max(1.0 + 1e-9);
+                // Duty cycle keeps the long-run rate at `p`:
+                // on-fraction = 1/b, on-rate = p*b.
+                let on_fraction = 1.0 / b;
+                let leave_on = 1.0 / mean_burst.max(1) as f64;
+                // Off sojourn chosen so stationary on-probability = 1/b.
+                let leave_off = leave_on * on_fraction / (1.0 - on_fraction);
+                if *state {
+                    if rng.gen_bool(leave_on.min(1.0)) {
+                        *state = false;
+                    }
+                } else if rng.gen_bool(leave_off.min(1.0)) {
+                    *state = true;
+                }
+                *state && p > 0.0 && rng.gen_bool((p * b).min(1.0))
+            }
+        }
+    }
+}
+
+/// Destination-selection patterns. The paper evaluates uniform traffic;
+/// the other patterns are provided for the sensitivity studies in
+/// `irnet-bench` and for users of the library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Uniformly random destination, excluding the source (paper §5).
+    Uniform,
+    /// A fraction `hot_fraction` of packets target the single node
+    /// `hot_node`; the rest are uniform.
+    Hotspot {
+        /// The hot destination.
+        hot_node: NodeId,
+        /// Fraction of packets sent to it.
+        hot_fraction: f64,
+    },
+    /// Destination = bit-complement of the source id (within `0..n`).
+    BitComplement,
+    /// Destination = `(source + n/2) mod n` ("transpose-like" fixed
+    /// permutation for arbitrary node counts).
+    Opposite,
+    /// Destination chosen uniformly among nodes within id-distance
+    /// `radius` of the source (wrapping), modelling locality.
+    Local {
+        /// Maximum id-distance of the destination.
+        radius: u32,
+    },
+}
+
+impl TrafficPattern {
+    /// Samples a destination for a packet injected at `src` in a network of
+    /// `n` nodes. Never returns `src` (self-traffic does not enter the
+    /// network).
+    pub fn pick_dest(self, rng: &mut impl Rng, src: NodeId, n: u32) -> NodeId {
+        debug_assert!(n >= 2);
+        match self {
+            TrafficPattern::Uniform => {
+                let d = rng.gen_range(0..n - 1);
+                if d >= src {
+                    d + 1
+                } else {
+                    d
+                }
+            }
+            TrafficPattern::Hotspot { hot_node, hot_fraction } => {
+                if hot_node != src && rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
+                    hot_node
+                } else {
+                    TrafficPattern::Uniform.pick_dest(rng, src, n)
+                }
+            }
+            TrafficPattern::BitComplement => {
+                let bits = 32 - (n - 1).leading_zeros();
+                let d = (!src) & ((1u32 << bits) - 1);
+                if d >= n || d == src {
+                    TrafficPattern::Uniform.pick_dest(rng, src, n)
+                } else {
+                    d
+                }
+            }
+            TrafficPattern::Opposite => {
+                let d = (src + n / 2) % n;
+                if d == src {
+                    TrafficPattern::Uniform.pick_dest(rng, src, n)
+                } else {
+                    d
+                }
+            }
+            TrafficPattern::Local { radius } => {
+                let r = radius.max(1).min(n - 1);
+                let offset = rng.gen_range(1..=2 * r);
+                let d = (src + n + offset - r - if offset > r { 1 } else { 0 }) % n;
+                if d == src {
+                    (d + 1) % n
+                } else {
+                    d
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn uniform_never_picks_source_and_covers_all() {
+        let mut rng = rng();
+        let n = 8;
+        let mut seen = vec![false; n as usize];
+        for _ in 0..1000 {
+            let d = TrafficPattern::Uniform.pick_dest(&mut rng, 3, n);
+            assert_ne!(d, 3);
+            assert!(d < n);
+            seen[d as usize] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert_eq!(covered, 7);
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut rng = rng();
+        let n = 4;
+        let mut counts = [0u32; 4];
+        for _ in 0..30_000 {
+            counts[TrafficPattern::Uniform.pick_dest(&mut rng, 0, n) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            assert!((8_000..12_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mut rng = rng();
+        let pat = TrafficPattern::Hotspot { hot_node: 5, hot_fraction: 0.5 };
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if pat.pick_dest(&mut rng, 1, 16) == 5 {
+                hot += 1;
+            }
+        }
+        // 50% direct + uniform share.
+        assert!(hot > 4_500, "only {hot} hot picks");
+    }
+
+    #[test]
+    fn patterns_never_return_source() {
+        let mut rng = rng();
+        let pats = [
+            TrafficPattern::Uniform,
+            TrafficPattern::Hotspot { hot_node: 0, hot_fraction: 0.9 },
+            TrafficPattern::BitComplement,
+            TrafficPattern::Opposite,
+            TrafficPattern::Local { radius: 2 },
+        ];
+        for pat in pats {
+            for n in [2u32, 3, 7, 16] {
+                for src in 0..n {
+                    for _ in 0..50 {
+                        let d = pat.pick_dest(&mut rng, src, n);
+                        assert_ne!(d, src, "{pat:?} n={n} src={src}");
+                        assert!(d < n);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_long_run_rate_matches_p() {
+        let mut rng = rng();
+        let mut state = false;
+        let mut hits = 0u32;
+        for _ in 0..100_000 {
+            if ArrivalProcess::Bernoulli.arrives(&mut rng, &mut state, 0.02) {
+                hits += 1;
+            }
+        }
+        assert!((1_700..=2_300).contains(&hits), "Bernoulli rate off: {hits}");
+    }
+
+    #[test]
+    fn on_off_long_run_rate_matches_p() {
+        let mut rng = rng();
+        let proc = ArrivalProcess::OnOff { mean_burst: 50, burstiness: 4.0 };
+        let mut state = false;
+        let mut hits = 0u32;
+        const N: u32 = 400_000;
+        for _ in 0..N {
+            if proc.arrives(&mut rng, &mut state, 0.02) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / N as f64;
+        assert!((rate / 0.02 - 1.0).abs() < 0.15, "on/off long-run rate {rate:.4}");
+    }
+
+    #[test]
+    fn on_off_is_burstier_than_bernoulli() {
+        // Compare the variance of per-window arrival counts.
+        let window = 64;
+        let windows = 4_000;
+        let count_var = |proc: ArrivalProcess| {
+            let mut rng = rng();
+            let mut state = false;
+            let mut counts = Vec::with_capacity(windows);
+            for _ in 0..windows {
+                let mut c = 0u32;
+                for _ in 0..window {
+                    if proc.arrives(&mut rng, &mut state, 0.05) {
+                        c += 1;
+                    }
+                }
+                counts.push(c as f64);
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64
+        };
+        let bern = count_var(ArrivalProcess::Bernoulli);
+        let burst = count_var(ArrivalProcess::OnOff { mean_burst: 100, burstiness: 5.0 });
+        assert!(burst > 1.5 * bern, "on/off variance {burst:.2} vs Bernoulli {bern:.2}");
+    }
+
+    #[test]
+    fn opposite_is_a_fixed_permutation_for_even_n() {
+        let mut rng = rng();
+        for src in 0..8u32 {
+            let d = TrafficPattern::Opposite.pick_dest(&mut rng, src, 8);
+            assert_eq!(d, (src + 4) % 8);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Structural analysis of topologies and coordinated trees: the quantities
+//! a network architect inspects before committing to a routing (degree and
+//! level distributions, cross-link share, articulation points, path-length
+//! statistics).
+
+use crate::coord_tree::CoordinatedTree;
+use crate::graph::{NodeId, Topology};
+
+/// Degree statistics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: u32,
+    /// Maximum degree.
+    pub max: u32,
+    /// Mean degree.
+    pub mean: f64,
+    /// `histogram[d]` — number of switches with degree `d`.
+    pub histogram: Vec<u32>,
+}
+
+/// Computes degree statistics.
+pub fn degree_stats(topo: &Topology) -> DegreeStats {
+    let degrees: Vec<u32> = (0..topo.num_nodes()).map(|v| topo.degree(v)).collect();
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let min = degrees.iter().copied().min().unwrap_or(0);
+    let mut histogram = vec![0u32; max as usize + 1];
+    for &d in &degrees {
+        histogram[d as usize] += 1;
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: degrees.iter().map(|&d| d as f64).sum::<f64>() / degrees.len() as f64,
+        histogram,
+    }
+}
+
+/// Per-level structure of a coordinated tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelProfile {
+    /// `population[y]` — switches at BFS level `y`.
+    pub population: Vec<u32>,
+    /// `leaves[y]` — leaves at level `y`.
+    pub leaves: Vec<u32>,
+    /// Fraction of links that are cross links.
+    pub cross_link_fraction: f64,
+    /// Cross links connecting two nodes of the same level.
+    pub same_level_cross_links: u32,
+}
+
+/// Computes the level profile of a coordinated tree.
+pub fn level_profile(topo: &Topology, tree: &CoordinatedTree) -> LevelProfile {
+    let levels = tree.max_level() as usize + 1;
+    let mut population = vec![0u32; levels];
+    let mut leaves = vec![0u32; levels];
+    for v in 0..topo.num_nodes() {
+        population[tree.y(v) as usize] += 1;
+        if tree.is_leaf(v) {
+            leaves[tree.y(v) as usize] += 1;
+        }
+    }
+    let mut cross = 0u32;
+    let mut same_level = 0u32;
+    for l in 0..topo.num_links() {
+        if !tree.is_tree_link(l) {
+            cross += 1;
+            let (a, b) = topo.link(l);
+            if tree.y(a) == tree.y(b) {
+                same_level += 1;
+            }
+        }
+    }
+    LevelProfile {
+        population,
+        leaves,
+        cross_link_fraction: cross as f64 / topo.num_links() as f64,
+        same_level_cross_links: same_level,
+    }
+}
+
+/// Articulation points (cut vertices): switches whose failure disconnects
+/// the network. An irregular fabric with none is 2-connected — every pair
+/// of switches survives any single-switch failure.
+pub fn articulation_points(topo: &Topology) -> Vec<NodeId> {
+    // Iterative Tarjan low-link. disc[v] = 0 means unvisited.
+    let n = topo.num_nodes() as usize;
+    let mut disc = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut is_art = vec![false; n];
+    let mut timer = 1u32;
+
+    // Explicit DFS stack: (node, index into neighbor list).
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, 0));
+        let mut root_children = 0u32;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let neighbors = topo.neighbors(v);
+            if *i < neighbors.len() {
+                let (w, _) = neighbors[*i];
+                *i += 1;
+                if disc[w as usize] == 0 {
+                    parent[w as usize] = v;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, 0));
+                } else if w != parent[v as usize] {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if p != root && low[v as usize] >= disc[p as usize] {
+                        is_art[p as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_art[root as usize] = true;
+        }
+    }
+    (0..topo.num_nodes()).filter(|&v| is_art[v as usize]).collect()
+}
+
+/// All-pairs hop-distance statistics of the raw topology (no routing
+/// restrictions): the lower bound any routing algorithm is compared
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceStats {
+    /// Mean hop distance over ordered pairs.
+    pub mean: f64,
+    /// Maximum hop distance.
+    pub diameter: u32,
+}
+
+/// BFS all-pairs distance statistics.
+pub fn distance_stats(topo: &Topology) -> DistanceStats {
+    let n = topo.num_nodes();
+    let mut sum = 0u64;
+    let mut diameter = 0u32;
+    let mut dist = vec![u32::MAX; n as usize];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        dist[s as usize] = 0;
+        queue.clear();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &(w, _) in topo.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        for t in 0..n {
+            if t != s {
+                sum += dist[t as usize] as u64;
+                diameter = diameter.max(dist[t as usize]);
+            }
+        }
+    }
+    DistanceStats {
+        mean: if n > 1 { sum as f64 / (n as u64 * (n as u64 - 1)) as f64 } else { 0.0 },
+        diameter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord_tree::PreorderPolicy;
+    use crate::gen;
+
+    #[test]
+    fn degree_stats_of_a_star() {
+        let s = gen::star(5).unwrap();
+        let d = degree_stats(&s);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 4);
+        assert!((d.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(d.histogram[1], 4);
+        assert_eq!(d.histogram[4], 1);
+    }
+
+    #[test]
+    fn level_profile_of_a_binary_tree() {
+        let t = gen::kary_tree(7, 2).unwrap();
+        let tree = CoordinatedTree::build(&t, PreorderPolicy::M1, 0).unwrap();
+        let p = level_profile(&t, &tree);
+        assert_eq!(p.population, vec![1, 2, 4]);
+        assert_eq!(p.leaves, vec![0, 0, 4]);
+        assert_eq!(p.cross_link_fraction, 0.0);
+        assert_eq!(p.same_level_cross_links, 0);
+    }
+
+    #[test]
+    fn level_profile_counts_cross_links() {
+        // Triangle: 3 links, 2 in the BFS tree, 1 same-level cross link.
+        let t = gen::complete(3).unwrap();
+        let tree = CoordinatedTree::build(&t, PreorderPolicy::M1, 0).unwrap();
+        let p = level_profile(&t, &tree);
+        assert!((p.cross_link_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.same_level_cross_links, 1);
+    }
+
+    #[test]
+    fn articulation_points_of_a_path_and_ring() {
+        let path = crate::Topology::new(4, 2, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(articulation_points(&path), vec![1, 2]);
+        let ring = gen::ring(6).unwrap();
+        assert!(articulation_points(&ring).is_empty());
+    }
+
+    #[test]
+    fn articulation_point_of_two_triangles() {
+        // Two triangles sharing node 2: node 2 is the unique cut vertex.
+        let t = crate::Topology::new(
+            5,
+            4,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+        )
+        .unwrap();
+        assert_eq!(articulation_points(&t), vec![2]);
+    }
+
+    #[test]
+    fn saturated_random_fabrics_are_usually_2_connected() {
+        let mut with_cuts = 0;
+        for seed in 0..6 {
+            let t = gen::random_irregular(gen::IrregularParams::paper(32, 4), seed).unwrap();
+            if !articulation_points(&t).is_empty() {
+                with_cuts += 1;
+            }
+        }
+        // Port-saturated random graphs are rarely 1-connected; allow some
+        // but not all.
+        assert!(with_cuts < 6);
+    }
+
+    #[test]
+    fn distance_stats_match_diameter() {
+        let t = gen::mesh(3, 3).unwrap();
+        let d = distance_stats(&t);
+        assert_eq!(d.diameter, t.diameter());
+        assert_eq!(d.diameter, 4);
+        assert!(d.mean > 1.0 && d.mean < 4.0);
+    }
+}

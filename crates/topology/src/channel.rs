@@ -1,0 +1,182 @@
+use crate::graph::{LinkId, NodeId, Topology};
+
+/// Identifier of a *communication channel*: one of the two directed halves of
+/// a bidirectional link (paper Definition 1). Channel `2*l` goes from the
+/// smaller endpoint of link `l` to the larger one; channel `2*l + 1` is its
+/// reverse.
+pub type ChannelId = u32;
+
+/// Dense lookup tables mapping channels to their endpoints and back, plus
+/// per-node input/output channel lists (the switch "ports").
+///
+/// Ports are numbered per node: output port `p` of node `v` is the `p`-th
+/// outgoing channel of `v` in increasing neighbor order, and symmetrically
+/// for input ports. This gives every routing/simulation structure a compact
+/// `(node, port)` addressing scheme.
+#[derive(Debug, Clone)]
+pub struct ChannelTable {
+    /// `start[c]` / `sink[c]` — the endpoints of channel `c`.
+    start: Vec<NodeId>,
+    sink: Vec<NodeId>,
+    /// CSR offsets into `out_channels` / `in_channels`, length `n + 1`.
+    offsets: Vec<u32>,
+    /// Outgoing channels of each node, in increasing neighbor order.
+    out_channels: Vec<ChannelId>,
+    /// Incoming channels of each node, in increasing neighbor order.
+    in_channels: Vec<ChannelId>,
+    /// `out_port[c]` — index of `c` within its start node's output list.
+    out_port: Vec<u8>,
+    /// `in_port[c]` — index of `c` within its sink node's input list.
+    in_port: Vec<u8>,
+}
+
+impl ChannelTable {
+    /// Builds the channel table for a topology.
+    pub fn build(topo: &Topology) -> Self {
+        let n = topo.num_nodes() as usize;
+        let nch = 2 * topo.num_links() as usize;
+        let mut start = vec![0u32; nch];
+        let mut sink = vec![0u32; nch];
+        for l in 0..topo.num_links() {
+            let (a, b) = topo.link(l);
+            start[(2 * l) as usize] = a;
+            sink[(2 * l) as usize] = b;
+            start[(2 * l + 1) as usize] = b;
+            sink[(2 * l + 1) as usize] = a;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + topo.degree(v as u32);
+        }
+        let mut out_channels = vec![0u32; nch];
+        let mut in_channels = vec![0u32; nch];
+        let mut out_port = vec![0u8; nch];
+        let mut in_port = vec![0u8; nch];
+        for v in 0..topo.num_nodes() {
+            let base = offsets[v as usize] as usize;
+            for (p, &(w, l)) in topo.neighbors(v).iter().enumerate() {
+                let (a, _) = topo.link(l);
+                let (to_w, from_w) = if a == v { (2 * l, 2 * l + 1) } else { (2 * l + 1, 2 * l) };
+                debug_assert_eq!(start[to_w as usize], v);
+                debug_assert_eq!(sink[to_w as usize], w);
+                out_channels[base + p] = to_w;
+                in_channels[base + p] = from_w;
+                out_port[to_w as usize] = p as u8;
+                in_port[from_w as usize] = p as u8;
+            }
+        }
+        ChannelTable { start, sink, offsets, out_channels, in_channels, out_port, in_port }
+    }
+
+    /// Total number of channels (`2 |E|`).
+    #[inline]
+    pub fn num_channels(&self) -> u32 {
+        self.start.len() as u32
+    }
+
+    /// Start node of channel `c` (the sender).
+    #[inline]
+    pub fn start(&self, c: ChannelId) -> NodeId {
+        self.start[c as usize]
+    }
+
+    /// Sink node of channel `c` (the receiver).
+    #[inline]
+    pub fn sink(&self, c: ChannelId) -> NodeId {
+        self.sink[c as usize]
+    }
+
+    /// The opposite channel of the same link.
+    #[inline]
+    pub fn reverse(&self, c: ChannelId) -> ChannelId {
+        c ^ 1
+    }
+
+    /// The link a channel belongs to.
+    #[inline]
+    pub fn link_of(&self, c: ChannelId) -> LinkId {
+        c / 2
+    }
+
+    /// Output channels of node `v` (its channels toward neighbors), in
+    /// increasing neighbor order.
+    #[inline]
+    pub fn outputs(&self, v: NodeId) -> &[ChannelId] {
+        &self.out_channels[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Input channels of node `v`, in increasing neighbor order.
+    #[inline]
+    pub fn inputs(&self, v: NodeId) -> &[ChannelId] {
+        &self.in_channels[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Port index of output channel `c` at its start node.
+    #[inline]
+    pub fn out_port(&self, c: ChannelId) -> u8 {
+        self.out_port[c as usize]
+    }
+
+    /// Port index of input channel `c` at its sink node.
+    #[inline]
+    pub fn in_port(&self, c: ChannelId) -> u8 {
+        self.in_port[c as usize]
+    }
+
+    /// Output channel at `(node, port)`.
+    #[inline]
+    pub fn output_at(&self, v: NodeId, port: u8) -> ChannelId {
+        self.outputs(v)[port as usize]
+    }
+
+    /// Input channel at `(node, port)`.
+    #[inline]
+    pub fn input_at(&self, v: NodeId, port: u8) -> ChannelId {
+        self.inputs(v)[port as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_endpoints_and_reverse() {
+        let topo = Topology::new(3, 4, [(0, 1), (1, 2)]).unwrap();
+        let ct = ChannelTable::build(&topo);
+        assert_eq!(ct.num_channels(), 4);
+        for c in 0..ct.num_channels() {
+            assert_eq!(ct.start(c), ct.sink(ct.reverse(c)));
+            assert_eq!(ct.sink(c), ct.start(ct.reverse(c)));
+            assert_eq!(ct.link_of(c), ct.link_of(ct.reverse(c)));
+        }
+    }
+
+    #[test]
+    fn ports_are_consistent() {
+        let topo = Topology::new(4, 4, [(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        let ct = ChannelTable::build(&topo);
+        for v in 0..topo.num_nodes() {
+            assert_eq!(ct.outputs(v).len() as u32, topo.degree(v));
+            assert_eq!(ct.inputs(v).len() as u32, topo.degree(v));
+            for (p, &c) in ct.outputs(v).iter().enumerate() {
+                assert_eq!(ct.start(c), v);
+                assert_eq!(ct.out_port(c), p as u8);
+                assert_eq!(ct.output_at(v, p as u8), c);
+            }
+            for (p, &c) in ct.inputs(v).iter().enumerate() {
+                assert_eq!(ct.sink(c), v);
+                assert_eq!(ct.in_port(c), p as u8);
+                assert_eq!(ct.input_at(v, p as u8), c);
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_follow_neighbor_order() {
+        let topo = Topology::new(4, 4, [(2, 0), (0, 3), (1, 0)]).unwrap();
+        let ct = ChannelTable::build(&topo);
+        let sinks: Vec<_> = ct.outputs(0).iter().map(|&c| ct.sink(c)).collect();
+        assert_eq!(sinks, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Topology (de)serialization.
+//!
+//! JSON is used as the interchange format (the `serde`/`serde_json` pair; see
+//! DESIGN.md §7). The schema is intentionally minimal:
+//!
+//! ```json
+//! { "num_nodes": 4, "ports": 4, "links": [[0,1],[1,2],[2,3],[3,0]] }
+//! ```
+
+use crate::error::TopologyError;
+use crate::graph::Topology;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct TopologyFile {
+    num_nodes: u32,
+    ports: u32,
+    links: Vec<(u32, u32)>,
+}
+
+/// Serializes a topology to its JSON representation.
+pub fn topology_to_json(topo: &Topology) -> String {
+    let file = TopologyFile {
+        num_nodes: topo.num_nodes(),
+        ports: topo.ports(),
+        links: topo.links().to_vec(),
+    };
+    serde_json::to_string_pretty(&file).expect("topology serialization cannot fail")
+}
+
+/// Parses and validates a topology from JSON produced by
+/// [`topology_to_json`] (or written by hand).
+pub fn topology_from_json(json: &str) -> Result<Topology, TopologyError> {
+    let file: TopologyFile =
+        serde_json::from_str(json).map_err(|e| TopologyError::Parse(e.to_string()))?;
+    Topology::new(file.num_nodes, file.ports, file.links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let t = gen::random_irregular(gen::IrregularParams::paper(24, 4), 11).unwrap();
+        let json = topology_to_json(&t);
+        let back = topology_from_json(&json).unwrap();
+        assert_eq!(back.num_nodes(), t.num_nodes());
+        assert_eq!(back.ports(), t.ports());
+        assert_eq!(back.links(), t.links());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_invalid_graphs() {
+        assert!(matches!(topology_from_json("not json"), Err(TopologyError::Parse(_))));
+        let disconnected = r#"{ "num_nodes": 4, "ports": 4, "links": [[0,1],[2,3]] }"#;
+        assert!(matches!(
+            topology_from_json(disconnected),
+            Err(TopologyError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_minimal_hand_written_file() {
+        let json = r#"{ "num_nodes": 3, "ports": 2, "links": [[0,1],[1,2]] }"#;
+        let t = topology_from_json(json).unwrap();
+        assert_eq!(t.num_links(), 2);
+    }
+}

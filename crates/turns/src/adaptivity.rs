@@ -1,0 +1,161 @@
+//! Adaptivity metrics for turn-restricted routings.
+//!
+//! Both L-turn and DOWN/UP are *partially adaptive*: at each hop several
+//! minimal legal output channels may be available, and the simulator picks
+//! among them. How much choice survives the turn restrictions is a
+//! first-order predictor of congestion behaviour, so this module
+//! quantifies it:
+//!
+//! * **degree of adaptivity** — the average number of minimal legal output
+//!   ports over all (source, destination) injection decisions and over all
+//!   in-transit (input channel, destination) decisions;
+//! * **minimal-path diversity** — the number of distinct minimal legal
+//!   paths per pair, computed by dynamic programming over the channel
+//!   graph.
+
+use crate::routing::{RoutingTables, INJECTION_SLOT};
+use irnet_topology::CommGraph;
+
+/// Summary of routing adaptivity over all pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivityStats {
+    /// Mean number of minimal candidate ports at injection, over all
+    /// ordered pairs `s != t`.
+    pub injection_choices: f64,
+    /// Mean number of minimal candidate ports at in-transit hops, averaged
+    /// over every (channel, destination) combination that lies on some
+    /// minimal route.
+    pub transit_choices: f64,
+    /// Geometric mean of the number of distinct minimal paths per pair
+    /// (arithmetic means are dominated by a few high-diversity pairs).
+    pub path_diversity_gmean: f64,
+    /// Largest number of distinct minimal paths over any pair.
+    pub max_path_diversity: u64,
+}
+
+/// Computes adaptivity statistics for a routing.
+pub fn adaptivity(cg: &CommGraph, tables: &RoutingTables) -> AdaptivityStats {
+    let n = cg.num_nodes();
+    let ch = cg.channels();
+    let mut inj_sum = 0u64;
+    let mut inj_cnt = 0u64;
+    let mut transit_sum = 0u64;
+    let mut transit_cnt = 0u64;
+    let mut log_div_sum = 0.0f64;
+    let mut max_div = 0u64;
+    // paths[c] — number of minimal paths from "just traversed c" to t.
+    let mut paths = vec![0u64; cg.num_channels() as usize];
+
+    for t in 0..n {
+        // Count per-channel minimal-path multiplicities by descending cost.
+        let mut order: Vec<u32> = (0..cg.num_channels())
+            .filter(|&c| tables.cost(t, c) != u16::MAX)
+            .collect();
+        order.sort_unstable_by_key(|&c| tables.cost(t, c));
+        paths.iter_mut().for_each(|p| *p = 0);
+        for &c in &order {
+            let v = ch.sink(c);
+            if v == t {
+                paths[c as usize] = 1;
+                continue;
+            }
+            let slot = ch.in_port(c) as usize + 1;
+            let mask = tables.candidates(t, v, slot);
+            let mut total = 0u64;
+            for (p, &out) in ch.outputs(v).iter().enumerate() {
+                if (mask >> p) & 1 == 1 {
+                    total = total.saturating_add(paths[out as usize]);
+                }
+            }
+            paths[c as usize] = total;
+            if mask != 0 {
+                transit_sum += mask.count_ones() as u64;
+                transit_cnt += 1;
+            }
+        }
+        for s in 0..n {
+            if s == t {
+                continue;
+            }
+            let mask = tables.candidates(t, s, INJECTION_SLOT);
+            inj_sum += mask.count_ones() as u64;
+            inj_cnt += 1;
+            let mut pair_div = 0u64;
+            for (p, &out) in ch.outputs(s).iter().enumerate() {
+                if (mask >> p) & 1 == 1 {
+                    pair_div = pair_div.saturating_add(paths[out as usize]);
+                }
+            }
+            debug_assert!(pair_div >= 1, "connected pair with zero minimal paths");
+            log_div_sum += (pair_div.max(1) as f64).ln();
+            max_div = max_div.max(pair_div);
+        }
+    }
+    let pairs = (n as u64 * (n as u64 - 1)).max(1);
+    AdaptivityStats {
+        injection_choices: inj_sum as f64 / inj_cnt.max(1) as f64,
+        transit_choices: transit_sum as f64 / transit_cnt.max(1) as f64,
+        path_diversity_gmean: (log_div_sum / pairs as f64).exp(),
+        max_path_diversity: max_div,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turn_table::TurnTable;
+    use irnet_topology::{gen, CoordinatedTree, PreorderPolicy};
+
+    fn tables_for(
+        topo: &irnet_topology::Topology,
+        table: &TurnTable,
+        cg: &CommGraph,
+    ) -> RoutingTables {
+        let _ = topo;
+        RoutingTables::build(cg, table).unwrap()
+    }
+
+    #[test]
+    fn path_graph_has_no_adaptivity() {
+        let topo = irnet_topology::Topology::new(4, 2, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+        let cg = CommGraph::build(&topo, &tree);
+        let table = TurnTable::all_allowed(&cg);
+        let rt = tables_for(&topo, &table, &cg);
+        let a = adaptivity(&cg, &rt);
+        assert!((a.injection_choices - 1.0).abs() < 1e-12);
+        assert!((a.transit_choices - 1.0).abs() < 1e-9);
+        assert!((a.path_diversity_gmean - 1.0).abs() < 1e-9);
+        assert_eq!(a.max_path_diversity, 1);
+    }
+
+    #[test]
+    fn mesh_has_manhattan_diversity_when_unrestricted() {
+        let topo = gen::mesh(3, 3).unwrap();
+        let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+        let cg = CommGraph::build(&topo, &tree);
+        let table = TurnTable::all_allowed(&cg);
+        let rt = tables_for(&topo, &table, &cg);
+        let a = adaptivity(&cg, &rt);
+        // Corner to opposite corner in a 3x3 mesh: C(4,2) = 6 minimal
+        // paths.
+        assert_eq!(a.max_path_diversity, 6);
+        assert!(a.injection_choices > 1.0);
+    }
+
+    #[test]
+    fn restrictions_reduce_adaptivity() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 3).unwrap();
+        let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+        let cg = CommGraph::build(&topo, &tree);
+        let free_rt = tables_for(&topo, &TurnTable::all_allowed(&cg), &cg);
+        let restricted = TurnTable::from_direction_rule(&cg, |din, dout| {
+            !(din.goes_down() && dout.goes_up())
+        });
+        let restricted_rt = tables_for(&topo, &restricted, &cg);
+        let free = adaptivity(&cg, &free_rt);
+        let tight = adaptivity(&cg, &restricted_rt);
+        assert!(tight.path_diversity_gmean <= free.path_diversity_gmean + 1e-9);
+        assert!(tight.max_path_diversity <= free.max_path_diversity);
+    }
+}

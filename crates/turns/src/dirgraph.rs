@@ -1,0 +1,359 @@
+//! Direction-level graphs (paper Definitions 8–11).
+//!
+//! A [`DirGraph`] has one node per channel *direction* and one edge per
+//! allowed *turn* `T(d1 → d2)`. The paper's Phase 2 manipulates these small
+//! graphs; this module provides the operations that manipulation needs:
+//! simple-cycle enumeration, the *realizability* predicate ("can this
+//! direction cycle appear as a turn cycle in some communication graph?"),
+//! and maximality auditing.
+//!
+//! Realizability: every direction moves strictly left or right in `X`
+//! (preorder indices are unique) and up, down, or flat in `Y`. A direction
+//! cycle can only be realized by a closed channel walk, which must return to
+//! its starting coordinates. Therefore a cycle is realizable iff its
+//! direction set mixes left and right movement **and** either mixes strict
+//! up with strict down movement or is entirely `Y`-flat. (Sufficiency holds
+//! for the communication graphs of this paper because cross links may span
+//! arbitrarily many `X` units and levels are only constrained within ±1 per
+//! hop; the counterexample construction in `irnet-core::phase2` exhibits
+//! concrete realizations.)
+
+/// Per-direction movement signs used by the realizability predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Movement {
+    /// `-1` if `X` strictly decreases along the direction, `+1` if it
+    /// strictly increases. `0` is not allowed (preorder `X` is unique).
+    pub dx: i8,
+    /// `-1` (up, toward the root), `0` (same level), or `+1` (down).
+    pub dy: i8,
+}
+
+impl Movement {
+    /// Creates a movement; panics on a zero `dx` (no direction is X-flat).
+    pub fn new(dx: i8, dy: i8) -> Movement {
+        assert!(dx == -1 || dx == 1, "directions always move strictly in X");
+        assert!((-1..=1).contains(&dy));
+        Movement { dx, dy }
+    }
+}
+
+/// A small dense digraph over direction indices `0..n` (n ≤ 16).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirGraph {
+    n: usize,
+    /// `adj[i]` — bitmask of successors of direction `i`.
+    adj: [u16; 16],
+}
+
+impl DirGraph {
+    /// An edgeless graph on `n` directions.
+    pub fn empty(n: usize) -> DirGraph {
+        assert!(n <= 16);
+        DirGraph { n, adj: [0; 16] }
+    }
+
+    /// The complete direction graph on `n` directions: every ordered pair
+    /// `d1 != d2` is an edge (paper Definition 8).
+    pub fn complete(n: usize) -> DirGraph {
+        let mut g = DirGraph::empty(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of direction nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (turns).
+    pub fn num_edges(&self) -> usize {
+        self.adj[..self.n].iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// Adds turn `a → b`.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        debug_assert!(a < self.n && b < self.n && a != b);
+        self.adj[a] |= 1 << b;
+    }
+
+    /// Removes turn `a → b`; returns whether it was present.
+    pub fn remove_edge(&mut self, a: usize, b: usize) -> bool {
+        let had = self.has_edge(a, b);
+        self.adj[a] &= !(1 << b);
+        had
+    }
+
+    /// Whether turn `a → b` is present.
+    #[inline]
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        (self.adj[a] >> b) & 1 == 1
+    }
+
+    /// All edges as `(from, to)` pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            let mut m = self.adj[a];
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    /// The edges present in `self` but not in `other`.
+    pub fn edge_difference(&self, other: &DirGraph) -> Vec<(usize, usize)> {
+        self.edges().into_iter().filter(|&(a, b)| !other.has_edge(a, b)).collect()
+    }
+
+    /// Enumerates all simple cycles (as node sequences, smallest node
+    /// first) using Johnson-style DFS. Intended for graphs with ≤ 16 nodes.
+    pub fn simple_cycles(&self) -> Vec<Vec<usize>> {
+        let mut cycles = Vec::new();
+        let mut path: Vec<usize> = Vec::new();
+        // Only search for cycles whose minimum node is `start`; this
+        // enumerates each simple cycle exactly once.
+        for start in 0..self.n {
+            path.clear();
+            let mut on_path: u16 = 0;
+            self.dfs_cycles(start, start, &mut path, &mut on_path, &mut cycles);
+        }
+        cycles
+    }
+
+    fn dfs_cycles(
+        &self,
+        start: usize,
+        v: usize,
+        path: &mut Vec<usize>,
+        on_path: &mut u16,
+        cycles: &mut Vec<Vec<usize>>,
+    ) {
+        path.push(v);
+        *on_path |= 1 << v;
+        let mut m = self.adj[v];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if w == start {
+                cycles.push(path.clone());
+            } else if w > start && (*on_path >> w) & 1 == 0 {
+                self.dfs_cycles(start, w, path, on_path, cycles);
+            }
+        }
+        path.pop();
+        *on_path &= !(1 << v);
+    }
+
+    /// Whether a direction cycle (given as its node set) is realizable as a
+    /// turn cycle in a communication graph — see the module docs.
+    pub fn cycle_is_realizable(nodes: &[usize], movement: &[Movement]) -> bool {
+        let mut left = false;
+        let mut right = false;
+        let mut up = false;
+        let mut down = false;
+        for &d in nodes {
+            let m = movement[d];
+            if m.dx < 0 {
+                left = true;
+            } else {
+                right = true;
+            }
+            if m.dy < 0 {
+                up = true;
+            }
+            if m.dy > 0 {
+                down = true;
+            }
+        }
+        let x_mixed = left && right;
+        let y_balanced = (up && down) || (!up && !down);
+        x_mixed && y_balanced
+    }
+
+    /// All simple cycles that are realizable as turn cycles.
+    pub fn realizable_cycles(&self, movement: &[Movement]) -> Vec<Vec<usize>> {
+        assert_eq!(movement.len(), self.n);
+        self.simple_cycles()
+            .into_iter()
+            .filter(|c| Self::cycle_is_realizable(c, movement))
+            .collect()
+    }
+
+    /// True if no realizable cycle exists — the direction-level analogue of
+    /// an *acyclic* DDG (paper Definition 10, via Lemma 1 refined with the
+    /// realizability predicate so that harmless DDG cycles are permitted,
+    /// as Figure 1(f) of the paper illustrates).
+    pub fn is_safe(&self, movement: &[Movement]) -> bool {
+        self.realizable_cycles(movement).is_empty()
+    }
+
+    /// Renders the direction graph in Graphviz DOT format with the given
+    /// node labels — used to regenerate the paper's ADDG figures
+    /// (Figures 2–6).
+    pub fn to_dot(&self, name: &str, labels: &[&str]) -> String {
+        assert_eq!(labels.len(), self.n, "one label per direction");
+        let mut out = format!("digraph \"{name}\" {{\n  rankdir=LR;\n");
+        for (i, l) in labels.iter().enumerate() {
+            out.push_str(&format!("  n{i} [label=\"{l}\"];\n"));
+        }
+        for (a, b) in self.edges() {
+            out.push_str(&format!("  n{a} -> n{b};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// True if the graph is safe and adding any missing turn would create a
+    /// realizable cycle (paper Definition 11 — *maximal* ADDG).
+    pub fn is_maximal_safe(&self, movement: &[Movement]) -> bool {
+        if !self.is_safe(movement) {
+            return false;
+        }
+        let mut probe = self.clone();
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b && !self.has_edge(a, b) {
+                    probe.add_edge(a, b);
+                    let safe = probe.is_safe(movement);
+                    probe.remove_edge(a, b);
+                    if safe {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(dx: i8, dy: i8) -> Movement {
+        Movement::new(dx, dy)
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = DirGraph::complete(8);
+        assert_eq!(g.num_edges(), 8 * 7);
+        let g4 = DirGraph::complete(4);
+        assert_eq!(g4.num_edges(), 12);
+    }
+
+    #[test]
+    fn add_remove_has() {
+        let mut g = DirGraph::empty(3);
+        assert!(!g.has_edge(0, 1));
+        g.add_edge(0, 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn simple_cycles_of_a_triangle() {
+        let mut g = DirGraph::empty(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let cycles = g.simple_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn simple_cycles_counts_two_cycles_once() {
+        let mut g = DirGraph::empty(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.simple_cycles(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn complete_k3_has_five_cycles() {
+        // K3 directed both ways: three 2-cycles and two 3-cycles.
+        let g = DirGraph::complete(3);
+        assert_eq!(g.simple_cycles().len(), 5);
+    }
+
+    #[test]
+    fn realizability_requires_mixed_x() {
+        // Two "left" directions can 2-cycle in the DDG but never in a CG.
+        let movement = [mv(-1, -1), mv(-1, 1)];
+        assert!(!DirGraph::cycle_is_realizable(&[0, 1], &movement));
+    }
+
+    #[test]
+    fn realizability_requires_balanced_y() {
+        // Left-up with right-up: X mixed but Y strictly decreases.
+        let movement = [mv(-1, -1), mv(1, -1)];
+        assert!(!DirGraph::cycle_is_realizable(&[0, 1], &movement));
+        // Left-up with right-down: realizable (Figure 2(d) of the paper).
+        let movement = [mv(-1, -1), mv(1, 1)];
+        assert!(DirGraph::cycle_is_realizable(&[0, 1], &movement));
+        // All-flat left/right pair: realizable (Figure 2(c)).
+        let movement = [mv(-1, 0), mv(1, 0)];
+        assert!(DirGraph::cycle_is_realizable(&[0, 1], &movement));
+    }
+
+    #[test]
+    fn safe_and_maximal_on_a_two_direction_world() {
+        // Directions: 0 = left-up "tree up", 1 = right-down "tree down".
+        let movement = [mv(-1, -1), mv(1, 1)];
+        let mut g = DirGraph::empty(2);
+        g.add_edge(0, 1); // up-then-down allowed
+        assert!(g.is_safe(&movement));
+        assert!(g.is_maximal_safe(&movement));
+        g.add_edge(1, 0);
+        assert!(!g.is_safe(&movement));
+        assert!(!g.is_maximal_safe(&movement));
+    }
+
+    #[test]
+    fn harmless_ddg_cycles_are_tolerated() {
+        // LD_CROSS <-> RD_TREE style pair: both go down; their 2-cycle is a
+        // DDG cycle but is never realizable (Figure 1(f) of the paper).
+        let movement = [mv(-1, 1), mv(1, 1)];
+        let mut g = DirGraph::empty(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(g.is_safe(&movement));
+        assert!(g.is_maximal_safe(&movement));
+    }
+
+    #[test]
+    fn dot_export_lists_all_nodes_and_edges() {
+        let mut g = DirGraph::empty(3);
+        g.add_edge(0, 1);
+        g.add_edge(2, 0);
+        let dot = g.to_dot("test", &["A", "B", "C"]);
+        assert!(dot.starts_with("digraph \"test\""));
+        assert!(dot.contains("n0 [label=\"A\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n2 -> n0;"));
+        assert_eq!(dot.matches("->").count(), 2);
+    }
+
+    #[test]
+    fn edge_difference_reports_removals() {
+        let full = DirGraph::complete(3);
+        let mut partial = full.clone();
+        partial.remove_edge(0, 2);
+        partial.remove_edge(2, 1);
+        let mut diff = full.edge_difference(&partial);
+        diff.sort_unstable();
+        assert_eq!(diff, vec![(0, 2), (2, 1)]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Scenario: auditing a routing configuration for deadlock freedom before
+//! deploying it — the safety property the whole paper is built on.
+//!
+//! Sweeps a batch of random irregular topologies, constructs every
+//! algorithm × tree-policy combination, and machine-checks each one:
+//! channel-dependency-graph acyclicity (deadlock freedom) and all-pairs
+//! connectivity. Also demonstrates the *negative* case: the prohibited-turn
+//! list as printed in §4.3 of the paper admits a turn cycle, which this
+//! audit catches.
+//!
+//! Run with: `cargo run --release --example deadlock_audit`
+
+use irnet::downup::phase2;
+use irnet::prelude::*;
+
+fn main() {
+    let algos = [
+        Algo::UpDownBfs,
+        Algo::UpDownDfs,
+        Algo::LTurn { release: true },
+        Algo::DownUp { release: true },
+        Algo::DownUp { release: false },
+    ];
+    let mut checked = 0u32;
+    for seed in 0..12u64 {
+        let ports = if seed % 2 == 0 { 4 } else { 8 };
+        let topo = gen::random_irregular(gen::IrregularParams::paper(48, ports), seed).unwrap();
+        for algo in algos {
+            for policy in PreorderPolicy::ALL {
+                let inst = algo.construct(&topo, policy, seed).unwrap();
+                let report = verify_routing(&inst.cg, &inst.table);
+                assert!(
+                    report.is_ok(),
+                    "AUDIT FAILURE: {algo} / {policy} on seed {seed}: cycle={:?} disc={:?}",
+                    report.cycle,
+                    report.disconnected
+                );
+                checked += 1;
+            }
+        }
+    }
+    println!("audited {checked} routing instances: all deadlock-free and connected");
+
+    // The negative control: the paper's *printed* PT list (§4.3) differs
+    // from its own construction and is NOT safe. Find a topology where the
+    // audit catches the cycle.
+    let mut caught = 0u32;
+    let mut audited = 0u32;
+    for seed in 0..12u64 {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(48, 4), seed).unwrap();
+        let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+        let cg = CommGraph::build(&topo, &tree);
+        let printed = TurnTable::from_direction_rule(&cg, |a, b| {
+            !phase2::PROHIBITED_TURNS_AS_PRINTED.contains(&(a, b))
+        });
+        let dep = ChannelDepGraph::build(&cg, &printed);
+        audited += 1;
+        if let Some(cycle) = dep.find_cycle() {
+            caught += 1;
+            if caught == 1 {
+                print!("printed §4.3 turn list admits a turn cycle (seed {seed}):");
+                for &c in &cycle {
+                    print!(" {}", cg.direction(c));
+                }
+                println!();
+            }
+        }
+    }
+    println!(
+        "printed-list audit: {caught}/{audited} random topologies contain a realizable \
+         turn cycle under the as-printed prohibitions"
+    );
+    assert!(caught > 0, "expected the audit to catch the printed-list cycle somewhere");
+    println!("the construction-derived list (what this crate implements) passed every audit");
+}

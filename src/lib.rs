@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! # irnet — DOWN/UP routing for irregular wormhole-routed networks
+//!
+//! A production-quality reproduction of *"An Efficient Deadlock-Free
+//! Tree-Based Routing Algorithm for Irregular Wormhole-Routed Networks
+//! Based on the Turn Model"* (Sun, Yang, Chung, Huang — ICPP 2004).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`topology`] — irregular networks, coordinated trees, communication
+//!   graphs.
+//! * [`turns`] — turn tables, channel dependency graphs, deadlock-freedom
+//!   verification, turn-constrained shortest-path routing tables.
+//! * [`downup`] — the paper's DOWN/UP routing (Phases 1–3).
+//! * [`baselines`] — L-turn and up\*/down\* comparators.
+//! * [`sim`] — a cycle-accurate wormhole flit simulator.
+//! * [`metrics`] — the paper's evaluation metrics and sweep machinery.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use irnet::prelude::*;
+//!
+//! // A random 32-switch, 4-port irregular network.
+//! let topo = gen::random_irregular(gen::IrregularParams::paper(32, 4), 1).unwrap();
+//!
+//! // Construct the DOWN/UP routing (coordinated tree M1, release pass on).
+//! let routing = DownUp::new().construct(&topo).unwrap();
+//!
+//! // It is deadlock-free and fully connected — machine-checked.
+//! let report = verify_routing(routing.comm_graph(), routing.turn_table());
+//! assert!(report.is_ok());
+//!
+//! // Simulate uniform traffic at 5% load.
+//! let cfg = SimConfig { packet_len: 32, injection_rate: 0.05,
+//!                       warmup_cycles: 500, measure_cycles: 2_000,
+//!                       ..SimConfig::default() };
+//! let stats = Simulator::new(routing.comm_graph(), routing.routing_tables(), cfg, 7).run();
+//! assert!(stats.accepted_traffic() > 0.0);
+//! ```
+
+pub use irnet_baselines as baselines;
+pub use irnet_core as downup;
+pub use irnet_metrics as metrics;
+pub use irnet_sim as sim;
+pub use irnet_topology as topology;
+pub use irnet_turns as turns;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use irnet_baselines::{lturn, updown, BaselineRouting};
+    pub use irnet_core::{DownUp, DownUpRouting};
+    pub use irnet_metrics::paper::PaperMetrics;
+    pub use irnet_metrics::sweep;
+    pub use irnet_metrics::{Algo, Instance};
+    pub use irnet_sim::{RouteChoice, SimConfig, SimStats, Simulator, TrafficPattern};
+    pub use irnet_topology::{
+        gen, CommGraph, CoordinatedTree, Direction, PreorderPolicy, Topology,
+    };
+    pub use irnet_topology::analysis;
+    pub use irnet_turns::{
+        adaptivity, verify_routing, AdaptivityStats, ChannelDepGraph, RoutingTables,
+        TurnTable, VerifyReport,
+    };
+}

@@ -1,0 +1,130 @@
+//! Golden-value regression tests: pin exact deterministic outputs of the
+//! pipeline for fixed seeds so unintended behavioural changes are caught
+//! immediately. Every value here is a pure function of the seeded ChaCha8
+//! RNG and the algorithms — if one of these fails after an intentional
+//! change, re-derive the constants and update them alongside the change.
+
+use irnet::prelude::*;
+
+fn reference_topology() -> Topology {
+    gen::random_irregular(gen::IrregularParams::paper(32, 4), 12345).unwrap()
+}
+
+#[test]
+fn topology_generation_is_stable() {
+    let t = reference_topology();
+    assert_eq!(t.num_nodes(), 32);
+    // Pin the link count and a structural fingerprint (sum of a*31+b over
+    // links) rather than every link.
+    let fingerprint: u64 =
+        t.links().iter().map(|&(a, b)| a as u64 * 31 + b as u64).sum();
+    assert_eq!(
+        (t.num_links(), fingerprint),
+        (64, 20464),
+        "random_irregular output changed for seed 12345; if intentional, \
+         update this golden value"
+    );
+}
+
+#[test]
+fn coordinated_tree_is_stable() {
+    let t = reference_topology();
+    let tree = CoordinatedTree::build(&t, PreorderPolicy::M1, 0).unwrap();
+    let x_fingerprint: u64 = (0..32).map(|v| tree.x(v) as u64 * (v as u64 + 1)).sum();
+    let y_fingerprint: u64 = (0..32).map(|v| tree.y(v) as u64 * (v as u64 + 1)).sum();
+    assert_eq!(
+        (tree.max_level(), tree.leaves().len(), x_fingerprint, y_fingerprint),
+        golden_tree(),
+        "coordinated tree changed for the reference topology"
+    );
+}
+
+fn golden_tree() -> (u32, usize, u64, u64) {
+    // Derived once from the reference topology; see the module docs.
+    (GOLDEN.0, GOLDEN.1, GOLDEN.2, GOLDEN.3)
+}
+
+#[test]
+fn downup_construction_is_stable() {
+    let t = reference_topology();
+    let routing = DownUp::new().construct(&t).unwrap();
+    let prohibited = routing.turn_table().num_prohibited_turns(routing.comm_graph());
+    let released = routing.released_turns().len();
+    let avg_len = routing.routing_tables().avg_route_len(routing.comm_graph());
+    assert_eq!((prohibited, released), (GOLDEN.4, GOLDEN.5));
+    assert!((avg_len - GOLDEN_AVG_LEN).abs() < 1e-9, "avg route len {avg_len}");
+}
+
+#[test]
+fn simulation_is_stable() {
+    let t = reference_topology();
+    let routing = DownUp::new().construct(&t).unwrap();
+    let cfg = SimConfig {
+        packet_len: 16,
+        injection_rate: 0.1,
+        warmup_cycles: 500,
+        measure_cycles: 2_000,
+        ..SimConfig::default()
+    };
+    let stats = Simulator::new(routing.comm_graph(), routing.routing_tables(), cfg, 99).run();
+    assert_eq!(
+        (stats.packets_delivered, stats.flits_delivered, stats.latency_sum),
+        (GOLDEN.6, GOLDEN.7, GOLDEN.8),
+        "simulator behaviour changed for the reference scenario"
+    );
+}
+
+// The golden constants, produced by `cargo test --test regression --
+// --nocapture` with `PRINT_GOLDEN=1` (see below) and pasted here.
+const GOLDEN: (u32, usize, u64, u64, usize, usize, u64, u64, u64) = (
+    4,     // tree max level
+    15,    // leaves
+    9442,  // X fingerprint
+    1390,  // Y fingerprint
+    97,    // prohibited channel pairs
+    5,     // released turns
+    396,   // packets delivered
+    6384,  // flits delivered
+    10565, // latency sum
+);
+const GOLDEN_AVG_LEN: f64 = 2.962701612903226;
+
+/// Helper: run with `PRINT_GOLDEN=1 cargo test --test regression -- print_golden --nocapture`
+/// to regenerate the constants after an intentional change.
+#[test]
+fn print_golden() {
+    if std::env::var("PRINT_GOLDEN").is_err() {
+        return;
+    }
+    let t = reference_topology();
+    let fingerprint: u64 =
+        t.links().iter().map(|&(a, b)| a as u64 * 31 + b as u64).sum();
+    let tree = CoordinatedTree::build(&t, PreorderPolicy::M1, 0).unwrap();
+    let xf: u64 = (0..32).map(|v| tree.x(v) as u64 * (v as u64 + 1)).sum();
+    let yf: u64 = (0..32).map(|v| tree.y(v) as u64 * (v as u64 + 1)).sum();
+    let routing = DownUp::new().construct(&t).unwrap();
+    let cfg = SimConfig {
+        packet_len: 16,
+        injection_rate: 0.1,
+        warmup_cycles: 500,
+        measure_cycles: 2_000,
+        ..SimConfig::default()
+    };
+    let stats = Simulator::new(routing.comm_graph(), routing.routing_tables(), cfg, 99).run();
+    println!("links={} fp={fingerprint}", t.num_links());
+    println!(
+        "tree=({}, {}, {xf}, {yf})",
+        tree.max_level(),
+        tree.leaves().len()
+    );
+    println!(
+        "construct=({}, {}) avg_len={:?}",
+        routing.turn_table().num_prohibited_turns(routing.comm_graph()),
+        routing.released_turns().len(),
+        routing.routing_tables().avg_route_len(routing.comm_graph())
+    );
+    println!(
+        "sim=({}, {}, {})",
+        stats.packets_delivered, stats.flits_delivered, stats.latency_sum
+    );
+}
