@@ -70,7 +70,12 @@ impl BaselineRouting {
         table: TurnTable,
     ) -> Result<BaselineRouting, BaselineError> {
         let tables = RoutingTables::build(&cg, &table)?;
-        Ok(BaselineRouting { tree, cg, table, tables })
+        Ok(BaselineRouting {
+            tree,
+            cg,
+            table,
+            tables,
+        })
     }
 
     /// The spanning tree used for channel classification.

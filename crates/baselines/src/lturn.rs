@@ -32,9 +32,7 @@
 //! downstream property tests).
 
 use crate::{BaselineError, BaselineRouting};
-use irnet_topology::{
-    ChannelId, CommGraph, CoordinatedTree, PreorderPolicy, Quadrant, Topology,
-};
+use irnet_topology::{ChannelId, CommGraph, CoordinatedTree, PreorderPolicy, Quadrant, Topology};
 use irnet_turns::{release_redundant_turns, TurnTable};
 
 /// The four 2-D directions of the L-R tree classification.
@@ -96,7 +94,11 @@ pub struct LTurnOptions {
 
 impl Default for LTurnOptions {
     fn default() -> Self {
-        LTurnOptions { policy: PreorderPolicy::M1, seed: 0, release: true }
+        LTurnOptions {
+            policy: PreorderPolicy::M1,
+            seed: 0,
+            release: true,
+        }
     }
 }
 
@@ -195,9 +197,12 @@ mod tests {
         assert!(g.is_safe(&flat_down));
         // Maximality: each prohibited turn, when added, creates a
         // realizable cycle under at least one movement model.
-        for (a, b) in
-            [(UpRight, UpLeft), (UpRight, DownLeft), (DownRight, UpLeft), (DownRight, DownLeft)]
-        {
+        for (a, b) in [
+            (UpRight, UpLeft),
+            (UpRight, DownLeft),
+            (DownRight, UpLeft),
+            (DownRight, DownLeft),
+        ] {
             let mut probe = g.clone();
             probe.add_edge(idx(a), idx(b));
             assert!(
@@ -212,13 +217,16 @@ mod tests {
         for seed in 0..4 {
             for ports in [4u32, 8] {
                 let topo =
-                    gen::random_irregular(gen::IrregularParams::paper(28, ports), seed)
-                        .unwrap();
+                    gen::random_irregular(gen::IrregularParams::paper(28, ports), seed).unwrap();
                 for policy in PreorderPolicy::ALL {
                     for release in [false, true] {
                         let r = construct_with(
                             &topo,
-                            LTurnOptions { policy, seed, release },
+                            LTurnOptions {
+                                policy,
+                                seed,
+                                release,
+                            },
                         )
                         .unwrap();
                         let report = verify_routing(r.comm_graph(), r.turn_table());
@@ -255,11 +263,22 @@ mod tests {
     #[test]
     fn release_shortens_or_keeps_routes() {
         let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 9).unwrap();
-        let with =
-            construct_with(&topo, LTurnOptions { release: true, ..Default::default() }).unwrap();
-        let without =
-            construct_with(&topo, LTurnOptions { release: false, ..Default::default() })
-                .unwrap();
+        let with = construct_with(
+            &topo,
+            LTurnOptions {
+                release: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let without = construct_with(
+            &topo,
+            LTurnOptions {
+                release: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(
             with.routing_tables().avg_route_len(with.comm_graph())
                 <= without.routing_tables().avg_route_len(without.comm_graph()) + 1e-12

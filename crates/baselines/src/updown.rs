@@ -77,7 +77,9 @@ fn node_order(topo: &Topology, tree: &CoordinatedTree, kind: TreeKind) -> Vec<u6
     match kind {
         TreeKind::Bfs => {
             // Lexicographic (level, id).
-            (0..n).map(|v| ((tree.y(v as NodeId) as u64) << 32) | v as u64).collect()
+            (0..n)
+                .map(|v| ((tree.y(v as NodeId) as u64) << 32) | v as u64)
+                .collect()
         }
         TreeKind::Dfs => {
             // DFS preorder from node 0, scanning neighbors in id order.
@@ -112,8 +114,7 @@ mod tests {
     #[test]
     fn both_flavours_verify_on_random_networks() {
         for seed in 0..6 {
-            let topo =
-                gen::random_irregular(gen::IrregularParams::paper(28, 4), seed).unwrap();
+            let topo = gen::random_irregular(gen::IrregularParams::paper(28, 4), seed).unwrap();
             for kind in [TreeKind::Bfs, TreeKind::Dfs] {
                 let r = construct(&topo, kind).unwrap();
                 let report = verify_routing(r.comm_graph(), r.turn_table());
@@ -134,8 +135,7 @@ mod tests {
         let cg = r.comm_graph();
         let ch = cg.channels();
         let tree = r.tree();
-        let order =
-            |v: u32| -> u64 { ((tree.y(v) as u64) << 32) | v as u64 };
+        let order = |v: u32| -> u64 { ((tree.y(v) as u64) << 32) | v as u64 };
         for s in 0..topo.num_nodes() {
             for t in 0..topo.num_nodes() {
                 if s == t {
@@ -148,10 +148,7 @@ mod tests {
                     if !goes_up {
                         gone_down = true;
                     }
-                    assert!(
-                        !(gone_down && goes_up),
-                        "route {s}->{t} went down then up"
-                    );
+                    assert!(!(gone_down && goes_up), "route {s}->{t} went down then up");
                 }
             }
         }
@@ -161,8 +158,7 @@ mod tests {
     fn dfs_variant_usually_differs_from_bfs() {
         let mut differs = false;
         for seed in 0..4 {
-            let topo =
-                gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
+            let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
             let bfs = construct_bfs(&topo).unwrap();
             let dfs = construct_dfs(&topo).unwrap();
             if bfs.turn_table() != dfs.turn_table() {
@@ -174,8 +170,11 @@ mod tests {
 
     #[test]
     fn works_on_regular_topologies() {
-        for topo in [gen::ring(8).unwrap(), gen::mesh(4, 4).unwrap(), gen::torus(3, 3).unwrap()]
-        {
+        for topo in [
+            gen::ring(8).unwrap(),
+            gen::mesh(4, 4).unwrap(),
+            gen::torus(3, 3).unwrap(),
+        ] {
             let r = construct_bfs(&topo).unwrap();
             assert!(verify_routing(r.comm_graph(), r.turn_table()).is_ok());
         }

@@ -25,10 +25,9 @@ fn bench_topology_gen(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     black_box(
-                        gen::random_irregular(gen::IrregularParams::paper(n, ports), seed)
-                            .unwrap(),
-                    )
-                })
+                        gen::random_irregular(gen::IrregularParams::paper(n, ports), seed).unwrap(),
+                    );
+                });
             },
         );
     }
@@ -40,9 +39,15 @@ fn bench_coordinated_tree(c: &mut Criterion) {
     let mut g = c.benchmark_group("coordinated_tree");
     g.sample_size(30);
     for policy in PreorderPolicy::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
-            b.iter(|| black_box(CoordinatedTree::build(&topo, policy, 3).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(CoordinatedTree::build(&topo, policy, 3).unwrap());
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -51,7 +56,9 @@ fn bench_comm_graph(c: &mut Criterion) {
     let topo = paper_topo(128, 8);
     let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
     c.bench_function("comm_graph/128sw_8p", |b| {
-        b.iter(|| black_box(CommGraph::build(&topo, &tree)))
+        b.iter(|| {
+            black_box(CommGraph::build(&topo, &tree));
+        });
     });
 }
 
@@ -62,16 +69,24 @@ fn bench_constructions(c: &mut Criterion) {
         let topo = paper_topo(n, ports);
         let tag = format!("{n}sw_{ports}p");
         g.bench_function(BenchmarkId::new("downup", &tag), |b| {
-            b.iter(|| black_box(DownUp::new().construct(&topo).unwrap()))
+            b.iter(|| {
+                black_box(DownUp::new().construct(&topo).unwrap());
+            });
         });
         g.bench_function(BenchmarkId::new("downup_norelease", &tag), |b| {
-            b.iter(|| black_box(DownUp::new().release(false).construct(&topo).unwrap()))
+            b.iter(|| {
+                black_box(DownUp::new().release(false).construct(&topo).unwrap());
+            });
         });
         g.bench_function(BenchmarkId::new("lturn", &tag), |b| {
-            b.iter(|| black_box(lturn::construct(&topo).unwrap()))
+            b.iter(|| {
+                black_box(lturn::construct(&topo).unwrap());
+            });
         });
         g.bench_function(BenchmarkId::new("updown_bfs", &tag), |b| {
-            b.iter(|| black_box(updown::construct_bfs(&topo).unwrap()))
+            b.iter(|| {
+                black_box(updown::construct_bfs(&topo).unwrap());
+            });
         });
     }
     g.finish();
@@ -85,11 +100,13 @@ fn bench_verification(c: &mut Criterion) {
     c.bench_function("cdg_acyclicity/128sw_8p", |b| {
         b.iter(|| {
             let dep = ChannelDepGraph::build(&cg, &table);
-            black_box(dep.is_acyclic())
-        })
+            black_box(dep.is_acyclic());
+        });
     });
     c.bench_function("routing_tables/128sw_8p", |b| {
-        b.iter(|| black_box(RoutingTables::build(&cg, &table).unwrap()))
+        b.iter(|| {
+            black_box(RoutingTables::build(&cg, &table).unwrap());
+        });
     });
 }
 

@@ -16,9 +16,11 @@ fn bench_sim_cycles(c: &mut Criterion) {
     g.sample_size(10);
     const CYCLES: u32 = 3_000;
     g.throughput(Throughput::Elements(CYCLES as u64));
-    for (label, rate, vcs) in
-        [("light_load", 0.02, 1u32), ("saturated", 0.5, 1), ("saturated_4vc", 0.5, 4)]
-    {
+    for (label, rate, vcs) in [
+        ("light_load", 0.02, 1u32),
+        ("saturated", 0.5, 1),
+        ("saturated_4vc", 0.5, 4),
+    ] {
         let cfg = SimConfig {
             injection_rate: rate,
             virtual_channels: vcs,
@@ -33,8 +35,8 @@ fn bench_sim_cycles(c: &mut Criterion) {
                 black_box(
                     Simulator::new(routing.comm_graph(), routing.routing_tables(), *cfg, seed)
                         .run(),
-                )
-            })
+                );
+            });
         });
     }
     g.finish();
@@ -44,16 +46,23 @@ fn bench_algo_construct_and_route(c: &mut Criterion) {
     // End-to-end "operator" cost: construct a routing for a fresh fabric.
     let mut g = c.benchmark_group("end_to_end_construct");
     g.sample_size(10);
-    for algo in [Algo::DownUp { release: true }, Algo::LTurn { release: true }] {
-        g.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let topo =
-                    gen::random_irregular(gen::IrregularParams::paper(128, 4), seed).unwrap();
-                black_box(algo.construct(&topo, PreorderPolicy::M1, seed).unwrap())
-            })
-        });
+    for algo in [
+        Algo::DownUp { release: true },
+        Algo::LTurn { release: true },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let topo =
+                        gen::random_irregular(gen::IrregularParams::paper(128, 4), seed).unwrap();
+                    black_box(algo.construct(&topo, PreorderPolicy::M1, seed).unwrap());
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -57,7 +57,10 @@ impl Cli {
 pub fn parse_args(mut argv: impl Iterator<Item = String>, usage: &str) -> Cli {
     let program = argv.next().unwrap_or_else(|| "bench".into());
     let args: Vec<String> = argv.collect();
-    let mut cli = Cli { program, ..Cli::default() };
+    let mut cli = Cli {
+        program,
+        ..Cli::default()
+    };
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -86,7 +89,7 @@ mod tests {
 
     fn parse(items: &[&str]) -> Cli {
         parse_args(
-            std::iter::once("prog".to_string()).chain(items.iter().map(|s| s.to_string())),
+            std::iter::once("prog".to_string()).chain(items.iter().map(ToString::to_string)),
             "usage",
         )
     }

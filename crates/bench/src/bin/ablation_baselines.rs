@@ -33,7 +33,10 @@ fn main() {
             "leaf util",
         ]);
         for &algo in &cfg.algos {
-            let m = results.cell(ports, cfg.policies[0], algo).unwrap().saturation;
+            let m = results
+                .cell(ports, cfg.policies[0], algo)
+                .unwrap()
+                .saturation;
             table.row(vec![
                 algo.to_string(),
                 format!("{:.4}", m.accepted_traffic),

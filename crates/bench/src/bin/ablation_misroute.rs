@@ -28,7 +28,10 @@ fn main() {
         ("misroute after 32, budget 8", Some(32), 8),
     ];
 
-    for algo in [Algo::LTurn { release: true }, Algo::DownUp { release: true }] {
+    for algo in [
+        Algo::LTurn { release: true },
+        Algo::DownUp { release: true },
+    ] {
         let mut table =
             TextTable::new(&["escape policy", "max thpt", "latency @ sat", "traffic load"]);
         for (label, patience, budget) in variants {

@@ -60,11 +60,19 @@ fn main() {
 
     // Dynamic comparison at saturation.
     let results = run_grid(&cfg);
-    let mut dyn_table =
-        TextTable::new(&["ports", "algorithm", "max throughput", "latency @ sat", "hot spot %"]);
+    let mut dyn_table = TextTable::new(&[
+        "ports",
+        "algorithm",
+        "max throughput",
+        "latency @ sat",
+        "hot spot %",
+    ]);
     for &ports in &cfg.ports {
         for &algo in &cfg.algos {
-            let m = results.cell(ports, cfg.policies[0], algo).unwrap().saturation;
+            let m = results
+                .cell(ports, cfg.policies[0], algo)
+                .unwrap()
+                .saturation;
             dyn_table.row(vec![
                 ports.to_string(),
                 algo.to_string(),

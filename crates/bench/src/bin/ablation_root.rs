@@ -28,8 +28,10 @@ fn main() {
         "hot spot %",
         "leaf util",
     ]);
-    for (label, root) in [("smallest id (paper)", RootPolicy::Smallest), ("center", RootPolicy::Center)]
-    {
+    for (label, root) in [
+        ("smallest id (paper)", RootPolicy::Smallest),
+        ("center", RootPolicy::Center),
+    ] {
         let mut depth = 0.0;
         let mut hops = 0.0;
         let mut sat = Vec::new();
@@ -43,7 +45,12 @@ fn main() {
             let (tree, cg, tbl, tables) = routing.into_parts();
             depth += tree.max_level() as f64;
             hops += tables.avg_route_len(&cg);
-            let inst = Instance { tree, cg, table: tbl, tables };
+            let inst = Instance {
+                tree,
+                cg,
+                table: tbl,
+                tables,
+            };
             let curve = sweep::sweep(&inst, &cfg.sim, &cfg.rates, cfg.sim_seed + s as u64);
             sat.push(curve.saturation().metrics);
         }

@@ -27,8 +27,12 @@ fn main() {
         ("deterministic minimal", RouteChoice::DeterministicMinimal),
     ];
 
-    let mut table =
-        TextTable::new(&["output selection", "max thpt", "latency @ sat", "hot spot %"]);
+    let mut table = TextTable::new(&[
+        "output selection",
+        "max thpt",
+        "latency @ sat",
+        "hot spot %",
+    ]);
     for (label, choice) in choices {
         let mut sat = Vec::new();
         for s in 0..cfg.samples {
@@ -40,7 +44,10 @@ fn main() {
             let inst = Algo::DownUp { release: true }
                 .construct(&topo, PreorderPolicy::M1, s as u64)
                 .unwrap();
-            let base = SimConfig { route_choice: choice, ..cfg.sim };
+            let base = SimConfig {
+                route_choice: choice,
+                ..cfg.sim
+            };
             let curve = sweep::sweep(&inst, &base, &cfg.rates, cfg.sim_seed + s as u64);
             sat.push(curve.saturation().metrics);
         }
@@ -65,13 +72,18 @@ fn main() {
         cfg.topo_seed,
     )
     .unwrap();
-    let inst =
-        Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
-    for (label, choice) in
-        [("adaptive", RouteChoice::AdaptiveRandom), ("deterministic", RouteChoice::DeterministicMinimal)]
-    {
-        let sim_cfg =
-            SimConfig { injection_rate: 0.1, route_choice: choice, ..cfg.sim };
+    let inst = Algo::DownUp { release: true }
+        .construct(&topo, PreorderPolicy::M1, 0)
+        .unwrap();
+    for (label, choice) in [
+        ("adaptive", RouteChoice::AdaptiveRandom),
+        ("deterministic", RouteChoice::DeterministicMinimal),
+    ] {
+        let sim_cfg = SimConfig {
+            injection_rate: 0.1,
+            route_choice: choice,
+            ..cfg.sim
+        };
         let stats = Simulator::new(&inst.cg, &inst.tables, sim_cfg, cfg.sim_seed).run();
         let profile = LevelProfile::compute(&stats, &inst.cg, &inst.tree);
         println!("level shares ({label}): {}", profile.summary());

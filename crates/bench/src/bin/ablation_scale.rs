@@ -15,7 +15,11 @@ fn main() {
     let base = ExperimentConfig::from_cli(&cli);
     let sizes: Vec<u32> = cli.opt_list(
         "sizes",
-        if cli.flag("full") { &[32, 64, 128, 256][..] } else { &[16, 32, 64][..] },
+        if cli.flag("full") {
+            &[32, 64, 128, 256][..]
+        } else {
+            &[16, 32, 64][..]
+        },
     );
 
     let mut table = TextTable::new(&[
@@ -30,17 +34,29 @@ fn main() {
         let mut cfg = base.clone();
         cfg.num_switches = n;
         let results = run_grid(&cfg);
-        let l = results.cell(cfg.ports[0], cfg.policies[0], cfg.algos[0]).unwrap().saturation;
-        let d = results.cell(cfg.ports[0], cfg.policies[0], cfg.algos[1]).unwrap().saturation;
+        let l = results
+            .cell(cfg.ports[0], cfg.policies[0], cfg.algos[0])
+            .unwrap()
+            .saturation;
+        let d = results
+            .cell(cfg.ports[0], cfg.policies[0], cfg.algos[1])
+            .unwrap()
+            .saturation;
         table.row(vec![
             n.to_string(),
             format!("{:.4}", l.accepted_traffic),
             format!("{:.4}", d.accepted_traffic),
-            format!("{:+.1} %", 100.0 * (d.accepted_traffic / l.accepted_traffic - 1.0)),
+            format!(
+                "{:+.1} %",
+                100.0 * (d.accepted_traffic / l.accepted_traffic - 1.0)
+            ),
             format!("{:.1}", l.hot_spot_degree),
             format!("{:.1}", d.hot_spot_degree),
         ]);
     }
-    println!("\nNetwork-size sweep ({}-port, {} samples):\n", base.ports[0], base.samples);
+    println!(
+        "\nNetwork-size sweep ({}-port, {} samples):\n",
+        base.ports[0], base.samples
+    );
     println!("{}", table.render());
 }

@@ -14,14 +14,24 @@ fn main() {
     let cli = parse_args(std::env::args(), USAGE);
     let base = ExperimentConfig::from_cli(&cli);
 
-    let mut depth_table =
-        TextTable::new(&["buffer depth", "L-turn thpt", "DOWN/UP thpt", "DOWN/UP gain"]);
+    let mut depth_table = TextTable::new(&[
+        "buffer depth",
+        "L-turn thpt",
+        "DOWN/UP thpt",
+        "DOWN/UP gain",
+    ]);
     for depth in [1u32, 2, 4, 8] {
         let mut cfg = base.clone();
         cfg.sim.buffer_depth = depth;
         let results = run_grid(&cfg);
-        let l = results.cell(cfg.ports[0], cfg.policies[0], cfg.algos[0]).unwrap().throughput();
-        let d = results.cell(cfg.ports[0], cfg.policies[0], cfg.algos[1]).unwrap().throughput();
+        let l = results
+            .cell(cfg.ports[0], cfg.policies[0], cfg.algos[0])
+            .unwrap()
+            .throughput();
+        let d = results
+            .cell(cfg.ports[0], cfg.policies[0], cfg.algos[1])
+            .unwrap()
+            .throughput();
         depth_table.row(vec![
             depth.to_string(),
             format!("{l:.4}"),
@@ -29,7 +39,10 @@ fn main() {
             format!("{:+.1} %", 100.0 * (d / l - 1.0)),
         ]);
     }
-    println!("\nBuffer-depth sweep ({} switches, {}-port):\n", base.num_switches, base.ports[0]);
+    println!(
+        "\nBuffer-depth sweep ({} switches, {}-port):\n",
+        base.num_switches, base.ports[0]
+    );
     println!("{}", depth_table.render());
 
     let mut len_table =
@@ -38,8 +51,14 @@ fn main() {
         let mut cfg = base.clone();
         cfg.sim.packet_len = len;
         let results = run_grid(&cfg);
-        let l = results.cell(cfg.ports[0], cfg.policies[0], cfg.algos[0]).unwrap().throughput();
-        let d = results.cell(cfg.ports[0], cfg.policies[0], cfg.algos[1]).unwrap().throughput();
+        let l = results
+            .cell(cfg.ports[0], cfg.policies[0], cfg.algos[0])
+            .unwrap()
+            .throughput();
+        let d = results
+            .cell(cfg.ports[0], cfg.policies[0], cfg.algos[1])
+            .unwrap()
+            .throughput();
         len_table.row(vec![
             len.to_string(),
             format!("{l:.4}"),

@@ -31,7 +31,11 @@ fn main() {
             "random (half-filled)",
             Box::new(move |s| {
                 gen::random_irregular(
-                    gen::IrregularParams { num_nodes: n, ports, fill: 0.5 },
+                    gen::IrregularParams {
+                        num_nodes: n,
+                        ports,
+                        fill: 0.5,
+                    },
                     s,
                 )
                 .unwrap()
@@ -68,12 +72,15 @@ fn main() {
         for s in 0..cfg.samples {
             let topo = make(cfg.topo_seed + s as u64);
             deg += topo.avg_degree();
-            for (i, &algo) in
-                [Algo::LTurn { release: true }, Algo::DownUp { release: true }].iter().enumerate()
+            for (i, &algo) in [
+                Algo::LTurn { release: true },
+                Algo::DownUp { release: true },
+            ]
+            .iter()
+            .enumerate()
             {
                 let inst = algo.construct(&topo, PreorderPolicy::M1, s as u64).unwrap();
-                let curve =
-                    sweep::sweep(&inst, &cfg.sim, &cfg.rates, cfg.sim_seed + s as u64);
+                let curve = sweep::sweep(&inst, &cfg.sim, &cfg.rates, cfg.sim_seed + s as u64);
                 thpt[i] += curve.max_throughput();
             }
         }

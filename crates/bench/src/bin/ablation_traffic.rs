@@ -21,20 +21,42 @@ fn main() {
     let cli = parse_args(std::env::args(), USAGE);
     let cfg = ExperimentConfig::from_cli(&cli);
     let workloads: Vec<(&str, TrafficPattern, ArrivalProcess)> = vec![
-        ("uniform", TrafficPattern::Uniform, ArrivalProcess::Bernoulli),
+        (
+            "uniform",
+            TrafficPattern::Uniform,
+            ArrivalProcess::Bernoulli,
+        ),
         (
             "uniform bursty",
             TrafficPattern::Uniform,
-            ArrivalProcess::OnOff { mean_burst: 200, burstiness: 4.0 },
+            ArrivalProcess::OnOff {
+                mean_burst: 200,
+                burstiness: 4.0,
+            },
         ),
         (
             "hotspot 20%",
-            TrafficPattern::Hotspot { hot_node: 0, hot_fraction: 0.2 },
+            TrafficPattern::Hotspot {
+                hot_node: 0,
+                hot_fraction: 0.2,
+            },
             ArrivalProcess::Bernoulli,
         ),
-        ("bit-complement", TrafficPattern::BitComplement, ArrivalProcess::Bernoulli),
-        ("opposite", TrafficPattern::Opposite, ArrivalProcess::Bernoulli),
-        ("local r=4", TrafficPattern::Local { radius: 4 }, ArrivalProcess::Bernoulli),
+        (
+            "bit-complement",
+            TrafficPattern::BitComplement,
+            ArrivalProcess::Bernoulli,
+        ),
+        (
+            "opposite",
+            TrafficPattern::Opposite,
+            ArrivalProcess::Bernoulli,
+        ),
+        (
+            "local r=4",
+            TrafficPattern::Local { radius: 4 },
+            ArrivalProcess::Bernoulli,
+        ),
     ];
 
     let rate = cli.opt_parse("rate", 0.12f64);
@@ -56,8 +78,12 @@ fn main() {
                 cfg.topo_seed + s as u64,
             )
             .unwrap();
-            for (i, &algo) in
-                [Algo::LTurn { release: true }, Algo::DownUp { release: true }].iter().enumerate()
+            for (i, &algo) in [
+                Algo::LTurn { release: true },
+                Algo::DownUp { release: true },
+            ]
+            .iter()
+            .enumerate()
             {
                 let inst = algo.construct(&topo, PreorderPolicy::M1, s as u64).unwrap();
                 let sim_cfg = SimConfig {
@@ -67,8 +93,7 @@ fn main() {
                     ..cfg.sim
                 };
                 let stats =
-                    Simulator::new(&inst.cg, &inst.tables, sim_cfg, cfg.sim_seed + s as u64)
-                        .run();
+                    Simulator::new(&inst.cg, &inst.tables, sim_cfg, cfg.sim_seed + s as u64).run();
                 assert!(!stats.deadlocked, "{label}/{algo} deadlocked");
                 let m = PaperMetrics::compute(&stats, &inst.cg, &inst.tree);
                 acc[i] += m.accepted_traffic;

@@ -26,8 +26,14 @@ fn main() {
         let mut cfg = base.clone();
         cfg.sim.virtual_channels = vcs;
         let results = run_grid(&cfg);
-        let l = results.cell(cfg.ports[0], cfg.policies[0], cfg.algos[0]).unwrap().saturation;
-        let d = results.cell(cfg.ports[0], cfg.policies[0], cfg.algos[1]).unwrap().saturation;
+        let l = results
+            .cell(cfg.ports[0], cfg.policies[0], cfg.algos[0])
+            .unwrap()
+            .saturation;
+        let d = results
+            .cell(cfg.ports[0], cfg.policies[0], cfg.algos[1])
+            .unwrap()
+            .saturation;
         table.row(vec![
             vcs.to_string(),
             format!("{:.4}", l.accepted_traffic),

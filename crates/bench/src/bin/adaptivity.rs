@@ -29,7 +29,10 @@ fn main() {
         Algo::DownUp { release: false },
         Algo::DownUp { release: true },
     ];
-    let sim_cfg = SimConfig { injection_rate: 0.15, ..cfg.sim };
+    let sim_cfg = SimConfig {
+        injection_rate: 0.15,
+        ..cfg.sim
+    };
 
     let mut table = TextTable::new(&[
         "algorithm",

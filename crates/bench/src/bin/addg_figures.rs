@@ -21,8 +21,7 @@ fn main() {
 
     let complete = DirGraph::complete(Direction::COUNT);
     let path = format!("{out_dir}/addg_0_complete.dot");
-    std::fs::write(&path, complete.to_dot("complete direction graph", &labels))
-        .expect("write dot");
+    std::fs::write(&path, complete.to_dot("complete direction graph", &labels)).expect("write dot");
     println!("wrote {path} ({} turns)", complete.num_edges());
 
     for (i, (label, g)) in phase2::derivation_steps().into_iter().enumerate() {
@@ -30,7 +29,5 @@ fn main() {
         std::fs::write(&path, g.to_dot(label, &labels)).expect("write dot");
         println!("wrote {path} — {label} ({} turns kept)", g.num_edges());
     }
-    println!(
-        "render with e.g.: dot -Tsvg {out_dir}/addg_4.dot -o addg7.svg (Figure 6f)"
-    );
+    println!("render with e.g.: dot -Tsvg {out_dir}/addg_4.dot -o addg7.svg (Figure 6f)");
 }

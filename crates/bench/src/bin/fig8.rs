@@ -39,7 +39,12 @@ fn main() {
     let results = run_grid(&cfg);
 
     let mut csv = TextTable::new(&[
-        "ports", "policy", "algorithm", "offered", "avg_latency", "accepted_traffic",
+        "ports",
+        "policy",
+        "algorithm",
+        "offered",
+        "avg_latency",
+        "accepted_traffic",
     ]);
     for &ports in &cfg.ports {
         for &policy in &cfg.policies {
@@ -77,11 +82,21 @@ fn main() {
             println!("{}", table.render());
         }
         // The paper's headline comparison: maximal throughput per cell.
-        let mut summary =
-            TextTable::new(&["policy", "L-turn max thpt", "DOWN/UP max thpt", "DOWN/UP gain"]);
+        let mut summary = TextTable::new(&[
+            "policy",
+            "L-turn max thpt",
+            "DOWN/UP max thpt",
+            "DOWN/UP gain",
+        ]);
         for &policy in &cfg.policies {
-            let l = results.cell(ports, policy, cfg.algos[0]).unwrap().throughput();
-            let d = results.cell(ports, policy, cfg.algos[1]).unwrap().throughput();
+            let l = results
+                .cell(ports, policy, cfg.algos[0])
+                .unwrap()
+                .throughput();
+            let d = results
+                .cell(ports, policy, cfg.algos[1])
+                .unwrap()
+                .throughput();
             summary.row(vec![
                 policy.to_string(),
                 format!("{l:.4}"),
@@ -117,11 +132,15 @@ fn main() {
                 let label = format!("{algo} {policy}");
                 lat.add_series(
                     &label,
-                    cell.points.iter().map(|p| (p.offered, p.metrics.avg_latency)),
+                    cell.points
+                        .iter()
+                        .map(|p| (p.offered, p.metrics.avg_latency)),
                 );
                 acc.add_series(
                     &label,
-                    cell.points.iter().map(|p| (p.offered, p.metrics.accepted_traffic)),
+                    cell.points
+                        .iter()
+                        .map(|p| (p.offered, p.metrics.accepted_traffic)),
                 );
             }
         }

@@ -60,15 +60,23 @@ fn main() {
 
     println!(
         "\n{}",
-        paper_table(&results, &cfg, "Table 1. Node utilization", "higher is better", |m| fmt6(
-            m.node_utilization
-        ))
+        paper_table(
+            &results,
+            &cfg,
+            "Table 1. Node utilization",
+            "higher is better",
+            |m| fmt6(m.node_utilization)
+        )
     );
     println!(
         "{}",
-        paper_table(&results, &cfg, "Table 2. Traffic load", "lower is better", |m| fmt6(
-            m.traffic_load
-        ))
+        paper_table(
+            &results,
+            &cfg,
+            "Table 2. Traffic load",
+            "lower is better",
+            |m| fmt6(m.traffic_load)
+        )
     );
     println!(
         "{}",
@@ -94,8 +102,16 @@ fn main() {
     // Shape check against the paper's qualitative claims (Remark 2):
     // DOWN/UP beats L-turn on every metric in every cell; M1 is the best
     // policy for both algorithms (Remark 1).
-    let lturn = cfg.algos.iter().copied().find(|a| matches!(a, Algo::LTurn { .. }));
-    let downup = cfg.algos.iter().copied().find(|a| matches!(a, Algo::DownUp { .. }));
+    let lturn = cfg
+        .algos
+        .iter()
+        .copied()
+        .find(|a| matches!(a, Algo::LTurn { .. }));
+    let downup = cfg
+        .algos
+        .iter()
+        .copied()
+        .find(|a| matches!(a, Algo::DownUp { .. }));
     if let (Some(l), Some(d)) = (lturn, downup) {
         let mut wins = 0;
         let mut cells = 0;

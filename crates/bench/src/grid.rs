@@ -82,8 +82,11 @@ impl ExperimentConfig {
     /// `--rates 0.01,0.05`, `--packet-len`, `--warmup`, `--measure`,
     /// `--threads`, `--seed`.
     pub fn from_cli(cli: &Cli) -> ExperimentConfig {
-        let mut cfg =
-            if cli.flag("full") { ExperimentConfig::full() } else { ExperimentConfig::quick() };
+        let mut cfg = if cli.flag("full") {
+            ExperimentConfig::full()
+        } else {
+            ExperimentConfig::quick()
+        };
         cfg.num_switches = cli.opt_parse("switches", cfg.num_switches);
         cfg.ports = cli.opt_list("ports", &cfg.ports);
         cfg.samples = cli.opt_parse("samples", cfg.samples);
@@ -116,21 +119,27 @@ impl ExperimentConfig {
 /// Identifies one cell of the grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CellKey {
+    /// Ports per switch.
     pub ports: u32,
+    /// Preorder policy used for the coordinated tree.
     pub policy: PreorderPolicy,
+    /// Routing algorithm under test.
     pub algo: Algo,
 }
 
 /// Per-load averages across samples (Figure 8 series).
 #[derive(Debug, Clone, Copy)]
 pub struct AvgPoint {
+    /// Offered load (flits/node/cycle).
     pub offered: f64,
+    /// Paper metrics averaged over samples at this load.
     pub metrics: PaperMetrics,
 }
 
 /// A fully aggregated grid cell.
 #[derive(Debug, Clone)]
 pub struct CellResult {
+    /// Which grid cell this is.
     pub key: CellKey,
     /// Average of the paper metrics at each offered load, over samples.
     pub points: Vec<AvgPoint>,
@@ -148,6 +157,7 @@ impl CellResult {
 /// All aggregated cells for one experiment.
 #[derive(Debug, Clone)]
 pub struct GridResults {
+    /// One entry per (ports, policy, algo) combination.
     pub cells: Vec<CellResult>,
 }
 
@@ -172,20 +182,30 @@ pub fn run_grid(cfg: &ExperimentConfig) -> GridResults {
     for &ports in &cfg.ports {
         for &policy in &cfg.policies {
             for &algo in &cfg.algos {
-                keys.push(CellKey { ports, policy, algo });
+                keys.push(CellKey {
+                    ports,
+                    policy,
+                    algo,
+                });
             }
         }
     }
     let mut tasks = Vec::new();
     for (ci, &key) in keys.iter().enumerate() {
         for s in 0..cfg.samples {
-            tasks.push(Task { cell: ci, key, sample: s });
+            tasks.push(Task {
+                cell: ci,
+                key,
+                sample: s,
+            });
         }
     }
 
     // curves[cell][sample]
-    let curves: Vec<Mutex<Vec<Option<SweepCurve>>>> =
-        keys.iter().map(|_| Mutex::new(vec![None; cfg.samples as usize])).collect();
+    let curves: Vec<Mutex<Vec<Option<SweepCurve>>>> = keys
+        .iter()
+        .map(|_| Mutex::new(vec![None; cfg.samples as usize]))
+        .collect();
     let next = AtomicUsize::new(0);
     let run_task = |t: &Task| {
         let topo = gen::random_irregular(
@@ -244,14 +264,19 @@ pub fn run_grid(cfg: &ExperimentConfig) -> GridResults {
 fn aggregate_cell(key: CellKey, samples: &[SweepCurve], rates: &[f64]) -> CellResult {
     let points = (0..rates.len())
         .map(|i| {
-            let ms: Vec<&PaperMetrics> =
-                samples.iter().map(|c| &c.points[i].metrics).collect();
-            AvgPoint { offered: rates[i], metrics: PaperMetrics::mean(ms) }
+            let ms: Vec<&PaperMetrics> = samples.iter().map(|c| &c.points[i].metrics).collect();
+            AvgPoint {
+                offered: rates[i],
+                metrics: PaperMetrics::mean(ms),
+            }
         })
         .collect();
-    let sats: Vec<PaperMetrics> =
-        samples.iter().map(|c| c.saturation().metrics).collect();
-    CellResult { key, points, saturation: PaperMetrics::mean(sats.iter()) }
+    let sats: Vec<PaperMetrics> = samples.iter().map(|c| c.saturation().metrics).collect();
+    CellResult {
+        key,
+        points,
+        saturation: PaperMetrics::mean(sats.iter()),
+    }
 }
 
 #[cfg(test)]
@@ -287,8 +312,12 @@ mod tests {
             assert_eq!(c.points.len(), 2);
             assert!(c.throughput() > 0.0);
         }
-        assert!(res.cell(4, PreorderPolicy::M1, Algo::PAPER_PAIR[0]).is_some());
-        assert!(res.cell(8, PreorderPolicy::M1, Algo::PAPER_PAIR[0]).is_none());
+        assert!(res
+            .cell(4, PreorderPolicy::M1, Algo::PAPER_PAIR[0])
+            .is_some());
+        assert!(res
+            .cell(8, PreorderPolicy::M1, Algo::PAPER_PAIR[0])
+            .is_none());
     }
 
     #[test]
@@ -301,7 +330,10 @@ mod tests {
             assert_eq!(a.key, b.key);
             assert_eq!(a.saturation.accepted_traffic, b.saturation.accepted_traffic);
             for (pa, pb) in a.points.iter().zip(&b.points) {
-                assert_eq!(pa.metrics.avg_latency.to_bits(), pb.metrics.avg_latency.to_bits());
+                assert_eq!(
+                    pa.metrics.avg_latency.to_bits(),
+                    pb.metrics.avg_latency.to_bits()
+                );
             }
         }
     }
@@ -309,9 +341,18 @@ mod tests {
     #[test]
     fn cli_presets_and_overrides() {
         let cli = crate::parse_args(
-            ["p", "--full", "--samples", "3", "--ports", "8", "--threads", "2"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "p",
+                "--full",
+                "--samples",
+                "3",
+                "--ports",
+                "8",
+                "--threads",
+                "2",
+            ]
+            .iter()
+            .map(ToString::to_string),
             "u",
         );
         let cfg = ExperimentConfig::from_cli(&cli);

@@ -5,6 +5,8 @@
 //! * `gen`      — generate a random irregular topology (JSON to stdout/file)
 //! * `verify`   — construct a routing over a topology and verify deadlock
 //!   freedom + connectivity
+//! * `lint`     — run the static deadlock-freedom certifier and routing
+//!   lint battery (one target, or a seed grid when no `--topology` is given)
 //! * `routes`   — print route statistics (and a sample route)
 //! * `simulate` — run one wormhole simulation and print the paper metrics
 //!
@@ -13,17 +15,23 @@
 //! ```text
 //! irnet gen --switches 128 --ports 4 --seed 1 --out net.json
 //! irnet verify --topology net.json --algo downup
+//! irnet lint --topology net.json --algo downup --json
+//! irnet lint --quick
 //! irnet simulate --topology net.json --algo lturn --rate 0.1
 //! ```
 
 use irnet_metrics::paper::PaperMetrics;
 use irnet_metrics::{sweep, Algo, Instance};
 use irnet_sim::{SimConfig, Simulator};
-use irnet_topology::{gen, topology_from_json, topology_to_json, PreorderPolicy, Topology};
-use irnet_turns::verify_routing;
+use irnet_topology::{
+    gen, topology_from_json, topology_to_json, CommGraph, CoordinatedTree, PreorderPolicy, Topology,
+};
+use irnet_turns::{verify_routing, ChannelDepGraph, TurnTable};
+use irnet_verify::{LintReport, Severity, Verdict};
 use std::collections::BTreeMap;
 
-const USAGE: &str = "irnet <gen|analyze|verify|routes|simulate|sweep|export|render|replay> [options]
+const USAGE: &str =
+    "irnet <gen|analyze|verify|lint|routes|simulate|sweep|export|render|replay> [options]
 
 common options:
   --topology FILE     read a topology JSON (otherwise --switches/--ports/--seed generate one)
@@ -35,6 +43,11 @@ common options:
 
 gen options:
   --out FILE          write the topology JSON to FILE (default stdout)
+
+lint options:
+  --json              print the lint report as JSON (single-target mode)
+  --quick             grid mode: small seed grid (the default without --topology)
+  --full              grid mode: larger seed grid
 
 simulate options:
   --rate R            offered load, flits/node/clock (default 0.1)
@@ -65,6 +78,9 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Options that are flags: present/absent, no value.
+const BOOL_FLAGS: &[&str] = &["quick", "full", "json"];
+
 struct Opts {
     kv: BTreeMap<String, String>,
 }
@@ -73,12 +89,15 @@ impl Opts {
     fn get(&self, k: &str) -> Option<&str> {
         self.kv.get(k).map(String::as_str)
     }
+    fn flag(&self, k: &str) -> bool {
+        self.kv.contains_key(k)
+    }
     fn parse<T: std::str::FromStr>(&self, k: &str, default: T) -> T {
         match self.get(k) {
             None => default,
-            Some(raw) => {
-                raw.parse().unwrap_or_else(|_| fail(&format!("invalid --{k} value {raw:?}")))
-            }
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("invalid --{k} value {raw:?}"))),
         }
     }
 }
@@ -92,8 +111,13 @@ fn parse_opts(args: &[String]) -> Opts {
             println!("{USAGE}");
             std::process::exit(0);
         }
-        let Some(name) = a.strip_prefix("--") else { fail(&format!("unexpected argument {a:?}")) };
-        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+        let Some(name) = a.strip_prefix("--") else {
+            fail(&format!("unexpected argument {a:?}"))
+        };
+        if BOOL_FLAGS.contains(&name) {
+            kv.insert(name.to_string(), "true".to_string());
+            i += 1;
+        } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
             kv.insert(name.to_string(), args[i + 1].clone());
             i += 2;
         } else {
@@ -170,30 +194,221 @@ fn cmd_verify(o: &Opts) {
     let inst = build_instance(o, &topo);
     let report = verify_routing(&inst.cg, &inst.table);
     println!("algorithm          : {}", parse_algo(o));
-    println!("switches / links   : {} / {}", topo.num_nodes(), topo.num_links());
+    println!(
+        "switches / links   : {} / {}",
+        topo.num_nodes(),
+        topo.num_links()
+    );
     println!("prohibited pairs   : {}", report.prohibited_pairs);
     println!(
         "deadlock-free      : {}",
-        if report.cycle.is_none() { "yes (channel dependency graph is acyclic)" } else { "NO" }
+        if report.cycle.is_none() {
+            "yes (channel dependency graph is acyclic)"
+        } else {
+            "NO"
+        }
     );
     if let Some(cycle) = &report.cycle {
         println!("  witness turn cycle through {} channels", cycle.len());
     }
     println!(
         "connected          : {}",
-        if report.disconnected.is_none() { "yes (all ordered pairs reachable)" } else { "NO" }
+        if report.disconnected.is_none() {
+            "yes (all ordered pairs reachable)"
+        } else {
+            "NO"
+        }
     );
-    if report.is_ok() {
-        println!("avg / max route len: {:.3} / {}", report.avg_route_len, report.max_route_len);
-    } else {
+    if let (Some(avg), Some(max)) = (report.avg_route_len, report.max_route_len) {
+        println!("avg / max route len: {avg:.3} / {max}");
+    }
+    if !report.is_ok() {
         std::process::exit(1);
+    }
+}
+
+fn cmd_lint(o: &Opts) {
+    if o.get("topology").is_some() {
+        lint_single(o);
+    } else {
+        lint_grid(o);
+    }
+}
+
+/// Lint one `(topology, algo, policy)` target; exit 1 on error findings.
+fn lint_single(o: &Opts) {
+    let topo = load_topology(o);
+    let inst = build_instance(o, &topo);
+    let report = irnet_verify::lint(&inst.cg, &inst.table);
+    let dep = ChannelDepGraph::build(&inst.cg, &inst.table);
+    if let Err(e) = irnet_verify::recheck(&report.certificate, &dep) {
+        fail(&format!(
+            "internal error: certificate failed its own recheck: {e}"
+        ));
+    }
+    if o.flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("algorithm   : {}", parse_algo(o));
+        print_lint_report(&report);
+    }
+    if report.has_errors() {
+        std::process::exit(1);
+    }
+}
+
+fn print_lint_report(report: &LintReport) {
+    let cert = &report.certificate;
+    println!(
+        "certificate : {} ({} channels, {} dependency edges)",
+        if cert.is_deadlock_free() {
+            "deadlock-free (total channel numbering found)"
+        } else {
+            "DEADLOCK (witness cycle below)"
+        },
+        cert.num_channels,
+        cert.num_edges
+    );
+    if report.findings.is_empty() {
+        println!("findings    : none");
+    }
+    for f in &report.findings {
+        println!("{}: {}", f.code, f.message);
+    }
+}
+
+/// The battery: certify and lint every cell of a seed grid, plus a negative
+/// control (the paper's §4.3 printed PT list on the five-switch
+/// counterexample, which must be *rejected* with a minimized witness).
+/// Exits nonzero if any cell errors, any certificate fails its independent
+/// recheck, or the negative control is not caught.
+fn lint_grid(o: &Opts) {
+    let topos: &[(u32, u32, u64)] = if o.flag("full") {
+        &[
+            (32, 4, 1),
+            (32, 4, 2),
+            (32, 4, 3),
+            (32, 8, 1),
+            (32, 8, 2),
+            (48, 4, 1),
+            (48, 8, 1),
+            (64, 4, 1),
+        ]
+    } else {
+        &[(16, 4, 1), (16, 4, 2), (24, 4, 1), (24, 8, 1)]
+    };
+    let all_policy_algos = [
+        Algo::DownUp { release: true },
+        Algo::DownUp { release: false },
+        Algo::LTurn { release: true },
+        Algo::LTurn { release: false },
+    ];
+    let m1_only_algos = [Algo::UpDownBfs, Algo::UpDownDfs];
+
+    let mut cells = 0u32;
+    let mut failed = 0u32;
+    let mut warning_findings = 0usize;
+    let mut run_cell = |topo: &Topology, label: &str, policy: PreorderPolicy, algo: Algo| {
+        cells += 1;
+        let inst = algo
+            .construct(topo, policy, 0)
+            .unwrap_or_else(|e| fail(&format!("construction failed for {label}: {e}")));
+        let report = irnet_verify::lint(&inst.cg, &inst.table);
+        let dep = ChannelDepGraph::build(&inst.cg, &inst.table);
+        let recheck = irnet_verify::recheck(&report.certificate, &dep);
+        let warnings = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count();
+        warning_findings += warnings;
+        if report.has_errors() || recheck.is_err() {
+            failed += 1;
+            println!("FAIL {label} policy={policy:?} algo={algo}");
+            for f in &report.findings {
+                if f.severity == Severity::Error {
+                    println!("  {}: {}", f.code, f.message);
+                }
+            }
+            if let Err(e) = recheck {
+                println!("  certificate failed independent recheck: {e}");
+            }
+        } else {
+            println!("ok   {label} policy={policy:?} algo={algo} warnings={warnings}");
+        }
+    };
+    for &(n, ports, seed) in topos {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(n, ports), seed)
+            .unwrap_or_else(|e| fail(&format!("generation failed: {e}")));
+        let label = format!("switches={n} ports={ports} seed={seed}");
+        for policy in PreorderPolicy::ALL {
+            for &algo in &all_policy_algos {
+                run_cell(&topo, &label, policy, algo);
+            }
+        }
+        for &algo in &m1_only_algos {
+            run_cell(&topo, &label, PreorderPolicy::M1, algo);
+        }
+    }
+
+    match negative_control() {
+        Ok(len) => println!(
+            "negative control: printed \u{a7}4.3 PT list rejected \
+             (IRNET-E001, minimized witness length {len})"
+        ),
+        Err(e) => {
+            failed += 1;
+            println!("FAIL negative control: {e}");
+        }
+    }
+    println!(
+        "lint grid: {cells} cells, {} clean, {failed} failed, \
+         {warning_findings} warning finding(s)",
+        cells - failed.min(cells)
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The five-switch counterexample under the paper's printed (erroneous)
+/// §4.3 prohibited-turn list must fail certification with a short witness.
+fn negative_control() -> Result<usize, String> {
+    use irnet_core::phase2::PROHIBITED_TURNS_AS_PRINTED;
+    let topo = Topology::new(
+        5,
+        4,
+        [(0, 1), (0, 2), (0, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+    )
+    .map_err(|e| format!("counterexample topology: {e}"))?;
+    let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0)
+        .map_err(|e| format!("counterexample tree: {e}"))?;
+    let cg = CommGraph::build(&topo, &tree);
+    let printed =
+        TurnTable::from_direction_rule(&cg, |a, b| !PROHIBITED_TURNS_AS_PRINTED.contains(&(a, b)));
+    let report = irnet_verify::lint(&cg, &printed);
+    let dep = ChannelDepGraph::build(&cg, &printed);
+    irnet_verify::recheck(&report.certificate, &dep)
+        .map_err(|e| format!("witness failed recheck: {e}"))?;
+    match &report.certificate.verdict {
+        Verdict::DeadlockFree { .. } => {
+            Err("printed PT list was incorrectly certified deadlock-free".to_string())
+        }
+        Verdict::Deadlock { witness } if witness.len() > 6 => Err(format!(
+            "witness not minimized: length {} > 6",
+            witness.len()
+        )),
+        Verdict::Deadlock { witness } => Ok(witness.len()),
     }
 }
 
 fn cmd_routes(o: &Opts) {
     let topo = load_topology(o);
     let inst = build_instance(o, &topo);
-    println!("avg route length: {:.3}", inst.tables.avg_route_len(&inst.cg));
+    println!(
+        "avg route length: {:.3}",
+        inst.tables.avg_route_len(&inst.cg)
+    );
     println!("max route length: {}", inst.tables.max_route_len(&inst.cg));
     let n = topo.num_nodes();
     let (s, t) = (0u32, n - 1);
@@ -219,11 +434,20 @@ fn cmd_simulate(o: &Opts) {
     };
     let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64)).run();
     let m = PaperMetrics::compute(&stats, &inst.cg, &inst.tree);
-    println!("offered load     : {:.4} flits/clock/node", cfg.injection_rate);
-    println!("accepted traffic : {:.4} flits/clock/node", m.accepted_traffic);
+    println!(
+        "offered load     : {:.4} flits/clock/node",
+        cfg.injection_rate
+    );
+    println!(
+        "accepted traffic : {:.4} flits/clock/node",
+        m.accepted_traffic
+    );
     println!("avg latency      : {:.1} clocks", m.avg_latency);
     println!("node utilization : {:.6}", m.node_utilization);
-    println!("traffic load     : {:.6} (stddev of node utilization)", m.traffic_load);
+    println!(
+        "traffic load     : {:.6} (stddev of node utilization)",
+        m.traffic_load
+    );
     println!("hot spot degree  : {:.2} % (levels 0-1)", m.hot_spot_degree);
     println!("leaf utilization : {:.6}", m.leaf_utilization);
     println!("packets delivered: {}", stats.packets_delivered);
@@ -239,20 +463,33 @@ fn cmd_analyze(o: &Opts) {
     let deg = analysis::degree_stats(&topo);
     let dist = analysis::distance_stats(&topo);
     let cuts = analysis::articulation_points(&topo);
-    println!("switches / links    : {} / {}", topo.num_nodes(), topo.num_links());
-    println!("degree min/mean/max : {} / {:.2} / {}", deg.min, deg.mean, deg.max);
+    println!(
+        "switches / links    : {} / {}",
+        topo.num_nodes(),
+        topo.num_links()
+    );
+    println!(
+        "degree min/mean/max : {} / {:.2} / {}",
+        deg.min, deg.mean, deg.max
+    );
     println!("mean distance       : {:.3} hops", dist.mean);
     println!("diameter            : {} hops", dist.diameter);
     println!(
         "articulation points : {} {}",
         cuts.len(),
-        if cuts.is_empty() { "(2-connected: survives any single-switch failure)".to_string() }
-        else { format!("{cuts:?}") }
+        if cuts.is_empty() {
+            "(2-connected: survives any single-switch failure)".to_string()
+        } else {
+            format!("{cuts:?}")
+        }
     );
     let tree = irnet_topology::CoordinatedTree::build(&topo, parse_policy(o), o.parse("seed", 1))
         .unwrap_or_else(|e| fail(&format!("tree construction failed: {e}")));
     let lvl = analysis::level_profile(&topo, &tree);
-    println!("tree levels         : {:?} switches per level", lvl.population);
+    println!(
+        "tree levels         : {:?} switches per level",
+        lvl.population
+    );
     println!("tree leaves         : {} total", tree.leaves().len());
     println!(
         "cross links         : {:.1} % of links ({} same-level)",
@@ -274,7 +511,11 @@ fn cmd_sweep(o: &Opts) {
     let rates: Vec<f64> = match o.get("rates") {
         Some(raw) => raw
             .split(',')
-            .map(|s| s.trim().parse().unwrap_or_else(|_| fail("invalid --rates element")))
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail("invalid --rates element"))
+            })
             .collect(),
         None => sweep::default_rates(8),
     };
@@ -327,7 +568,13 @@ fn cmd_render(o: &Opts) {
         ..SimConfig::default()
     };
     let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64)).run();
-    let svg = render_network(&topo, &inst.tree, &inst.cg, Some(&stats), NetPlotOptions::default());
+    let svg = render_network(
+        &topo,
+        &inst.tree,
+        &inst.cg,
+        Some(&stats),
+        NetPlotOptions::default(),
+    );
     match o.get("out") {
         Some(path) => {
             std::fs::write(path, &svg)
@@ -379,7 +626,10 @@ fn cmd_replay(o: &Opts) {
             std::process::exit(1);
         }
     }
-    println!("avg latency      : {:.1} clocks", result.stats.avg_latency());
+    println!(
+        "avg latency      : {:.1} clocks",
+        result.stats.avg_latency()
+    );
     if let Some(p99) = result.stats.latency_quantile(0.99) {
         println!("p99 latency      : {p99} clocks");
     }
@@ -387,12 +637,15 @@ fn cmd_replay(o: &Opts) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else { fail("missing subcommand") };
+    let Some((cmd, rest)) = args.split_first() else {
+        fail("missing subcommand")
+    };
     let opts = parse_opts(rest);
     match cmd.as_str() {
         "gen" => cmd_gen(&opts),
         "analyze" => cmd_analyze(&opts),
         "verify" => cmd_verify(&opts),
+        "lint" => cmd_lint(&opts),
         "routes" => cmd_routes(&opts),
         "simulate" => cmd_simulate(&opts),
         "sweep" => cmd_sweep(&opts),

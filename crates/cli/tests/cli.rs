@@ -40,11 +40,24 @@ fn gen_writes_valid_topology_json() {
 
 #[test]
 fn verify_reports_deadlock_freedom_for_every_algo() {
-    for algo in ["downup", "downup-norelease", "lturn", "updown-bfs", "updown-dfs"] {
+    for algo in [
+        "downup",
+        "downup-norelease",
+        "lturn",
+        "updown-bfs",
+        "updown-dfs",
+    ] {
         let r = irnet(&["verify", "--switches", "20", "--seed", "2", "--algo", algo]);
-        assert!(r.status.success(), "algo {algo}: {}", String::from_utf8_lossy(&r.stderr));
+        assert!(
+            r.status.success(),
+            "algo {algo}: {}",
+            String::from_utf8_lossy(&r.stderr)
+        );
         let stdout = String::from_utf8_lossy(&r.stdout);
-        assert!(stdout.contains("deadlock-free      : yes"), "algo {algo}: {stdout}");
+        assert!(
+            stdout.contains("deadlock-free      : yes"),
+            "algo {algo}: {stdout}"
+        );
         assert!(stdout.contains("connected          : yes"));
     }
 }

@@ -1,6 +1,8 @@
 use crate::phase2;
 use crate::phase3::{self, ReleasedTurn};
-use irnet_topology::{CommGraph, CoordinatedTree, PreorderPolicy, RootPolicy, Topology, TopologyError};
+use irnet_topology::{
+    CommGraph, CoordinatedTree, PreorderPolicy, RootPolicy, Topology, TopologyError,
+};
 use irnet_turns::{RoutingError, RoutingTables, TurnTable};
 
 /// Errors from [`DownUp::construct`].
@@ -55,7 +57,12 @@ impl Default for DownUp {
 impl DownUp {
     /// A builder with the paper's defaults.
     pub fn new() -> DownUp {
-        DownUp { policy: PreorderPolicy::M1, root: RootPolicy::Smallest, seed: 0, release: true }
+        DownUp {
+            policy: PreorderPolicy::M1,
+            root: RootPolicy::Smallest,
+            seed: 0,
+            release: true,
+        }
     }
 
     /// Selects the preorder policy (`M1`/`M2`/`M3`) for the coordinated
@@ -93,11 +100,20 @@ impl DownUp {
         // Phase 2: apply the 18 globally prohibited turns.
         let mut table = TurnTable::from_direction_rule(&cg, phase2::turn_allowed);
         // Phase 3: release redundant per-node prohibitions.
-        let released =
-            if self.release { phase3::cycle_detection(&cg, &mut table) } else { Vec::new() };
+        let released = if self.release {
+            phase3::cycle_detection(&cg, &mut table)
+        } else {
+            Vec::new()
+        };
         // Shortest legal paths; also proves connectivity (Theorem 1).
         let tables = RoutingTables::build(&cg, &table)?;
-        Ok(DownUpRouting { tree, cg, table, tables, released })
+        Ok(DownUpRouting {
+            tree,
+            cg,
+            table,
+            tables,
+            released,
+        })
     }
 }
 
@@ -192,8 +208,16 @@ mod tests {
     #[test]
     fn routing_is_reproducible() {
         let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 3).unwrap();
-        let a = DownUp::new().policy(PreorderPolicy::M2).seed(11).construct(&topo).unwrap();
-        let b = DownUp::new().policy(PreorderPolicy::M2).seed(11).construct(&topo).unwrap();
+        let a = DownUp::new()
+            .policy(PreorderPolicy::M2)
+            .seed(11)
+            .construct(&topo)
+            .unwrap();
+        let b = DownUp::new()
+            .policy(PreorderPolicy::M2)
+            .seed(11)
+            .construct(&topo)
+            .unwrap();
         assert_eq!(a.turn_table(), b.turn_table());
         assert_eq!(a.released_turns(), b.released_turns());
     }

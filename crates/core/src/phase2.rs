@@ -116,7 +116,10 @@ pub fn turn_allowed(from: Direction, to: Direction) -> bool {
 pub fn derivation_steps() -> Vec<(&'static str, DirGraph)> {
     let mut steps = Vec::new();
     let g = derive_with(|label, snapshot| steps.push((label, snapshot)));
-    debug_assert_eq!(steps.last().map(|(_, g)| g.num_edges()), Some(g.num_edges()));
+    debug_assert_eq!(
+        steps.last().map(|(_, g)| g.num_edges()),
+        Some(g.num_edges())
+    );
     steps
 }
 
@@ -273,9 +276,12 @@ mod tests {
     fn counterexample_cg() -> CommGraph {
         // Root 0 with children 1, 2, 3; node 4 is the child of 1 and has
         // cross links to 2 and 3; 2-3 is a same-level cross link.
-        let topo =
-            Topology::new(5, 4, [(0, 1), (0, 2), (0, 3), (1, 4), (2, 3), (2, 4), (3, 4)])
-                .unwrap();
+        let topo = Topology::new(
+            5,
+            4,
+            [(0, 1), (0, 2), (0, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+        )
+        .unwrap();
         let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
         // Preorder: 0, 1, 4, 2, 3 -> X = [0, 1, 3, 4, 2].
         assert_eq!(tree.x(4), 2);
@@ -291,7 +297,9 @@ mod tests {
             !PROHIBITED_TURNS_AS_PRINTED.contains(&(a, b))
         });
         let dep = ChannelDepGraph::build(&cg, &printed);
-        let cycle = dep.find_cycle().expect("the printed PT list must admit a turn cycle");
+        let cycle = dep
+            .find_cycle()
+            .expect("the printed PT list must admit a turn cycle");
         // No cycle can ever pass through LU_TREE (all its in-turns are
         // prohibited in both variants).
         for &c in &cycle {

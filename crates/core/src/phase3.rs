@@ -76,15 +76,17 @@ mod tests {
     #[test]
     fn releases_keep_the_table_deadlock_free() {
         for seed in 0..6 {
-            let topo =
-                gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
+            let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
             let (cg, mut table) = downup_table(&topo);
             let before = table.num_prohibited_turns(&cg);
             let released = cycle_detection(&cg, &mut table);
             let after = table.num_prohibited_turns(&cg);
             assert_eq!(before - after, released.len());
             let dep = ChannelDepGraph::build(&cg, &table);
-            assert!(dep.is_acyclic(), "release pass broke deadlock freedom (seed {seed})");
+            assert!(
+                dep.is_acyclic(),
+                "release pass broke deadlock freedom (seed {seed})"
+            );
         }
     }
 
@@ -110,7 +112,11 @@ mod tests {
         let (cg, mut table) = downup_table(&topo);
         let first = cycle_detection(&cg, &mut table);
         let second = cycle_detection(&cg, &mut table);
-        assert!(second.is_empty(), "second pass released {} more turns", second.len());
+        assert!(
+            second.is_empty(),
+            "second pass released {} more turns",
+            second.len()
+        );
         // A maximality-flavored sanity check: re-prohibiting a released turn
         // and re-running reproduces it.
         if let Some(&r) = first.first() {
@@ -126,11 +132,13 @@ mod tests {
         // prohibited turns — otherwise phase 3 would be vacuous.
         let mut total = 0usize;
         for seed in 0..8 {
-            let topo =
-                gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
+            let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
             let (cg, mut table) = downup_table(&topo);
             total += cycle_detection(&cg, &mut table).len();
         }
-        assert!(total > 0, "phase 3 never released anything across 8 topologies");
+        assert!(
+            total > 0,
+            "phase 3 never released anything across 8 topologies"
+        );
     }
 }

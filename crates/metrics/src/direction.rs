@@ -106,7 +106,12 @@ mod tests {
         // vice versa), so aggregate up and down shares cannot be wildly
         // asymmetric for uniform traffic.
         let b = breakdown_for(Algo::DownUp { release: true });
-        assert!(b.up > 0.1 && b.down > 0.1, "up {:.3} down {:.3}", b.up, b.down);
+        assert!(
+            b.up > 0.1 && b.down > 0.1,
+            "up {:.3} down {:.3}",
+            b.up,
+            b.down
+        );
         let ratio = b.up / b.down;
         assert!((0.4..=2.5).contains(&ratio), "up/down ratio {ratio:.2}");
     }

@@ -46,7 +46,11 @@ impl FairnessReport {
         FairnessReport {
             delivery_jain: jain_index(delivered),
             generation_jain: jain_index(&stats.node_packets_generated),
-            min_max_ratio: if max == 0 { 0.0 } else { min as f64 / max as f64 },
+            min_max_ratio: if max == 0 {
+                0.0
+            } else {
+                min as f64 / max as f64
+            },
         }
     }
 }
@@ -89,14 +93,21 @@ mod tests {
     #[test]
     fn uniform_traffic_is_fair() {
         let f = run(TrafficPattern::Uniform);
-        assert!(f.delivery_jain > 0.85, "uniform delivery Jain {:.3}", f.delivery_jain);
+        assert!(
+            f.delivery_jain > 0.85,
+            "uniform delivery Jain {:.3}",
+            f.delivery_jain
+        );
         assert!(f.generation_jain > 0.85);
     }
 
     #[test]
     fn hotspot_traffic_is_unfair_by_construction() {
         let uniform = run(TrafficPattern::Uniform);
-        let hot = run(TrafficPattern::Hotspot { hot_node: 3, hot_fraction: 0.7 });
+        let hot = run(TrafficPattern::Hotspot {
+            hot_node: 3,
+            hot_fraction: 0.7,
+        });
         assert!(
             hot.delivery_jain < uniform.delivery_jain,
             "hotspot Jain {:.3} not below uniform {:.3}",

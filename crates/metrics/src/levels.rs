@@ -44,7 +44,11 @@ impl LevelProfile {
             .iter()
             .map(|s| if total > 0.0 { s / total } else { 0.0 })
             .collect();
-        LevelProfile { avg_util, share, population }
+        LevelProfile {
+            avg_util,
+            share,
+            population,
+        }
     }
 
     /// The paper's Table 3 metric recovered from the profile: the

@@ -44,8 +44,10 @@ pub enum Algo {
 
 impl Algo {
     /// The two algorithms the paper compares, in its order.
-    pub const PAPER_PAIR: [Algo; 2] =
-        [Algo::LTurn { release: true }, Algo::DownUp { release: true }];
+    pub const PAPER_PAIR: [Algo; 2] = [
+        Algo::LTurn { release: true },
+        Algo::DownUp { release: true },
+    ];
 
     /// Human-readable label used in reports.
     pub fn label(self) -> &'static str {
@@ -70,25 +72,53 @@ impl Algo {
     ) -> Result<Instance, AlgoError> {
         match self {
             Algo::DownUp { release } => {
-                let r = DownUp::new().policy(policy).seed(seed).release(release).construct(topo)?;
+                let r = DownUp::new()
+                    .policy(policy)
+                    .seed(seed)
+                    .release(release)
+                    .construct(topo)?;
                 let (tree, cg, table, tables) = r.into_parts();
-                Ok(Instance { tree, cg, table, tables })
+                Ok(Instance {
+                    tree,
+                    cg,
+                    table,
+                    tables,
+                })
             }
             Algo::LTurn { release } => {
                 let r = lturn::construct_with(
                     topo,
-                    lturn::LTurnOptions { policy, seed, release },
+                    lturn::LTurnOptions {
+                        policy,
+                        seed,
+                        release,
+                    },
                 )?;
                 let (tree, cg, table, tables) = r.into_parts();
-                Ok(Instance { tree, cg, table, tables })
+                Ok(Instance {
+                    tree,
+                    cg,
+                    table,
+                    tables,
+                })
             }
             Algo::UpDownBfs => {
                 let (tree, cg, table, tables) = updown::construct_bfs(topo)?.into_parts();
-                Ok(Instance { tree, cg, table, tables })
+                Ok(Instance {
+                    tree,
+                    cg,
+                    table,
+                    tables,
+                })
             }
             Algo::UpDownDfs => {
                 let (tree, cg, table, tables) = updown::construct_dfs(topo)?.into_parts();
-                Ok(Instance { tree, cg, table, tables })
+                Ok(Instance {
+                    tree,
+                    cg,
+                    table,
+                    tables,
+                })
             }
         }
     }

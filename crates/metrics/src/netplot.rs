@@ -24,7 +24,11 @@ pub struct NetPlotOptions {
 
 impl Default for NetPlotOptions {
     fn default() -> Self {
-        NetPlotOptions { width: 900, height: 540, labels: true }
+        NetPlotOptions {
+            width: 900,
+            height: 540,
+            labels: true,
+        }
     }
 }
 
@@ -49,8 +53,7 @@ pub fn render_network(
     let utils = stats.map(|s| s.node_utilizations(cg));
     let max_util = utils
         .as_ref()
-        .map(|u| u.iter().cloned().fold(0.0f64, f64::max).max(1e-12))
-        .unwrap_or(1.0);
+        .map_or(1.0, |u| u.iter().copied().fold(0.0f64, f64::max).max(1e-12));
 
     let mut svg = String::new();
     let _ = writeln!(
@@ -61,7 +64,11 @@ pub fn render_network(
     // Links first (under the nodes).
     for l in 0..topo.num_links() {
         let (a, b) = topo.link(l);
-        let dash = if tree.is_tree_link(l) { "" } else { r#" stroke-dasharray="4 3""# };
+        let dash = if tree.is_tree_link(l) {
+            ""
+        } else {
+            r#" stroke-dasharray="4 3""#
+        };
         let color = if tree.is_tree_link(l) { "#444" } else { "#999" };
         let _ = writeln!(
             svg,
@@ -131,7 +138,10 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         assert_eq!(svg.matches("<circle").count() as u32, topo.num_nodes());
         assert_eq!(svg.matches("<line").count() as u32, topo.num_links());
-        assert!(svg.contains("stroke-dasharray"), "cross links should be dashed");
+        assert!(
+            svg.contains("stroke-dasharray"),
+            "cross links should be dashed"
+        );
     }
 
     #[test]
@@ -157,7 +167,10 @@ mod tests {
         );
         assert!(svg.contains("node utilization"));
         // At least one node must be at full heat (the max is normalized).
-        assert!(svg.contains("#ff26"), "expected a saturated heat color: {svg}");
+        assert!(
+            svg.contains("#ff26"),
+            "expected a saturated heat color: {svg}"
+        );
     }
 
     #[test]

@@ -59,8 +59,11 @@ impl PaperMetrics {
         acc.hot_spot_degree /= n as f64;
         acc.leaf_utilization /= n as f64;
         acc.accepted_traffic /= n as f64;
-        acc.avg_latency =
-            if lat_n > 0 { acc.avg_latency / lat_n as f64 } else { f64::NAN };
+        acc.avg_latency = if lat_n > 0 {
+            acc.avg_latency / lat_n as f64
+        } else {
+            f64::NAN
+        };
         acc
     }
 
@@ -75,7 +78,11 @@ impl PaperMetrics {
             .filter(|&v| tree.y(v as u32) <= 1)
             .map(|v| utils[v])
             .sum();
-        let hot = if total > 0.0 { 100.0 * top / total } else { 0.0 };
+        let hot = if total > 0.0 {
+            100.0 * top / total
+        } else {
+            0.0
+        };
         let leaves = tree.leaves();
         let leaf = if leaves.is_empty() {
             0.0
@@ -128,8 +135,9 @@ mod tests {
         // Hot-spot share must cover at least the levels' fair share of
         // *some* traffic; with a root bottleneck it is typically above the
         // node-count share. Just sanity-check the partition.
-        let top_nodes =
-            (0..inst.cg.num_nodes()).filter(|&v| inst.tree.y(v) <= 1).count();
+        let top_nodes = (0..inst.cg.num_nodes())
+            .filter(|&v| inst.tree.y(v) <= 1)
+            .count();
         assert!(top_nodes >= 1);
     }
 

@@ -34,7 +34,9 @@ pub struct LineChart {
 }
 
 /// A qualitative 6-color palette (colorblind-safe Okabe–Ito subset).
-const COLORS: [&str; 6] = ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"];
+const COLORS: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
 
 impl LineChart {
     /// A chart with default size.
@@ -51,9 +53,14 @@ impl LineChart {
 
     /// Adds a series; non-finite points are dropped.
     pub fn add_series(&mut self, label: &str, points: impl IntoIterator<Item = (f64, f64)>) {
-        let points: Vec<(f64, f64)> =
-            points.into_iter().filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
-        self.series.push(Series { label: label.to_string(), points });
+        let points: Vec<(f64, f64)> = points
+            .into_iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        self.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
     }
 
     /// Renders the chart to an SVG document. Panics if every series is
@@ -64,8 +71,11 @@ impl LineChart {
         let pw = w - ml - mr;
         let ph = h - mt - mb;
 
-        let all: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         assert!(!all.is_empty(), "cannot plot an empty chart");
         let (mut x0, mut x1) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
             (lo.min(x), hi.max(x))
@@ -198,7 +208,9 @@ impl LineChart {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn fmt_tick(v: f64) -> String {
@@ -234,8 +246,15 @@ mod tests {
         assert!(svg.contains("L-turn"));
         // Every circle marker is inside the canvas.
         for cap in svg.split("<circle ").skip(1) {
-            let cx: f64 = cap.split("cx=\"").nth(1).unwrap().split('"').next().unwrap()
-                .parse().unwrap();
+            let cx: f64 = cap
+                .split("cx=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
             assert!((0.0..=720.0).contains(&cx));
         }
     }

@@ -11,7 +11,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> TextTable {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; must match the header arity.
@@ -59,7 +62,14 @@ impl TextTable {
                 s.to_string()
             }
         };
-        out.push_str(&self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));

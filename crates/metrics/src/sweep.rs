@@ -58,9 +58,15 @@ pub fn sweep(inst: &Instance, base: &SimConfig, rates: &[f64], seed: u64) -> Swe
 
 /// Runs one operating point.
 pub fn run_point(inst: &Instance, base: &SimConfig, rate: f64, seed: u64) -> SweepPoint {
-    let cfg = SimConfig { injection_rate: rate, ..*base };
+    let cfg = SimConfig {
+        injection_rate: rate,
+        ..*base
+    };
     let stats = Simulator::new(&inst.cg, &inst.tables, cfg, seed).run();
-    SweepPoint { offered: rate, metrics: PaperMetrics::compute(&stats, &inst.cg, &inst.tree) }
+    SweepPoint {
+        offered: rate,
+        metrics: PaperMetrics::compute(&stats, &inst.cg, &inst.tree),
+    }
 }
 
 /// The default offered-load ladder used by the reproduction harness: a
@@ -84,7 +90,9 @@ mod tests {
 
     fn small_instance() -> Instance {
         let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 4).unwrap();
-        Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap()
+        Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap()
     }
 
     fn quick_base() -> SimConfig {
@@ -113,11 +121,18 @@ mod tests {
     fn throughput_saturates_as_load_grows() {
         let inst = small_instance();
         let curve = sweep(&inst, &quick_base(), &[0.01, 0.1, 0.4, 0.9], 2);
-        let acc: Vec<f64> =
-            curve.points.iter().map(|p| p.metrics.accepted_traffic).collect();
+        let acc: Vec<f64> = curve
+            .points
+            .iter()
+            .map(|p| p.metrics.accepted_traffic)
+            .collect();
         // Accepted traffic at the lowest load roughly equals offered, and
         // the curve cannot exceed the physical ejection bound of 1.
-        assert!((acc[0] - 0.01).abs() < 0.006, "accepted {} at offered 0.01", acc[0]);
+        assert!(
+            (acc[0] - 0.01).abs() < 0.006,
+            "accepted {} at offered 0.01",
+            acc[0]
+        );
         for &a in &acc {
             assert!(a <= 1.0);
         }

@@ -84,7 +84,10 @@ impl SimConfig {
     /// The paper's configuration at a given offered load, with run lengths
     /// sized for the 128-switch experiments.
     pub fn paper(injection_rate: f64) -> SimConfig {
-        SimConfig { injection_rate, ..SimConfig::default() }
+        SimConfig {
+            injection_rate,
+            ..SimConfig::default()
+        }
     }
 
     /// Total simulated cycles.
@@ -95,9 +98,15 @@ impl SimConfig {
     /// Validates the configuration, panicking with a clear message on
     /// nonsensical values. Called by the simulator constructor.
     pub fn validate(&self) {
-        assert!(self.packet_len >= 2, "packets need a header and a tail flit");
+        assert!(
+            self.packet_len >= 2,
+            "packets need a header and a tail flit"
+        );
         assert!(self.injection_rate >= 0.0, "negative injection rate");
-        assert!(self.buffer_depth >= 1, "buffers must hold at least one flit");
+        assert!(
+            self.buffer_depth >= 1,
+            "buffers must hold at least one flit"
+        );
         assert!(
             (1..=8).contains(&self.virtual_channels),
             "virtual channels must be in 1..=8"
@@ -122,12 +131,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "header and a tail")]
     fn rejects_single_flit_packets() {
-        SimConfig { packet_len: 1, ..SimConfig::default() }.validate();
+        SimConfig {
+            packet_len: 1,
+            ..SimConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "virtual channels")]
     fn rejects_zero_vcs() {
-        SimConfig { virtual_channels: 0, ..SimConfig::default() }.validate();
+        SimConfig {
+            virtual_channels: 0,
+            ..SimConfig::default()
+        }
+        .validate();
     }
 }

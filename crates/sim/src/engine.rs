@@ -161,8 +161,7 @@ impl<'a> Simulator<'a> {
         let mut deadlocked = false;
         while self.now < total {
             self.step();
-            if self.live_packets > 0
-                && self.now - self.last_progress > self.cfg.deadlock_threshold
+            if self.live_packets > 0 && self.now - self.last_progress > self.cfg.deadlock_threshold
             {
                 deadlocked = true;
                 break;
@@ -179,7 +178,12 @@ impl<'a> Simulator<'a> {
         assert_ne!(src, dst, "self-traffic does not enter the network");
         assert!(src < self.cg.num_nodes() && dst < self.cg.num_nodes());
         let id = self.packets.len() as u32;
-        self.packets.push(Packet { dst, gen_time: self.now, len: self.cfg.packet_len, detours: 0 });
+        self.packets.push(Packet {
+            dst,
+            gen_time: self.now,
+            len: self.cfg.packet_len,
+            detours: 0,
+        });
         self.src_queue[src as usize].push_back(id);
         self.live_packets += 1;
         if self.measuring() {
@@ -224,7 +228,11 @@ impl<'a> Simulator<'a> {
 
     fn into_stats(self, deadlocked: bool) -> SimStats {
         SimStats {
-            cycles: self.cfg.measure_cycles.min(self.now.saturating_sub(self.cfg.warmup_cycles)).max(1),
+            cycles: self
+                .cfg
+                .measure_cycles
+                .min(self.now.saturating_sub(self.cfg.warmup_cycles))
+                .max(1),
             num_nodes: self.cg.num_nodes(),
             flits_delivered: self.flits_delivered,
             packets_delivered: self.packets_delivered,
@@ -278,7 +286,12 @@ impl<'a> Simulator<'a> {
             if arrived {
                 let dst = self.cfg.traffic.pick_dest(&mut self.rng, v, n);
                 let id = self.packets.len() as u32;
-                self.packets.push(Packet { dst, gen_time: self.now, len: self.cfg.packet_len, detours: 0 });
+                self.packets.push(Packet {
+                    dst,
+                    gen_time: self.now,
+                    len: self.cfg.packet_len,
+                    detours: 0,
+                });
                 self.src_queue[v as usize].push_back(id);
                 self.live_packets += 1;
                 if self.measuring() {
@@ -298,7 +311,9 @@ impl<'a> Simulator<'a> {
             for k in 0..vcs {
                 let vc = (start + k) % vcs;
                 let idx = c * vcs + vc;
-                let Some(flit) = self.staged[idx] else { continue };
+                let Some(flit) = self.staged[idx] else {
+                    continue;
+                };
                 if flit.time >= self.now {
                     continue;
                 }
@@ -306,7 +321,10 @@ impl<'a> Simulator<'a> {
                     continue;
                 }
                 self.staged[idx] = None;
-                self.bufs[idx].push_back(Flit { time: self.now, ..flit });
+                self.bufs[idx].push_back(Flit {
+                    time: self.now,
+                    ..flit
+                });
                 if self.measuring() {
                     self.channel_flits[c] += 1;
                 }
@@ -326,7 +344,9 @@ impl<'a> Simulator<'a> {
     /// local processor.
     fn eject_stage(&mut self) {
         for v in 0..self.cg.num_nodes() as usize {
-            let Some(flit) = self.eject_staged[v] else { continue };
+            let Some(flit) = self.eject_staged[v] else {
+                continue;
+            };
             if flit.time >= self.now {
                 continue;
             }
@@ -389,14 +409,20 @@ impl<'a> Simulator<'a> {
         let moved = if route == ROUTE_EJECT {
             let v = self.input_node(i) as usize;
             if self.eject_staged[v].is_none() {
-                self.eject_staged[v] = Some(Flit { time: self.now, ..flit });
+                self.eject_staged[v] = Some(Flit {
+                    time: self.now,
+                    ..flit
+                });
                 true
             } else {
                 false
             }
         } else if self.staged[route as usize].is_none() {
             debug_assert_eq!(self.owner[route as usize], i as u32);
-            self.staged[route as usize] = Some(Flit { time: self.now, ..flit });
+            self.staged[route as usize] = Some(Flit {
+                time: self.now,
+                ..flit
+            });
             true
         } else {
             false
@@ -432,7 +458,11 @@ impl<'a> Simulator<'a> {
             // one cycle after its predecessor left (body); using the packet
             // generation time for the header and `now - 1` for body flits
             // models a processor that can feed one flit per clock.
-            let time = if seq == 0 { self.packets[pkt as usize].gen_time } else { self.now - 1 };
+            let time = if seq == 0 {
+                self.packets[pkt as usize].gen_time
+            } else {
+                self.now - 1
+            };
             Some(Flit { pkt, seq, time })
         }
     }
@@ -476,7 +506,10 @@ impl<'a> Simulator<'a> {
             INJECTION_SLOT
         };
         let mask = self.tables.candidates(dst, v, slot);
-        debug_assert_ne!(mask, 0, "no minimal candidate at node {v} slot {slot} for dst {dst}");
+        debug_assert_ne!(
+            mask, 0,
+            "no minimal candidate at node {v} slot {slot} for dst {dst}"
+        );
 
         // Committed modes: decide on one port up front and wait for it.
         if matches!(
@@ -519,7 +552,9 @@ impl<'a> Simulator<'a> {
             // non-dead-end output. Staying inside the allowed turn set keeps
             // the escape deadlock-free; the per-packet budget bounds
             // livelock.
-            let Some(patience) = self.cfg.misroute_patience else { return false };
+            let Some(patience) = self.cfg.misroute_patience else {
+                return false;
+            };
             if self.blocked[i] < patience
                 || self.packets[header.pkt as usize].detours >= self.cfg.max_detours
             {
@@ -559,7 +594,9 @@ impl<'a> Simulator<'a> {
     fn free_outvc(&self, v: NodeId, p: u8) -> Option<usize> {
         let c = self.cg.channels().output_at(v, p) as usize;
         let vcs = self.vcs as usize;
-        (0..vcs).map(|vc| c * vcs + vc).find(|&idx| self.owner[idx] == FREE)
+        (0..vcs)
+            .map(|vc| c * vcs + vc)
+            .find(|&idx| self.owner[idx] == FREE)
     }
 
     fn claim(&mut self, i: usize, out: usize) {
@@ -620,16 +657,21 @@ mod tests {
         // of clocks per hop; it must exceed the packet length and stay far
         // below the congested regime.
         let lat = stats.avg_latency();
-        assert!(lat > cfg.packet_len as f64, "latency {lat} below serialization floor");
-        assert!(lat < 40.0 * cfg.packet_len as f64, "latency {lat} absurdly high at low load");
+        assert!(
+            lat > cfg.packet_len as f64,
+            "latency {lat} below serialization floor"
+        );
+        assert!(
+            lat < 40.0 * cfg.packet_len as f64,
+            "latency {lat} absurdly high at low load"
+        );
     }
 
     #[test]
     fn delivered_flits_are_multiples_of_progress() {
         let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 2).unwrap();
         let r = updown::construct_bfs(&topo).unwrap();
-        let stats =
-            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.02), 3).run();
+        let stats = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.02), 3).run();
         assert!(!stats.deadlocked);
         // Every delivered packet contributes exactly packet_len flits, but
         // flit deliveries of in-flight packets also count; the inequality
@@ -671,14 +713,16 @@ mod tests {
             ..SimConfig::default()
         };
         let stats = Simulator::new(&cg, &rt, cfg, 4).run();
-        assert!(stats.deadlocked, "expected the watchdog to fire on an unrestricted ring");
+        assert!(
+            stats.deadlocked,
+            "expected the watchdog to fire on an unrestricted ring"
+        );
     }
 
     #[test]
     fn verified_routing_never_deadlocks_under_heavy_load() {
         for seed in 0..3 {
-            let topo =
-                gen::random_irregular(gen::IrregularParams::paper(16, 4), seed).unwrap();
+            let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), seed).unwrap();
             let r = DownUp::new().construct(&topo).unwrap();
             let cfg = SimConfig {
                 packet_len: 8,
@@ -688,9 +732,11 @@ mod tests {
                 deadlock_threshold: 3_000,
                 ..SimConfig::default()
             };
-            let stats =
-                Simulator::new(r.comm_graph(), r.routing_tables(), cfg, seed).run();
-            assert!(!stats.deadlocked, "DOWN/UP deadlocked at saturation (seed {seed})");
+            let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, seed).run();
+            assert!(
+                !stats.deadlocked,
+                "DOWN/UP deadlocked at saturation (seed {seed})"
+            );
             assert!(stats.accepted_traffic() > 0.0);
         }
     }
@@ -704,21 +750,29 @@ mod tests {
             let stats =
                 Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(rate), 2).run();
             let acc = stats.accepted_traffic();
-            assert!(acc >= prev * 0.8, "throughput collapsed: {acc} after {prev}");
+            assert!(
+                acc >= prev * 0.8,
+                "throughput collapsed: {acc} after {prev}"
+            );
             prev = acc;
         }
         // At very low load, accepted ≈ offered.
-        let stats =
-            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.01), 2).run();
+        let stats = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.01), 2).run();
         let acc = stats.accepted_traffic();
-        assert!((acc - 0.01).abs() < 0.005, "accepted {acc} far from offered 0.01");
+        assert!(
+            (acc - 0.01).abs() < 0.005,
+            "accepted {acc} far from offered 0.01"
+        );
     }
 
     #[test]
     fn virtual_channels_do_not_break_anything() {
         let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 3).unwrap();
         let r = DownUp::new().construct(&topo).unwrap();
-        let cfg = SimConfig { virtual_channels: 2, ..quick_cfg(0.05) };
+        let cfg = SimConfig {
+            virtual_channels: 2,
+            ..quick_cfg(0.05)
+        };
         let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 8).run();
         assert!(!stats.deadlocked);
         assert!(stats.packets_delivered > 0);
@@ -733,7 +787,10 @@ mod tests {
             RouteChoice::FirstFree,
             RouteChoice::DeterministicMinimal,
         ] {
-            let cfg = SimConfig { route_choice: choice, ..quick_cfg(0.03) };
+            let cfg = SimConfig {
+                route_choice: choice,
+                ..quick_cfg(0.03)
+            };
             let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 5).run();
             assert!(!stats.deadlocked, "{choice:?} deadlocked");
             assert!(stats.packets_delivered > 0, "{choice:?} delivered nothing");
@@ -752,8 +809,7 @@ mod tests {
         let b = Simulator::new(r.comm_graph(), r.routing_tables(), det, 4).run();
         assert_eq!(a.channel_flits, b.channel_flits);
         assert!(!a.deadlocked);
-        let adaptive =
-            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 4).run();
+        let adaptive = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 4).run();
         let used = |s: &crate::SimStats| s.channel_flits.iter().filter(|&&f| f > 0).count();
         assert!(
             used(&adaptive) >= used(&a),
@@ -769,8 +825,7 @@ mod tests {
         // 2h clocks, takes 1 clock through the ejection crossbar and 1 to
         // deliver, and the remaining L-1 flits stream at 1 flit/clock:
         //     latency = 2h + L + 1.
-        let topo =
-            irnet_topology::Topology::new(4, 2, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let topo = irnet_topology::Topology::new(4, 2, [(0, 1), (1, 2), (2, 3)]).unwrap();
         let tree =
             irnet_topology::CoordinatedTree::build(&topo, irnet_topology::PreorderPolicy::M1, 0)
                 .unwrap();
@@ -832,11 +887,17 @@ mod tests {
             ..quick_cfg(0.8)
         };
         let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 3).run();
-        assert!(!stats.deadlocked, "misrouting must stay inside the safe turn set");
+        assert!(
+            !stats.deadlocked,
+            "misrouting must stay inside the safe turn set"
+        );
         assert!(stats.packets_delivered > 0);
         // At low load misrouting never triggers: results identical to the
         // plain configuration.
-        let low = SimConfig { misroute_patience: Some(50), ..quick_cfg(0.01) };
+        let low = SimConfig {
+            misroute_patience: Some(50),
+            ..quick_cfg(0.01)
+        };
         let a = Simulator::new(r.comm_graph(), r.routing_tables(), low, 5).run();
         let b = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.01), 5).run();
         assert_eq!(a.channel_flits, b.channel_flits);
@@ -846,10 +907,8 @@ mod tests {
     fn contention_counters_track_load() {
         let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 3).unwrap();
         let r = DownUp::new().construct(&topo).unwrap();
-        let low =
-            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.01), 2).run();
-        let high =
-            Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.9), 2).run();
+        let low = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.01), 2).run();
+        let high = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.9), 2).run();
         assert!(low.header_block_rate() < high.header_block_rate());
         assert!(low.avg_network_occupancy() < high.avg_network_occupancy());
         // Little's law sanity at low load: occupancy ≈ throughput × mean

@@ -20,7 +20,10 @@ const LINEAR_LIMIT: u32 = 64;
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Histogram {
-        Histogram { counts: Vec::new(), total: 0 }
+        Histogram {
+            counts: Vec::new(),
+            total: 0,
+        }
     }
 
     fn bucket_of(value: u32) -> usize {

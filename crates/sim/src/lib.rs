@@ -49,8 +49,8 @@ pub mod trace;
 mod traffic;
 
 pub use config::{RouteChoice, SimConfig};
-pub use hist::Histogram;
 pub use engine::Simulator;
+pub use hist::Histogram;
 pub use stats::SimStats;
 pub use trace::{replay, ReplayResult, Trace, TraceEntry, TraceError};
 pub use traffic::{ArrivalProcess, TrafficPattern};

@@ -87,7 +87,9 @@ impl SimStats {
 
     /// Node utilization of every node.
     pub fn node_utilizations(&self, cg: &CommGraph) -> Vec<f64> {
-        (0..self.num_nodes).map(|v| self.node_utilization(cg, v)).collect()
+        (0..self.num_nodes)
+            .map(|v| self.node_utilization(cg, v))
+            .collect()
     }
 
     /// Latency percentile estimate in clocks (`None` if no packet was

@@ -71,10 +71,7 @@ pub struct Trace {
 impl Trace {
     /// Validates entries against a network of `num_nodes` switches and
     /// sorts them by time (stable, so same-cycle order is preserved).
-    pub fn new(
-        mut entries: Vec<TraceEntry>,
-        num_nodes: u32,
-    ) -> Result<Trace, TraceError> {
+    pub fn new(mut entries: Vec<TraceEntry>, num_nodes: u32) -> Result<Trace, TraceError> {
         for (i, e) in entries.iter().enumerate() {
             if e.src == e.dst {
                 return Err(TraceError::SelfTraffic { index: i });
@@ -118,8 +115,7 @@ impl Trace {
         let mut entries = Vec::new();
         for (ln, line) in text.lines().enumerate() {
             let line = line.trim();
-            if line.is_empty() || line.starts_with('#') || (ln == 0 && line == "time,src,dst")
-            {
+            if line.is_empty() || line.starts_with('#') || (ln == 0 && line == "time,src,dst") {
                 continue;
             }
             let mut parts = line.split(',');
@@ -141,12 +137,7 @@ impl Trace {
 
     /// A synthetic uniform trace: `packets` packets with uniformly random
     /// sources, destinations and injection times in `0..duration`.
-    pub fn synthetic_uniform(
-        num_nodes: u32,
-        packets: u32,
-        duration: u32,
-        seed: u64,
-    ) -> Trace {
+    pub fn synthetic_uniform(num_nodes: u32, packets: u32, duration: u32, seed: u64) -> Trace {
         assert!(num_nodes >= 2);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let entries = (0..packets)
@@ -156,7 +147,11 @@ impl Trace {
                 if dst >= src {
                     dst += 1;
                 }
-                TraceEntry { time: rng.gen_range(0..duration.max(1)), src, dst }
+                TraceEntry {
+                    time: rng.gen_range(0..duration.max(1)),
+                    src,
+                    dst,
+                }
             })
             .collect();
         Trace::new(entries, num_nodes).expect("synthetic trace is valid by construction")
@@ -167,7 +162,11 @@ impl Trace {
     pub fn incast(num_nodes: u32, target: NodeId) -> Trace {
         let entries = (0..num_nodes)
             .filter(|&v| v != target)
-            .map(|src| TraceEntry { time: 0, src, dst: target })
+            .map(|src| TraceEntry {
+                time: 0,
+                src,
+                dst: target,
+            })
             .collect();
         Trace::new(entries, num_nodes).expect("incast trace is valid by construction")
     }
@@ -195,7 +194,11 @@ pub fn replay(
     seed: u64,
     drain_deadline: u32,
 ) -> ReplayResult {
-    let cfg = SimConfig { injection_rate: 0.0, warmup_cycles: 0, ..cfg };
+    let cfg = SimConfig {
+        injection_rate: 0.0,
+        warmup_cycles: 0,
+        ..cfg
+    };
     let mut sim = Simulator::new(cg, tables, cfg, seed);
     let mut i = 0;
     while i < trace.entries.len() {
@@ -207,7 +210,10 @@ pub fn replay(
     }
     let drained = sim.drain(drain_deadline);
     let makespan = drained.then(|| sim.now());
-    ReplayResult { stats: sim.finish(), makespan }
+    ReplayResult {
+        stats: sim.finish(),
+        makespan,
+    }
 }
 
 #[cfg(test)]
@@ -229,19 +235,41 @@ mod tests {
     fn trace_validation_and_sorting() {
         let t = Trace::new(
             vec![
-                TraceEntry { time: 9, src: 0, dst: 1 },
-                TraceEntry { time: 1, src: 2, dst: 0 },
+                TraceEntry {
+                    time: 9,
+                    src: 0,
+                    dst: 1,
+                },
+                TraceEntry {
+                    time: 1,
+                    src: 2,
+                    dst: 0,
+                },
             ],
             3,
         )
         .unwrap();
         assert_eq!(t.entries()[0].time, 1);
         assert_eq!(
-            Trace::new(vec![TraceEntry { time: 0, src: 1, dst: 1 }], 3),
+            Trace::new(
+                vec![TraceEntry {
+                    time: 0,
+                    src: 1,
+                    dst: 1
+                }],
+                3
+            ),
             Err(TraceError::SelfTraffic { index: 0 })
         );
         assert_eq!(
-            Trace::new(vec![TraceEntry { time: 0, src: 1, dst: 7 }], 3),
+            Trace::new(
+                vec![TraceEntry {
+                    time: 0,
+                    src: 1,
+                    dst: 7
+                }],
+                3
+            ),
             Err(TraceError::NodeOutOfRange { index: 0, node: 7 })
         );
     }
@@ -272,7 +300,10 @@ mod tests {
         let makespan = result.makespan.expect("trace must drain");
         assert_eq!(result.stats.packets_delivered, 60);
         assert_eq!(result.stats.flits_delivered, 60 * 8);
-        assert!(makespan >= 500, "last injection at ~500, makespan {makespan}");
+        assert!(
+            makespan >= 500,
+            "last injection at ~500, makespan {makespan}"
+        );
     }
 
     #[test]
@@ -301,8 +332,22 @@ mod tests {
         let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 6).unwrap();
         let trace = Trace::synthetic_uniform(16, 100, 300, 9);
         let r = DownUp::new().construct(&topo).unwrap();
-        let a = replay(r.comm_graph(), r.routing_tables(), quick_cfg(), &trace, 3, 100_000);
-        let b = replay(r.comm_graph(), r.routing_tables(), quick_cfg(), &trace, 3, 100_000);
+        let a = replay(
+            r.comm_graph(),
+            r.routing_tables(),
+            quick_cfg(),
+            &trace,
+            3,
+            100_000,
+        );
+        let b = replay(
+            r.comm_graph(),
+            r.routing_tables(),
+            quick_cfg(),
+            &trace,
+            3,
+            100_000,
+        );
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.stats.latency_sum, b.stats.latency_sum);
     }

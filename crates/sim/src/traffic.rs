@@ -31,7 +31,10 @@ impl ArrivalProcess {
     pub fn arrives(self, rng: &mut impl Rng, state: &mut bool, p: f64) -> bool {
         match self {
             ArrivalProcess::Bernoulli => p > 0.0 && rng.gen_bool(p.min(1.0)),
-            ArrivalProcess::OnOff { mean_burst, burstiness } => {
+            ArrivalProcess::OnOff {
+                mean_burst,
+                burstiness,
+            } => {
                 let b = burstiness.max(1.0 + 1e-9);
                 // Duty cycle keeps the long-run rate at `p`:
                 // on-fraction = 1/b, on-rate = p*b.
@@ -95,7 +98,10 @@ impl TrafficPattern {
                     d
                 }
             }
-            TrafficPattern::Hotspot { hot_node, hot_fraction } => {
+            TrafficPattern::Hotspot {
+                hot_node,
+                hot_fraction,
+            } => {
                 if hot_node != src && rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
                     hot_node
                 } else {
@@ -175,7 +181,10 @@ mod tests {
     #[test]
     fn hotspot_concentrates_traffic() {
         let mut rng = rng();
-        let pat = TrafficPattern::Hotspot { hot_node: 5, hot_fraction: 0.5 };
+        let pat = TrafficPattern::Hotspot {
+            hot_node: 5,
+            hot_fraction: 0.5,
+        };
         let mut hot = 0;
         for _ in 0..10_000 {
             if pat.pick_dest(&mut rng, 1, 16) == 5 {
@@ -191,7 +200,10 @@ mod tests {
         let mut rng = rng();
         let pats = [
             TrafficPattern::Uniform,
-            TrafficPattern::Hotspot { hot_node: 0, hot_fraction: 0.9 },
+            TrafficPattern::Hotspot {
+                hot_node: 0,
+                hot_fraction: 0.9,
+            },
             TrafficPattern::BitComplement,
             TrafficPattern::Opposite,
             TrafficPattern::Local { radius: 2 },
@@ -219,13 +231,19 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!((1_700..=2_300).contains(&hits), "Bernoulli rate off: {hits}");
+        assert!(
+            (1_700..=2_300).contains(&hits),
+            "Bernoulli rate off: {hits}"
+        );
     }
 
     #[test]
     fn on_off_long_run_rate_matches_p() {
         let mut rng = rng();
-        let proc = ArrivalProcess::OnOff { mean_burst: 50, burstiness: 4.0 };
+        let proc = ArrivalProcess::OnOff {
+            mean_burst: 50,
+            burstiness: 4.0,
+        };
         let mut state = false;
         let mut hits = 0u32;
         const N: u32 = 400_000;
@@ -235,7 +253,10 @@ mod tests {
             }
         }
         let rate = hits as f64 / N as f64;
-        assert!((rate / 0.02 - 1.0).abs() < 0.15, "on/off long-run rate {rate:.4}");
+        assert!(
+            (rate / 0.02 - 1.0).abs() < 0.15,
+            "on/off long-run rate {rate:.4}"
+        );
     }
 
     #[test]
@@ -260,8 +281,14 @@ mod tests {
             counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64
         };
         let bern = count_var(ArrivalProcess::Bernoulli);
-        let burst = count_var(ArrivalProcess::OnOff { mean_burst: 100, burstiness: 5.0 });
-        assert!(burst > 1.5 * bern, "on/off variance {burst:.2} vs Bernoulli {bern:.2}");
+        let burst = count_var(ArrivalProcess::OnOff {
+            mean_burst: 100,
+            burstiness: 5.0,
+        });
+        assert!(
+            burst > 1.5 * bern,
+            "on/off variance {burst:.2} vs Bernoulli {bern:.2}"
+        );
     }
 
     #[test]

@@ -133,7 +133,9 @@ pub fn articulation_points(topo: &Topology) -> Vec<NodeId> {
             is_art[root as usize] = true;
         }
     }
-    (0..topo.num_nodes()).filter(|&v| is_art[v as usize]).collect()
+    (0..topo.num_nodes())
+        .filter(|&v| is_art[v as usize])
+        .collect()
 }
 
 /// All-pairs hop-distance statistics of the raw topology (no routing
@@ -175,7 +177,11 @@ pub fn distance_stats(topo: &Topology) -> DistanceStats {
         }
     }
     DistanceStats {
-        mean: if n > 1 { sum as f64 / (n as u64 * (n as u64 - 1)) as f64 } else { 0.0 },
+        mean: if n > 1 {
+            sum as f64 / (n as u64 * (n as u64 - 1)) as f64
+        } else {
+            0.0
+        },
         diameter,
     }
 }
@@ -229,12 +235,8 @@ mod tests {
     #[test]
     fn articulation_point_of_two_triangles() {
         // Two triangles sharing node 2: node 2 is the unique cut vertex.
-        let t = crate::Topology::new(
-            5,
-            4,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
-        )
-        .unwrap();
+        let t =
+            crate::Topology::new(5, 4, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
         assert_eq!(articulation_points(&t), vec![2]);
     }
 

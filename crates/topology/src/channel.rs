@@ -56,7 +56,11 @@ impl ChannelTable {
             let base = offsets[v as usize] as usize;
             for (p, &(w, l)) in topo.neighbors(v).iter().enumerate() {
                 let (a, _) = topo.link(l);
-                let (to_w, from_w) = if a == v { (2 * l, 2 * l + 1) } else { (2 * l + 1, 2 * l) };
+                let (to_w, from_w) = if a == v {
+                    (2 * l, 2 * l + 1)
+                } else {
+                    (2 * l + 1, 2 * l)
+                };
                 debug_assert_eq!(start[to_w as usize], v);
                 debug_assert_eq!(sink[to_w as usize], w);
                 out_channels[base + p] = to_w;
@@ -65,7 +69,15 @@ impl ChannelTable {
                 in_port[from_w as usize] = p as u8;
             }
         }
-        ChannelTable { start, sink, offsets, out_channels, in_channels, out_port, in_port }
+        ChannelTable {
+            start,
+            sink,
+            offsets,
+            out_channels,
+            in_channels,
+            out_port,
+            in_port,
+        }
     }
 
     /// Total number of channels (`2 |E|`).

@@ -144,7 +144,10 @@ impl Direction {
     /// Whether `Y` strictly decreases along this direction (traffic moves
     /// toward the root level).
     pub fn goes_up(self) -> bool {
-        matches!(self, Direction::LuTree | Direction::LuCross | Direction::RuCross)
+        matches!(
+            self,
+            Direction::LuTree | Direction::LuCross | Direction::RuCross
+        )
     }
 
     /// Whether `Y` strictly increases (traffic moves toward the leaves).
@@ -215,7 +218,11 @@ impl CommGraph {
         let mut direction = Vec::with_capacity(nch as usize);
         let mut kind = Vec::with_capacity(topo.num_links() as usize);
         for l in 0..topo.num_links() {
-            kind.push(if tree.is_tree_link(l) { LinkKind::Tree } else { LinkKind::Cross });
+            kind.push(if tree.is_tree_link(l) {
+                LinkKind::Tree
+            } else {
+                LinkKind::Cross
+            });
         }
         for c in 0..nch {
             let from = channels.start(c);
@@ -223,7 +230,12 @@ impl CommGraph {
             let q = Quadrant::of(tree, from, to);
             direction.push(Direction::classify(kind[(c / 2) as usize], q));
         }
-        CommGraph { channels, direction, kind, num_nodes: topo.num_nodes() }
+        CommGraph {
+            channels,
+            direction,
+            kind,
+            num_nodes: topo.num_nodes(),
+        }
     }
 
     /// Number of switches.
@@ -329,7 +341,11 @@ mod tests {
             if let Some(p) = tree.parent(v) {
                 let l = tree.parent_link(v).unwrap();
                 // Channel from v to p.
-                let c = if cg.channels().start(2 * l) == v { 2 * l } else { 2 * l + 1 };
+                let c = if cg.channels().start(2 * l) == v {
+                    2 * l
+                } else {
+                    2 * l + 1
+                };
                 assert_eq!(cg.channels().sink(c), p);
                 assert_eq!(cg.direction(c), Direction::LuTree);
                 assert_eq!(cg.direction(cg.channels().reverse(c)), Direction::RdTree);

@@ -27,7 +27,8 @@ pub enum PreorderPolicy {
 
 impl PreorderPolicy {
     /// All three policies, in paper order.
-    pub const ALL: [PreorderPolicy; 3] = [PreorderPolicy::M1, PreorderPolicy::M2, PreorderPolicy::M3];
+    pub const ALL: [PreorderPolicy; 3] =
+        [PreorderPolicy::M1, PreorderPolicy::M2, PreorderPolicy::M3];
 
     /// The paper's label for this policy.
     pub fn label(self) -> &'static str {
@@ -327,7 +328,9 @@ impl CoordinatedTree {
 
     /// All nodes at a given BFS level, in increasing id order.
     pub fn nodes_at_level(&self, level: u32) -> Vec<NodeId> {
-        (0..self.num_nodes()).filter(|&v| self.y(v) == level).collect()
+        (0..self.num_nodes())
+            .filter(|&v| self.y(v) == level)
+            .collect()
     }
 
     /// Depth-first least common ancestor of `a` and `b` (walks parents; fine
@@ -433,7 +436,9 @@ mod tests {
     fn tree_links_count_and_leaves() {
         let topo = figure1_topology();
         let ct = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
-        let tree_count = (0..topo.num_links()).filter(|&l| ct.is_tree_link(l)).count();
+        let tree_count = (0..topo.num_links())
+            .filter(|&l| ct.is_tree_link(l))
+            .count();
         assert_eq!(tree_count, 4);
         for leaf in ct.leaves() {
             assert!(ct.is_leaf(leaf));
@@ -485,7 +490,9 @@ mod tests {
     fn nodes_at_level_partitions_nodes() {
         let topo = figure1_topology();
         let ct = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
-        let total: usize = (0..=ct.max_level()).map(|l| ct.nodes_at_level(l).len()).sum();
+        let total: usize = (0..=ct.max_level())
+            .map(|l| ct.nodes_at_level(l).len())
+            .sum();
         assert_eq!(total, 5);
         assert_eq!(ct.nodes_at_level(0), vec![0]);
     }

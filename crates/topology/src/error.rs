@@ -53,13 +53,20 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::EmptyNetwork => write!(f, "network must have at least one switch"),
             TopologyError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range (network has {num_nodes} switches)")
+                write!(
+                    f,
+                    "node {node} out of range (network has {num_nodes} switches)"
+                )
             }
             TopologyError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             TopologyError::DuplicateLink { a, b } => {
                 write!(f, "duplicate link between {a} and {b}")
             }
-            TopologyError::PortBudgetExceeded { node, degree, ports } => write!(
+            TopologyError::PortBudgetExceeded {
+                node,
+                degree,
+                ports,
+            } => write!(
                 f,
                 "node {node} has degree {degree}, exceeding the {ports}-port budget"
             ),

@@ -34,13 +34,21 @@ pub struct IrregularParams {
 impl IrregularParams {
     /// Paper configuration: `num_nodes` switches, `ports` ports, saturated.
     pub fn paper(num_nodes: u32, ports: u32) -> Self {
-        IrregularParams { num_nodes, ports, fill: 1.0 }
+        IrregularParams {
+            num_nodes,
+            ports,
+            fill: 1.0,
+        }
     }
 }
 
 /// Generates a random connected irregular network. Deterministic per seed.
 pub fn random_irregular(params: IrregularParams, seed: u64) -> Result<Topology, TopologyError> {
-    let IrregularParams { num_nodes: n, ports, fill } = params;
+    let IrregularParams {
+        num_nodes: n,
+        ports,
+        fill,
+    } = params;
     if n == 0 {
         return Err(TopologyError::EmptyNetwork);
     }
@@ -50,7 +58,9 @@ pub fn random_irregular(params: IrregularParams, seed: u64) -> Result<Topology, 
         ));
     }
     if !(0.0..=1.0).contains(&fill) {
-        return Err(TopologyError::Unsatisfiable(format!("fill {fill} outside 0..=1")));
+        return Err(TopologyError::Unsatisfiable(format!(
+            "fill {fill} outside 0..=1"
+        )));
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut free = vec![ports; n as usize];
@@ -68,8 +78,11 @@ pub fn random_irregular(params: IrregularParams, seed: u64) -> Result<Topology, 
         // Candidates with at least one free port; keep a margin of one port
         // on non-leaf attach points when possible so the tree can keep
         // growing.
-        let candidates: Vec<NodeId> =
-            attached.iter().copied().filter(|&u| free[u as usize] > 0).collect();
+        let candidates: Vec<NodeId> = attached
+            .iter()
+            .copied()
+            .filter(|&u| free[u as usize] > 0)
+            .collect();
         if candidates.is_empty() {
             return Err(TopologyError::Unsatisfiable(format!(
                 "ran out of free ports while building the spanning tree \
@@ -94,8 +107,7 @@ pub fn random_irregular(params: IrregularParams, seed: u64) -> Result<Topology, 
     };
     let mut stale = 0u32;
     while budget > 0 {
-        let open: Vec<NodeId> =
-            (0..n).filter(|&v| free[v as usize] > 0).collect();
+        let open: Vec<NodeId> = (0..n).filter(|&v| free[v as usize] > 0).collect();
         if open.len() < 2 {
             break;
         }
@@ -131,7 +143,12 @@ pub fn paper_samples(
     base_seed: u64,
 ) -> Result<Vec<Topology>, TopologyError> {
     (0..count)
-        .map(|i| random_irregular(IrregularParams::paper(num_nodes, ports), base_seed + i as u64))
+        .map(|i| {
+            random_irregular(
+                IrregularParams::paper(num_nodes, ports),
+                base_seed + i as u64,
+            )
+        })
         .collect()
 }
 
@@ -154,7 +171,12 @@ pub struct ClusteredParams {
 /// the topology shape of real switch-based clusters (NOW/SAN), as opposed
 /// to the fully random [`random_irregular`]. Deterministic per seed.
 pub fn clustered(params: ClusteredParams, seed: u64) -> Result<Topology, TopologyError> {
-    let ClusteredParams { clusters, cluster_size, ports, uplinks } = params;
+    let ClusteredParams {
+        clusters,
+        cluster_size,
+        ports,
+        uplinks,
+    } = params;
     if clusters == 0 || cluster_size == 0 {
         return Err(TopologyError::EmptyNetwork);
     }
@@ -235,7 +257,9 @@ pub fn clustered(params: ClusteredParams, seed: u64) -> Result<Topology, Topolog
 /// A ring of `n` switches.
 pub fn ring(n: u32) -> Result<Topology, TopologyError> {
     if n < 3 {
-        return Err(TopologyError::Unsatisfiable("ring needs at least 3 nodes".into()));
+        return Err(TopologyError::Unsatisfiable(
+            "ring needs at least 3 nodes".into(),
+        ));
     }
     Topology::new(n, 2, (0..n).map(|i| (i, (i + 1) % n)))
 }
@@ -279,7 +303,9 @@ pub fn torus(w: u32, h: u32) -> Result<Topology, TopologyError> {
 /// A hypercube of dimension `dim` (`2^dim` switches, `dim` ports each).
 pub fn hypercube(dim: u32) -> Result<Topology, TopologyError> {
     if dim == 0 || dim > 16 {
-        return Err(TopologyError::Unsatisfiable("hypercube dim must be 1..=16".into()));
+        return Err(TopologyError::Unsatisfiable(
+            "hypercube dim must be 1..=16".into(),
+        ));
     }
     let n = 1u32 << dim;
     let mut links = Vec::new();
@@ -297,7 +323,9 @@ pub fn hypercube(dim: u32) -> Result<Topology, TopologyError> {
 /// A star: node 0 connected to all others.
 pub fn star(n: u32) -> Result<Topology, TopologyError> {
     if n < 2 {
-        return Err(TopologyError::Unsatisfiable("star needs at least 2 nodes".into()));
+        return Err(TopologyError::Unsatisfiable(
+            "star needs at least 2 nodes".into(),
+        ));
     }
     Topology::new(n, n - 1, (1..n).map(|v| (0, v)))
 }
@@ -305,7 +333,9 @@ pub fn star(n: u32) -> Result<Topology, TopologyError> {
 /// A complete graph on `n` switches.
 pub fn complete(n: u32) -> Result<Topology, TopologyError> {
     if n < 2 {
-        return Err(TopologyError::Unsatisfiable("complete graph needs at least 2 nodes".into()));
+        return Err(TopologyError::Unsatisfiable(
+            "complete graph needs at least 2 nodes".into(),
+        ));
     }
     let mut links = Vec::new();
     for a in 0..n {
@@ -322,7 +352,9 @@ pub fn kary_tree(n: u32, k: u32) -> Result<Topology, TopologyError> {
         return Err(TopologyError::EmptyNetwork);
     }
     if k == 0 {
-        return Err(TopologyError::Unsatisfiable("arity must be positive".into()));
+        return Err(TopologyError::Unsatisfiable(
+            "arity must be positive".into(),
+        ));
     }
     Topology::new(n, k + 1, (1..n).map(|v| ((v - 1) / k, v)))
 }
@@ -339,7 +371,11 @@ mod tests {
             assert_eq!(t.count_reachable(0), 64);
             assert!(t.max_degree() <= 4);
             // Saturated fill should get reasonably close to the port budget.
-            assert!(t.avg_degree() > 2.5, "avg degree {} too sparse", t.avg_degree());
+            assert!(
+                t.avg_degree() > 2.5,
+                "avg degree {} too sparse",
+                t.avg_degree()
+            );
         }
     }
 
@@ -354,8 +390,15 @@ mod tests {
 
     #[test]
     fn irregular_fill_zero_gives_spanning_tree() {
-        let t =
-            random_irregular(IrregularParams { num_nodes: 40, ports: 4, fill: 0.0 }, 3).unwrap();
+        let t = random_irregular(
+            IrregularParams {
+                num_nodes: 40,
+                ports: 4,
+                fill: 0.0,
+            },
+            3,
+        )
+        .unwrap();
         assert_eq!(t.num_links(), 39);
     }
 
@@ -407,17 +450,36 @@ mod tests {
         assert!(ring(2).is_err());
         assert!(torus(2, 4).is_err());
         assert!(hypercube(0).is_err());
-        assert!(random_irregular(IrregularParams { num_nodes: 0, ports: 4, fill: 1.0 }, 0)
-            .is_err());
-        assert!(random_irregular(IrregularParams { num_nodes: 8, ports: 4, fill: 2.0 }, 0)
-            .is_err());
+        assert!(random_irregular(
+            IrregularParams {
+                num_nodes: 0,
+                ports: 4,
+                fill: 1.0
+            },
+            0
+        )
+        .is_err());
+        assert!(random_irregular(
+            IrregularParams {
+                num_nodes: 8,
+                ports: 4,
+                fill: 2.0
+            },
+            0
+        )
+        .is_err());
     }
 
     #[test]
     fn clustered_is_connected_and_within_ports() {
         for seed in 0..4 {
             let t = clustered(
-                ClusteredParams { clusters: 4, cluster_size: 8, ports: 6, uplinks: 2 },
+                ClusteredParams {
+                    clusters: 4,
+                    cluster_size: 8,
+                    ports: 6,
+                    uplinks: 2,
+                },
                 seed,
             )
             .unwrap();
@@ -430,34 +492,53 @@ mod tests {
     #[test]
     fn clustered_has_rack_locality() {
         let t = clustered(
-            ClusteredParams { clusters: 4, cluster_size: 8, ports: 6, uplinks: 1 },
+            ClusteredParams {
+                clusters: 4,
+                cluster_size: 8,
+                ports: 6,
+                uplinks: 1,
+            },
             1,
         )
         .unwrap();
-        let intra = t
-            .links()
-            .iter()
-            .filter(|&&(a, b)| a / 8 == b / 8)
-            .count();
+        let intra = t.links().iter().filter(|&&(a, b)| a / 8 == b / 8).count();
         let inter = t.num_links() as usize - intra;
-        assert!(intra > inter, "expected rack locality: intra {intra} vs inter {inter}");
+        assert!(
+            intra > inter,
+            "expected rack locality: intra {intra} vs inter {inter}"
+        );
     }
 
     #[test]
     fn clustered_single_cluster_and_bad_params() {
         let t = clustered(
-            ClusteredParams { clusters: 1, cluster_size: 6, ports: 4, uplinks: 0 },
+            ClusteredParams {
+                clusters: 1,
+                cluster_size: 6,
+                ports: 4,
+                uplinks: 0,
+            },
             0,
         )
         .unwrap();
         assert_eq!(t.num_nodes(), 6);
         assert!(clustered(
-            ClusteredParams { clusters: 0, cluster_size: 4, ports: 4, uplinks: 1 },
+            ClusteredParams {
+                clusters: 0,
+                cluster_size: 4,
+                ports: 4,
+                uplinks: 1
+            },
             0
         )
         .is_err());
         assert!(clustered(
-            ClusteredParams { clusters: 3, cluster_size: 4, ports: 4, uplinks: 0 },
+            ClusteredParams {
+                clusters: 3,
+                cluster_size: 4,
+                ports: 4,
+                uplinks: 0
+            },
             0
         )
         .is_err());
@@ -465,14 +546,29 @@ mod tests {
 
     #[test]
     fn clustered_is_deterministic() {
-        let p = ClusteredParams { clusters: 3, cluster_size: 6, ports: 5, uplinks: 2 };
-        assert_eq!(clustered(p, 9).unwrap().links(), clustered(p, 9).unwrap().links());
+        let p = ClusteredParams {
+            clusters: 3,
+            cluster_size: 6,
+            ports: 5,
+            uplinks: 2,
+        };
+        assert_eq!(
+            clustered(p, 9).unwrap().links(),
+            clustered(p, 9).unwrap().links()
+        );
     }
 
     #[test]
     fn two_port_networks_degenerate_to_paths_or_rings() {
-        let t = random_irregular(IrregularParams { num_nodes: 12, ports: 2, fill: 1.0 }, 5)
-            .unwrap();
+        let t = random_irregular(
+            IrregularParams {
+                num_nodes: 12,
+                ports: 2,
+                fill: 1.0,
+            },
+            5,
+        )
+        .unwrap();
         assert!(t.max_degree() <= 2);
         assert_eq!(t.count_reachable(0), 12);
     }

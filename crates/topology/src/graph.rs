@@ -60,7 +60,10 @@ impl Topology {
         sorted.sort_unstable();
         for w in sorted.windows(2) {
             if w[0] == w[1] {
-                return Err(TopologyError::DuplicateLink { a: w[0].0, b: w[0].1 });
+                return Err(TopologyError::DuplicateLink {
+                    a: w[0].0,
+                    b: w[0].1,
+                });
             }
         }
 
@@ -96,7 +99,13 @@ impl Topology {
             adj[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
         }
 
-        let topo = Topology { num_nodes, ports, links: canon, offsets, adj };
+        let topo = Topology {
+            num_nodes,
+            ports,
+            links: canon,
+            offsets,
+            adj,
+        };
         let reached = topo.count_reachable(0);
         if reached != num_nodes {
             return Err(TopologyError::Disconnected { reached, num_nodes });
@@ -156,7 +165,10 @@ impl Topology {
 
     /// Maximum node degree in the topology.
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_nodes).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average node degree.
@@ -224,12 +236,18 @@ mod tests {
         assert_eq!(t.num_nodes(), 3);
         assert_eq!(t.num_links(), 3);
         assert_eq!(t.degree(0), 2);
-        assert_eq!(t.neighbors(1).iter().map(|&(n, _)| n).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            t.neighbors(1).iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
     }
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(Topology::new(0, 4, []).unwrap_err(), TopologyError::EmptyNetwork);
+        assert_eq!(
+            Topology::new(0, 4, []).unwrap_err(),
+            TopologyError::EmptyNetwork
+        );
     }
 
     #[test]
@@ -252,7 +270,10 @@ mod tests {
     fn rejects_out_of_range() {
         assert_eq!(
             Topology::new(2, 4, [(0, 5)]).unwrap_err(),
-            TopologyError::NodeOutOfRange { node: 5, num_nodes: 2 }
+            TopologyError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2
+            }
         );
     }
 
@@ -260,7 +281,10 @@ mod tests {
     fn rejects_disconnected() {
         assert_eq!(
             Topology::new(4, 4, [(0, 1), (2, 3)]).unwrap_err(),
-            TopologyError::Disconnected { reached: 2, num_nodes: 4 }
+            TopologyError::Disconnected {
+                reached: 2,
+                num_nodes: 4
+            }
         );
     }
 
@@ -269,7 +293,11 @@ mod tests {
         // Node 0 with degree 3 under a 2-port budget.
         assert_eq!(
             Topology::new(4, 2, [(0, 1), (0, 2), (0, 3)]).unwrap_err(),
-            TopologyError::PortBudgetExceeded { node: 0, degree: 3, ports: 2 }
+            TopologyError::PortBudgetExceeded {
+                node: 0,
+                degree: 3,
+                ports: 2
+            }
         );
     }
 

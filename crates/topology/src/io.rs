@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage_and_invalid_graphs() {
-        assert!(matches!(topology_from_json("not json"), Err(TopologyError::Parse(_))));
+        assert!(matches!(
+            topology_from_json("not json"),
+            Err(TopologyError::Parse(_))
+        ));
         let disconnected = r#"{ "num_nodes": 4, "ports": 4, "links": [[0,1],[2,3]] }"#;
         assert!(matches!(
             topology_from_json(disconnected),

@@ -149,9 +149,8 @@ mod tests {
         let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
         let cg = CommGraph::build(&topo, &tree);
         let free_rt = tables_for(&topo, &TurnTable::all_allowed(&cg), &cg);
-        let restricted = TurnTable::from_direction_rule(&cg, |din, dout| {
-            !(din.goes_down() && dout.goes_up())
-        });
+        let restricted =
+            TurnTable::from_direction_rule(&cg, |din, dout| !(din.goes_down() && dout.goes_up()));
         let restricted_rt = tables_for(&topo, &restricted, &cg);
         let free = adaptivity(&cg, &free_rt);
         let tight = adaptivity(&cg, &restricted_rt);

@@ -158,7 +158,9 @@ mod tests {
         let cg = cg_of(&topo);
         let table = TurnTable::all_allowed(&cg);
         let dep = ChannelDepGraph::build(&cg, &table);
-        let cycle = dep.find_cycle().expect("a ring with all turns allowed must deadlock");
+        let cycle = dep
+            .find_cycle()
+            .expect("a ring with all turns allowed must deadlock");
         assert!(cycle.len() >= 3);
         // The witness really is a closed walk of allowed turns.
         for i in 0..cycle.len() {
@@ -171,8 +173,7 @@ mod tests {
     #[test]
     fn up_down_rule_is_acyclic_on_random_topologies() {
         for seed in 0..8 {
-            let topo =
-                gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
+            let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
             let cg = cg_of(&topo);
             // Classic up*/down* expressed over the 8 directions: forbid
             // every up-direction output after a down-direction input.

@@ -73,7 +73,10 @@ impl DirGraph {
 
     /// Number of edges (turns).
     pub fn num_edges(&self) -> usize {
-        self.adj[..self.n].iter().map(|m| m.count_ones() as usize).sum()
+        self.adj[..self.n]
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum()
     }
 
     /// Adds turn `a → b`.
@@ -111,7 +114,10 @@ impl DirGraph {
 
     /// The edges present in `self` but not in `other`.
     pub fn edge_difference(&self, other: &DirGraph) -> Vec<(usize, usize)> {
-        self.edges().into_iter().filter(|&(a, b)| !other.has_edge(a, b)).collect()
+        self.edges()
+            .into_iter()
+            .filter(|&(a, b)| !other.has_edge(a, b))
+            .collect()
     }
 
     /// Enumerates all simple cycles (as node sequences, smallest node

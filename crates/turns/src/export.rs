@@ -133,24 +133,31 @@ pub fn parse_exported(text: &str) -> Result<ExportedTables, FwdParseError> {
                 let (slot, hex) = if let Some(h) = p.strip_prefix("inj=") {
                     (INJECTION_SLOT, h)
                 } else if let Some(rest) = p.strip_prefix("in") {
-                    let (idx, h) =
-                        rest.split_once('=').ok_or_else(|| err("malformed slot entry"))?;
-                    (idx.parse::<usize>().map_err(|_| err("bad slot index"))? + 1, h)
+                    let (idx, h) = rest
+                        .split_once('=')
+                        .ok_or_else(|| err("malformed slot entry"))?;
+                    (
+                        idx.parse::<usize>().map_err(|_| err("bad slot index"))? + 1,
+                        h,
+                    )
                 } else {
                     return Err(err("unknown token in dest line"));
                 };
                 if slot >= slots {
                     return Err(err("slot out of range"));
                 }
-                let mask =
-                    u16::from_str_radix(hex, 16).map_err(|_| err("bad hex mask"))?;
+                let mask = u16::from_str_radix(hex, 16).map_err(|_| err("bad hex mask"))?;
                 masks[(t as usize * n as usize + v as usize) * slots + slot] = mask;
             }
         } else {
             return Err(err("unrecognized line"));
         }
     }
-    Ok(ExportedTables { num_nodes: n, slots, masks })
+    Ok(ExportedTables {
+        num_nodes: n,
+        slots,
+        masks,
+    })
 }
 
 #[cfg(test)]
@@ -163,9 +170,8 @@ mod tests {
         let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 5).unwrap();
         let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
         let cg = CommGraph::build(&topo, &tree);
-        let table = TurnTable::from_direction_rule(&cg, |din, dout| {
-            !(din.goes_down() && dout.goes_up())
-        });
+        let table =
+            TurnTable::from_direction_rule(&cg, |din, dout| !(din.goes_down() && dout.goes_up()));
         let rt = RoutingTables::build(&cg, &table).unwrap();
         (cg, rt)
     }
@@ -213,8 +219,6 @@ mod tests {
         assert!(
             parse_exported("irnet-fwd v1 nodes=2 slots=3\nnode 0\n  dest 9 inj=0001\n").is_err()
         );
-        assert!(
-            parse_exported("irnet-fwd v1 nodes=2 slots=3\nnode 0\n  dest 1 inj=zz\n").is_err()
-        );
+        assert!(parse_exported("irnet-fwd v1 nodes=2 slots=3\nnode 0\n  dest 1 inj=zz\n").is_err());
     }
 }

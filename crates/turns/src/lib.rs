@@ -20,8 +20,8 @@
 
 pub mod adaptivity;
 mod cdg;
-pub mod export;
 mod dirgraph;
+pub mod export;
 mod release;
 mod routing;
 mod turn_table;
@@ -29,8 +29,8 @@ mod verify;
 
 pub use adaptivity::{adaptivity, AdaptivityStats};
 pub use cdg::{ChannelCycle, ChannelDepGraph};
-pub use export::{export_tables, parse_exported, ExportedTables};
 pub use dirgraph::{DirGraph, Movement};
+pub use export::{export_tables, parse_exported, ExportedTables};
 pub use release::release_redundant_turns;
 pub use routing::{RoutingError, RoutingTables, INJECTION_SLOT};
 pub use turn_table::TurnTable;

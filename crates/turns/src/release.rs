@@ -60,21 +60,26 @@ mod tests {
     #[test]
     fn releasing_everything_possible_keeps_acyclicity() {
         for seed in 0..4 {
-            let topo =
-                gen::random_irregular(gen::IrregularParams::paper(20, 4), seed).unwrap();
+            let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), seed).unwrap();
             let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
             let cg = CommGraph::build(&topo, &tree);
             // Start from a very restrictive rule and release greedily.
             let mut table = TurnTable::from_direction_rule(&cg, |din, dout| {
-                !din.goes_down() && !matches!(din, irnet_topology::Direction::LCross
-                    | irnet_topology::Direction::RCross)
+                !din.goes_down()
+                    && !matches!(
+                        din,
+                        irnet_topology::Direction::LCross | irnet_topology::Direction::RCross
+                    )
                     || dout.goes_down()
             });
             let dep0 = ChannelDepGraph::build(&cg, &table);
             assert!(dep0.is_acyclic());
             let released = release_redundant_turns(&cg, &mut table, |_, _| true);
             let dep1 = ChannelDepGraph::build(&cg, &table);
-            assert!(dep1.is_acyclic(), "greedy release broke acyclicity (seed {seed})");
+            assert!(
+                dep1.is_acyclic(),
+                "greedy release broke acyclicity (seed {seed})"
+            );
             assert!(dep1.num_edges() >= dep0.num_edges() + released.len());
         }
     }

@@ -165,7 +165,14 @@ impl RoutingTables {
             }
         }
 
-        Ok(RoutingTables { num_nodes: n, num_channels: nch, slots, cost, port_mask, any_mask })
+        Ok(RoutingTables {
+            num_nodes: n,
+            num_channels: nch,
+            slots,
+            cost,
+            port_mask,
+            any_mask,
+        })
     }
 
     /// Number of switches.
@@ -191,8 +198,7 @@ impl RoutingTables {
     #[inline]
     pub fn candidates(&self, t: NodeId, v: NodeId, slot: usize) -> u16 {
         debug_assert!(slot < self.slots);
-        self.port_mask
-            [(t as usize * self.num_nodes as usize + v as usize) * self.slots + slot]
+        self.port_mask[(t as usize * self.num_nodes as usize + v as usize) * self.slots + slot]
     }
 
     /// Every turn-legal output port with a finite remaining cost to `t` —
@@ -335,9 +341,8 @@ mod tests {
         let free = RoutingTables::build(&cg, &TurnTable::all_allowed(&cg)).unwrap();
         // up*/down*-like rule on the ring: never follow a down channel with
         // an up channel.
-        let restricted = TurnTable::from_direction_rule(&cg, |din, dout| {
-            !(din.goes_down() && dout.goes_up())
-        });
+        let restricted =
+            TurnTable::from_direction_rule(&cg, |din, dout| !(din.goes_down() && dout.goes_up()));
         let rt = RoutingTables::build(&cg, &restricted).unwrap();
         assert!(rt.avg_route_len(&cg) >= free.avg_route_len(&cg));
         assert!(rt.max_route_len(&cg) >= free.max_route_len(&cg));
@@ -381,9 +386,8 @@ mod tests {
     fn any_mask_is_a_superset_of_minimal_mask() {
         let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), 5).unwrap();
         let cg = cg_of(&topo);
-        let table = TurnTable::from_direction_rule(&cg, |din, dout| {
-            !(din.goes_down() && dout.goes_up())
-        });
+        let table =
+            TurnTable::from_direction_rule(&cg, |din, dout| !(din.goes_down() && dout.goes_up()));
         let rt = RoutingTables::build(&cg, &table).unwrap();
         let ch = cg.channels();
         let mut strictly_larger_somewhere = false;
@@ -402,7 +406,10 @@ mod tests {
                 }
             }
         }
-        assert!(strictly_larger_somewhere, "non-minimal options never exist?");
+        assert!(
+            strictly_larger_somewhere,
+            "non-minimal options never exist?"
+        );
     }
 
     #[test]
@@ -419,8 +426,7 @@ mod tests {
                 }
                 let mask = rt.candidates(t, v, INJECTION_SLOT);
                 let outs = ch.outputs(v);
-                let best: u16 =
-                    outs.iter().map(|&c| rt.cost(t, c)).min().unwrap();
+                let best: u16 = outs.iter().map(|&c| rt.cost(t, c)).min().unwrap();
                 for (p, &c) in outs.iter().enumerate() {
                     let picked = (mask >> p) & 1 == 1;
                     assert_eq!(picked, rt.cost(t, c) == best);

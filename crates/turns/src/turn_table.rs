@@ -89,7 +89,11 @@ impl TurnTable {
     /// Releases (re-allows) the turn `in_ch → out_ch`. Releasing a 180°
     /// turn is rejected.
     pub fn release(&mut self, cg: &CommGraph, in_ch: ChannelId, out_ch: ChannelId) {
-        assert_ne!(out_ch, cg.channels().reverse(in_ch), "cannot release a 180-degree turn");
+        assert_ne!(
+            out_ch,
+            cg.channels().reverse(in_ch),
+            "cannot release a 180-degree turn"
+        );
         self.set(cg, in_ch, out_ch, true);
     }
 
@@ -137,8 +141,7 @@ impl TurnTable {
     /// the more evenly the remaining turns spread traffic.
     pub fn nodes_with_opposite_prohibited_pairs(&self, cg: &CommGraph) -> u32 {
         use irnet_topology::Direction;
-        let opposite =
-            |p: Direction, q: Direction| p.goes_left() != q.goes_left();
+        let opposite = |p: Direction, q: Direction| p.goes_left() != q.goes_left();
         let ch = cg.channels();
         let mut count = 0;
         'nodes: for v in 0..cg.num_nodes() {
@@ -239,7 +242,9 @@ mod tests {
         let mut tt = TurnTable::all_allowed(&cg);
         let ch = cg.channels();
         // Find some non-180° pair.
-        let v = (0..cg.num_nodes()).find(|&v| ch.inputs(v).len() >= 2).unwrap();
+        let v = (0..cg.num_nodes())
+            .find(|&v| ch.inputs(v).len() >= 2)
+            .unwrap();
         let in_ch = ch.inputs(v)[0];
         let out_ch = *ch
             .outputs(v)
@@ -295,7 +300,10 @@ mod tests {
             assert!(c >= u, "seed {seed}: closed {c} < up*/down* {u}");
             total += u;
         }
-        assert!(total > 0, "up*/down* never produced an opposite prohibited pair");
+        assert!(
+            total > 0,
+            "up*/down* never produced an opposite prohibited pair"
+        );
     }
 
     #[test]
@@ -306,9 +314,7 @@ mod tests {
         for v in 0..cg.num_nodes() {
             for &in_ch in ch.inputs(v) {
                 for &out_ch in ch.outputs(v) {
-                    if out_ch != ch.reverse(in_ch)
-                        && cg.direction(in_ch) == cg.direction(out_ch)
-                    {
+                    if out_ch != ch.reverse(in_ch) && cg.direction(in_ch) == cg.direction(out_ch) {
                         assert!(tt.is_allowed(&cg, in_ch, out_ch));
                     }
                 }

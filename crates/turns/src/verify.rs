@@ -11,10 +11,10 @@ pub struct VerifyReport {
     pub cycle: Option<ChannelCycle>,
     /// `None` means every ordered pair of switches is connected.
     pub disconnected: Option<RoutingError>,
-    /// Average minimal route length over all pairs (if connected).
-    pub avg_route_len: f64,
-    /// Longest minimal route (if connected).
-    pub max_route_len: u16,
+    /// Average minimal route length over all pairs; `None` if disconnected.
+    pub avg_route_len: Option<f64>,
+    /// Longest minimal route; `None` if disconnected.
+    pub max_route_len: Option<u16>,
     /// Prohibited non-180° channel pairs in the table.
     pub prohibited_pairs: usize,
 }
@@ -34,8 +34,8 @@ pub fn verify_routing(cg: &CommGraph, table: &TurnTable) -> VerifyReport {
     let dep = ChannelDepGraph::build(cg, table);
     let cycle = dep.find_cycle();
     let (disconnected, avg, max) = match RoutingTables::build(cg, table) {
-        Ok(rt) => (None, rt.avg_route_len(cg), rt.max_route_len(cg)),
-        Err(e) => (Some(e), f64::NAN, 0),
+        Ok(rt) => (None, Some(rt.avg_route_len(cg)), Some(rt.max_route_len(cg))),
+        Err(e) => (Some(e), None, None),
     };
     VerifyReport {
         cycle,
@@ -68,8 +68,28 @@ mod tests {
         let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
         let cg = CommGraph::build(&topo, &tree);
         let report = verify_routing(&cg, &TurnTable::all_allowed(&cg));
-        assert!(report.is_ok(), "pure trees cannot deadlock: {:?}", report.cycle);
-        assert!(report.avg_route_len > 0.0);
+        assert!(
+            report.is_ok(),
+            "pure trees cannot deadlock: {:?}",
+            report.cycle
+        );
+        assert!(report.avg_route_len.unwrap() > 0.0);
+        assert!(report.max_route_len.unwrap() > 0);
         assert_eq!(report.prohibited_pairs, 0);
+    }
+
+    #[test]
+    fn disconnected_tables_have_no_route_stats() {
+        let topo = gen::kary_tree(7, 2).unwrap();
+        let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+        let cg = CommGraph::build(&topo, &tree);
+        // Prohibit every direction-changing turn everywhere: inner switches
+        // cannot forward, so the tree disconnects.
+        let table = TurnTable::from_direction_rule(&cg, |_, _| false);
+        let report = verify_routing(&cg, &table);
+        assert!(report.disconnected.is_some());
+        assert_eq!(report.avg_route_len, None);
+        assert_eq!(report.max_route_len, None);
+        assert!(!report.is_ok());
     }
 }

@@ -1,0 +1,36 @@
+//! # irnet-verify — static deadlock-freedom certification and linting
+//!
+//! Analyzes any `(CommGraph, TurnTable)` pair **without running the
+//! simulator** and produces two artifacts:
+//!
+//! * a [`Certificate`] — for an acyclic channel dependency graph, a total
+//!   channel numbering every allowed turn strictly increases (Dally–Seitz
+//!   in checkable form); for a cyclic one, a *minimized* witness cycle.
+//!   Certificates serialize to JSON and are validated by [`recheck`], which
+//!   shares no code with the certifier.
+//! * a [`LintReport`] — a battery of structural lints with stable codes
+//!   (`IRNET-E001` … `IRNET-E005`, `IRNET-W001`/`W002`) machine-checking
+//!   the DOWN/UP safety argument; see [`lints`] for the code table.
+//!
+//! ```
+//! use irnet_topology::{gen, CommGraph, CoordinatedTree, PreorderPolicy};
+//! use irnet_turns::TurnTable;
+//! use irnet_verify::{certify, lint, recheck};
+//!
+//! let topo = gen::kary_tree(15, 2).unwrap();
+//! let tree = CoordinatedTree::build(&topo, PreorderPolicy::M1, 0).unwrap();
+//! let cg = CommGraph::build(&topo, &tree);
+//! let table = TurnTable::all_allowed(&cg);
+//!
+//! let cert = certify(&cg, &table);
+//! assert!(cert.is_deadlock_free());
+//! let dep = irnet_turns::ChannelDepGraph::build(&cg, &table);
+//! recheck(&cert, &dep).unwrap();
+//! assert!(!lint(&cg, &table).has_errors());
+//! ```
+
+pub mod certificate;
+pub mod lints;
+
+pub use certificate::{certify, certify_dep, recheck, Certificate, RecheckError, Verdict};
+pub use lints::{classify_turn, lint, Finding, LintCode, LintReport, Severity};

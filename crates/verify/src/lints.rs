@@ -1,0 +1,444 @@
+//! Structural routing lints with stable diagnostic codes.
+//!
+//! The error-level codes are the machine form of the DOWN/UP safety
+//! argument (`crates/core/src/phase2.rs` module docs): nothing may turn
+//! into `LU_TREE`, an ascent on cross channels is terminal, and the
+//! descent/flat phase is Y-monotone. A *violation of the argument* is not
+//! by itself a deadlock — the paper's Phase 3 releases and the up\*/down\*
+//! baselines legitimately break these shape rules while staying acyclic —
+//! so the structural codes fire only when the offending turn actually lies
+//! on a dependency cycle. `IRNET-E001` (with a minimized witness from the
+//! certifier) catches any remaining cycle the shape rules cannot classify.
+//!
+//! | Code | Severity | Meaning |
+//! |------|----------|---------|
+//! | `IRNET-E001` | error | channel dependency cycle (deadlock) |
+//! | `IRNET-E002` | error | turn-legal routing is not connected |
+//! | `IRNET-E003` | error | cycle-closing turn into `LU_TREE` |
+//! | `IRNET-E004` | error | cycle-closing non-terminal ascent |
+//! | `IRNET-E005` | error | cycle-closing non-monotone descent |
+//! | `IRNET-W001` | warning | allowed turn used by no minimal route |
+//! | `IRNET-W002` | warning | channel used by no minimal route |
+
+use crate::certificate::{certify_dep, Certificate, Verdict};
+use irnet_topology::{ChannelId, CommGraph, Direction, NodeId};
+use irnet_turns::{ChannelDepGraph, RoutingError, RoutingTables, TurnTable, INJECTION_SLOT};
+use serde::{Serialize, Value};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Stable diagnostic codes emitted by the linter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `IRNET-E001`: the channel dependency graph has a cycle.
+    DeadlockCycle,
+    /// `IRNET-E002`: some ordered switch pair has no turn-legal route.
+    Disconnected,
+    /// `IRNET-E003`: a cycle-closing turn enters an `LU_TREE` channel.
+    TurnIntoLuTree,
+    /// `IRNET-E004`: a cycle-closing turn leaves an up-cross channel for a
+    /// non-up-cross channel (the ascent phase must be terminal).
+    NonTerminalAscent,
+    /// `IRNET-E005`: a cycle-closing turn goes back up after a down or
+    /// horizontal channel (the descent phase must be Y-monotone).
+    NonMonotoneDescent,
+    /// `IRNET-W001`: an allowed turn lies on no minimal route.
+    DeadTurn,
+    /// `IRNET-W002`: a channel lies on no minimal route.
+    UnreachableChannel,
+}
+
+/// Finding severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Certification must fail.
+    Error,
+    /// Suspicious but not a correctness violation.
+    Warning,
+}
+
+impl LintCode {
+    /// The stable textual code (`IRNET-Exxx` / `IRNET-Wxxx`).
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::DeadlockCycle => "IRNET-E001",
+            LintCode::Disconnected => "IRNET-E002",
+            LintCode::TurnIntoLuTree => "IRNET-E003",
+            LintCode::NonTerminalAscent => "IRNET-E004",
+            LintCode::NonMonotoneDescent => "IRNET-E005",
+            LintCode::DeadTurn => "IRNET-W001",
+            LintCode::UnreachableChannel => "IRNET-W002",
+        }
+    }
+
+    /// Short kebab-case name of the lint.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::DeadlockCycle => "deadlock-cycle",
+            LintCode::Disconnected => "disconnected",
+            LintCode::TurnIntoLuTree => "turn-into-LU_TREE",
+            LintCode::NonTerminalAscent => "non-terminal-ascent",
+            LintCode::NonMonotoneDescent => "non-monotone-descent",
+            LintCode::DeadTurn => "dead-turn",
+            LintCode::UnreachableChannel => "unreachable-channel",
+        }
+    }
+
+    /// Severity class of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::DeadTurn | LintCode::UnreachableChannel => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.name())
+    }
+}
+
+impl Serialize for LintCode {
+    fn to_value(&self) -> Value {
+        Value::Str(self.code().to_string())
+    }
+}
+
+impl Serialize for Severity {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            }
+            .to_string(),
+        )
+    }
+}
+
+/// One diagnostic produced by the lint battery.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Stable code.
+    pub code: LintCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Switch the finding anchors to, if it is node-local.
+    pub node: Option<NodeId>,
+    /// Channels involved: a turn pair, a witness cycle, or an aggregate
+    /// list for the warning codes.
+    pub channels: Vec<ChannelId>,
+}
+
+/// The full result of linting one `(CommGraph, TurnTable)` pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintReport {
+    /// The deadlock-freedom certificate (always produced).
+    pub certificate: Certificate,
+    /// Findings, errors first, then by code.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Whether any error-level finding was produced.
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Number of findings with the given code.
+    pub fn count(&self, code: LintCode) -> usize {
+        self.findings.iter().filter(|f| f.code == code).count()
+    }
+
+    /// Serialize the report (certificate + findings) to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("lint report serialization cannot fail")
+    }
+}
+
+/// Classify a direction-level turn against the DOWN/UP safety argument.
+/// `None` means the turn fits the argument's shape.
+pub fn classify_turn(din: Direction, dout: Direction) -> Option<LintCode> {
+    if din == dout {
+        return None;
+    }
+    if dout == Direction::LuTree {
+        return Some(LintCode::TurnIntoLuTree);
+    }
+    let up_cross = |d: Direction| matches!(d, Direction::LuCross | Direction::RuCross);
+    if up_cross(din) && !up_cross(dout) {
+        return Some(LintCode::NonTerminalAscent);
+    }
+    if !din.goes_up() && dout.goes_up() {
+        return Some(LintCode::NonMonotoneDescent);
+    }
+    None
+}
+
+/// Run the full lint battery over a turn table.
+pub fn lint(cg: &CommGraph, table: &TurnTable) -> LintReport {
+    let dep = ChannelDepGraph::build(cg, table);
+    let certificate = certify_dep(&dep);
+    let mut findings = Vec::new();
+    let ch = cg.channels();
+
+    if let Verdict::Deadlock { witness } = &certificate.verdict {
+        let chain: Vec<&str> = witness.iter().map(|&c| cg.direction(c).name()).collect();
+        findings.push(Finding {
+            code: LintCode::DeadlockCycle,
+            severity: Severity::Error,
+            message: format!(
+                "channel dependency cycle of length {}: {}",
+                witness.len(),
+                chain.join(" -> ")
+            ),
+            node: None,
+            channels: witness.clone(),
+        });
+    }
+
+    // Structural codes: every allowed direction-changing turn that violates
+    // the safety argument *and* closes a dependency cycle (out_ch can reach
+    // in_ch again). Acyclic violations are exactly the turns Phase 3 is
+    // allowed to release.
+    for v in 0..cg.num_nodes() {
+        for (q, &in_ch) in ch.inputs(v).iter().enumerate() {
+            let mask = table.mask(v, q as u8);
+            for (p, &out_ch) in ch.outputs(v).iter().enumerate() {
+                if (mask >> p) & 1 == 0 {
+                    continue;
+                }
+                let din = cg.direction(in_ch);
+                let dout = cg.direction(out_ch);
+                let Some(code) = classify_turn(din, dout) else {
+                    continue;
+                };
+                if dep.has_path(out_ch, in_ch) {
+                    findings.push(Finding {
+                        code,
+                        severity: code.severity(),
+                        message: format!(
+                            "cycle-closing turn {} -> {} at switch {v}",
+                            din.name(),
+                            dout.name()
+                        ),
+                        node: Some(v),
+                        channels: vec![in_ch, out_ch],
+                    });
+                }
+            }
+        }
+    }
+
+    match RoutingTables::build(cg, table) {
+        Err(RoutingError::Disconnected { src, dst }) => {
+            findings.push(Finding {
+                code: LintCode::Disconnected,
+                severity: Severity::Error,
+                message: format!("no turn-legal route from switch {src} to switch {dst}"),
+                node: Some(src),
+                channels: Vec::new(),
+            });
+        }
+        Ok(rt) => {
+            let (used_turns, used_channels) = minimal_route_usage(cg, &rt);
+            let mut dead_turns: Vec<ChannelId> = Vec::new();
+            let mut dead_count = 0usize;
+            for v in 0..cg.num_nodes() {
+                for (q, &in_ch) in ch.inputs(v).iter().enumerate() {
+                    let mask = table.mask(v, q as u8);
+                    for (p, &out_ch) in ch.outputs(v).iter().enumerate() {
+                        if (mask >> p) & 1 == 1 && !used_turns.contains(&(in_ch, out_ch)) {
+                            dead_count += 1;
+                            dead_turns.push(in_ch);
+                            dead_turns.push(out_ch);
+                        }
+                    }
+                }
+            }
+            if dead_count > 0 {
+                findings.push(Finding {
+                    code: LintCode::DeadTurn,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "{dead_count} allowed turn(s) lie on no minimal route \
+                         (channels listed as in/out pairs)"
+                    ),
+                    node: None,
+                    channels: dead_turns,
+                });
+            }
+            let unused: Vec<ChannelId> = (0..cg.num_channels())
+                .filter(|&c| !used_channels[c as usize])
+                .collect();
+            if !unused.is_empty() {
+                findings.push(Finding {
+                    code: LintCode::UnreachableChannel,
+                    severity: Severity::Warning,
+                    message: format!("{} channel(s) lie on no minimal route", unused.len()),
+                    node: None,
+                    channels: unused,
+                });
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.severity, f.code, f.node));
+    LintReport {
+        certificate,
+        findings,
+    }
+}
+
+/// Mark every (turn, channel) that lies on at least one minimal route.
+///
+/// For each destination `t`, minimal routes form a DAG: the injection masks
+/// give the first channels, and each continuation mask
+/// `candidates(t, sink(c), in_port(c) + 1)` gives exactly the next channels
+/// whose remaining cost decreases by one. A forward traversal of that DAG
+/// visits exactly the turns and channels realizable on minimal routes.
+fn minimal_route_usage(
+    cg: &CommGraph,
+    rt: &RoutingTables,
+) -> (HashSet<(ChannelId, ChannelId)>, Vec<bool>) {
+    let ch = cg.channels();
+    let n = cg.num_nodes();
+    let nch = cg.num_channels() as usize;
+    let mut used_turns = HashSet::new();
+    let mut used_channels = vec![false; nch];
+    let mut visited = vec![false; nch];
+    let mut stack: Vec<ChannelId> = Vec::new();
+    for t in 0..n {
+        visited.fill(false);
+        stack.clear();
+        for v in 0..n {
+            if v == t {
+                continue;
+            }
+            let mask = rt.candidates(t, v, INJECTION_SLOT);
+            for (p, &c) in ch.outputs(v).iter().enumerate() {
+                if (mask >> p) & 1 == 1 && !visited[c as usize] {
+                    visited[c as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        while let Some(c) = stack.pop() {
+            used_channels[c as usize] = true;
+            let v = ch.sink(c);
+            if v == t {
+                continue;
+            }
+            let slot = ch.in_port(c) as usize + 1;
+            let mask = rt.candidates(t, v, slot);
+            for (p, &c2) in ch.outputs(v).iter().enumerate() {
+                if (mask >> p) & 1 == 1 {
+                    used_turns.insert((c, c2));
+                    if !visited[c2 as usize] {
+                        visited[c2 as usize] = true;
+                        stack.push(c2);
+                    }
+                }
+            }
+        }
+    }
+    (used_turns, used_channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnet_topology::{gen, CommGraph, CoordinatedTree, PreorderPolicy};
+
+    fn cg_of(topo: &irnet_topology::Topology) -> CommGraph {
+        let tree = CoordinatedTree::build(topo, PreorderPolicy::M1, 0).unwrap();
+        CommGraph::build(topo, &tree)
+    }
+
+    #[test]
+    fn unrestricted_ring_fails_with_deadlock_and_structure_errors() {
+        let topo = gen::ring(6).unwrap();
+        let cg = cg_of(&topo);
+        let report = lint(&cg, &TurnTable::all_allowed(&cg));
+        assert!(report.has_errors());
+        assert_eq!(report.count(LintCode::DeadlockCycle), 1);
+        assert!(!report.certificate.is_deadlock_free());
+    }
+
+    #[test]
+    fn pure_tree_is_clean_of_errors() {
+        let topo = gen::kary_tree(15, 2).unwrap();
+        let cg = cg_of(&topo);
+        let report = lint(&cg, &TurnTable::all_allowed(&cg));
+        assert!(!report.has_errors(), "findings: {:?}", report.findings);
+        assert!(report.certificate.is_deadlock_free());
+    }
+
+    #[test]
+    fn fully_blocked_switch_reports_disconnection() {
+        let topo = irnet_topology::Topology::new(3, 2, [(0, 1), (1, 2)]).unwrap();
+        let cg = cg_of(&topo);
+        let ch = cg.channels();
+        let mut table = TurnTable::all_allowed(&cg);
+        for &in_ch in ch.inputs(1) {
+            for &out_ch in ch.outputs(1) {
+                if out_ch != ch.reverse(in_ch) {
+                    table.prohibit(&cg, in_ch, out_ch);
+                }
+            }
+        }
+        let report = lint(&cg, &table);
+        assert_eq!(report.count(LintCode::Disconnected), 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn classification_covers_the_safety_argument() {
+        use Direction::*;
+        // Turning into LU_TREE is always E003.
+        assert_eq!(
+            classify_turn(RdTree, LuTree),
+            Some(LintCode::TurnIntoLuTree)
+        );
+        assert_eq!(
+            classify_turn(RuCross, LuTree),
+            Some(LintCode::TurnIntoLuTree)
+        );
+        // Leaving an up-cross for anything not up-cross is E004.
+        assert_eq!(
+            classify_turn(LuCross, RdTree),
+            Some(LintCode::NonTerminalAscent)
+        );
+        assert_eq!(
+            classify_turn(RuCross, LCross),
+            Some(LintCode::NonTerminalAscent)
+        );
+        assert_eq!(classify_turn(LuCross, RuCross), None);
+        // Going back up after down/flat is E005.
+        assert_eq!(
+            classify_turn(RdTree, RuCross),
+            Some(LintCode::NonMonotoneDescent)
+        );
+        assert_eq!(
+            classify_turn(LCross, LuCross),
+            Some(LintCode::NonMonotoneDescent)
+        );
+        // Monotone continuations are clean.
+        assert_eq!(classify_turn(LuTree, RdTree), None);
+        assert_eq!(classify_turn(RdTree, LCross), None);
+        assert_eq!(classify_turn(LCross, RdCross), None);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let topo = gen::ring(4).unwrap();
+        let cg = cg_of(&topo);
+        let report = lint(&cg, &TurnTable::all_allowed(&cg));
+        let json = report.to_json();
+        assert!(json.contains("IRNET-E001"));
+        assert!(json.contains("\"status\": \"deadlock\""));
+    }
+}

@@ -52,8 +52,8 @@ fn main() {
         table.row(vec![
             algo.to_string(),
             report.prohibited_pairs.to_string(),
-            format!("{:.2}", report.avg_route_len),
-            report.max_route_len.to_string(),
+            format!("{:.2}", report.avg_route_len.unwrap()),
+            report.max_route_len.unwrap().to_string(),
             format!("{:.0}", m.avg_latency),
             format!("{:.4}", m.accepted_traffic),
             format!("{:.1}", m.hot_spot_degree),

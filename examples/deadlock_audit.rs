@@ -70,6 +70,9 @@ fn main() {
         "printed-list audit: {caught}/{audited} random topologies contain a realizable \
          turn cycle under the as-printed prohibitions"
     );
-    assert!(caught > 0, "expected the audit to catch the printed-list cycle somewhere");
+    assert!(
+        caught > 0,
+        "expected the audit to catch the printed-list cycle somewhere"
+    );
     println!("the construction-derived list (what this crate implements) passed every audit");
 }

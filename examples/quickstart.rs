@@ -33,7 +33,9 @@ fn main() {
     println!(
         "verified deadlock-free and connected; avg route {:.2} hops, max {} hops, \
          {} prohibited channel pairs",
-        report.avg_route_len, report.max_route_len, report.prohibited_pairs
+        report.avg_route_len.unwrap(),
+        report.max_route_len.unwrap(),
+        report.prohibited_pairs
     );
 
     // 4. Simulate uniform traffic at a moderate load.
@@ -47,9 +49,15 @@ fn main() {
     let stats = Simulator::new(routing.comm_graph(), routing.routing_tables(), cfg, 7).run();
     let m = PaperMetrics::compute(&stats, routing.comm_graph(), routing.tree());
     println!("--- simulation (offered load 0.08 flits/clock/node) ---");
-    println!("accepted traffic : {:.4} flits/clock/node", m.accepted_traffic);
+    println!(
+        "accepted traffic : {:.4} flits/clock/node",
+        m.accepted_traffic
+    );
     println!("avg latency      : {:.1} clocks", m.avg_latency);
     println!("node utilization : {:.4}", m.node_utilization);
-    println!("hot spot degree  : {:.2} % of utilization at tree levels 0-1", m.hot_spot_degree);
+    println!(
+        "hot spot degree  : {:.2} % of utilization at tree levels 0-1",
+        m.hot_spot_degree
+    );
     println!("leaf utilization : {:.4}", m.leaf_utilization);
 }

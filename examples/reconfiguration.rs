@@ -61,7 +61,10 @@ fn main() {
             .construct(&degraded, PreorderPolicy::M1, 0)
             .unwrap();
         let report = verify_routing(&inst.cg, &inst.table);
-        assert!(report.is_ok(), "reconfigured routing must verify (link {dead})");
+        assert!(
+            report.is_ok(),
+            "reconfigured routing must verify (link {dead})"
+        );
         let thpt = throughput(&inst, 2 + dead as u64);
         survived += 1;
         if thpt < worst.0 {
@@ -70,7 +73,7 @@ fn main() {
         println!(
             "link {dead}: reconfigured OK — avg route {:.2} hops, throughput {:.4} \
              ({:+.1} % vs healthy)",
-            report.avg_route_len,
+            report.avg_route_len.unwrap(),
             thpt,
             100.0 * (thpt / healthy_thpt - 1.0)
         );

@@ -29,11 +29,11 @@ fn main() {
         Algo::DownUp { release: true },
     ];
 
-    for (name, trace) in [("uniform (600 packets over 4000 clocks)", &uniform),
-                          ("incast (47 -> node 0 at t=0)", &incast)]
-    {
-        let mut table =
-            TextTable::new(&["algorithm", "makespan", "avg latency", "p99 latency"]);
+    for (name, trace) in [
+        ("uniform (600 packets over 4000 clocks)", &uniform),
+        ("incast (47 -> node 0 at t=0)", &incast),
+    ] {
+        let mut table = TextTable::new(&["algorithm", "makespan", "avg latency", "p99 latency"]);
         for algo in algos {
             let inst = algo.construct(&topo, PreorderPolicy::M1, 0).unwrap();
             let result = replay(&inst.cg, &inst.tables, cfg, trace, 7, 2_000_000);

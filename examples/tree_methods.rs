@@ -22,7 +22,10 @@ fn main() {
         ..SimConfig::default()
     };
 
-    for algo in [Algo::LTurn { release: true }, Algo::DownUp { release: true }] {
+    for algo in [
+        Algo::LTurn { release: true },
+        Algo::DownUp { release: true },
+    ] {
         let mut table = TextTable::new(&[
             "policy",
             "avg hops",

@@ -15,6 +15,8 @@
 //! * [`baselines`] — L-turn and up\*/down\* comparators.
 //! * [`sim`] — a cycle-accurate wormhole flit simulator.
 //! * [`metrics`] — the paper's evaluation metrics and sweep machinery.
+//! * [`verify`] — static analysis: machine-checkable deadlock-freedom
+//!   certificates and the `IRNET-*` routing lint battery.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use irnet_metrics as metrics;
 pub use irnet_sim as sim;
 pub use irnet_topology as topology;
 pub use irnet_turns as turns;
+pub use irnet_verify as verify;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -54,12 +57,15 @@ pub mod prelude {
     pub use irnet_metrics::sweep;
     pub use irnet_metrics::{Algo, Instance};
     pub use irnet_sim::{RouteChoice, SimConfig, SimStats, Simulator, TrafficPattern};
+    pub use irnet_topology::analysis;
     pub use irnet_topology::{
         gen, CommGraph, CoordinatedTree, Direction, PreorderPolicy, Topology,
     };
-    pub use irnet_topology::analysis;
     pub use irnet_turns::{
-        adaptivity, verify_routing, AdaptivityStats, ChannelDepGraph, RoutingTables,
-        TurnTable, VerifyReport,
+        adaptivity, verify_routing, AdaptivityStats, ChannelDepGraph, RoutingTables, TurnTable,
+        VerifyReport,
+    };
+    pub use irnet_verify::{
+        certify, lint, recheck, Certificate, Finding, LintCode, LintReport, Severity, Verdict,
     };
 }

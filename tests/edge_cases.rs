@@ -6,8 +6,11 @@ use irnet::prelude::*;
 #[test]
 fn two_switch_network_end_to_end() {
     let topo = Topology::new(2, 1, [(0, 1)]).unwrap();
-    for algo in [Algo::DownUp { release: true }, Algo::LTurn { release: true }, Algo::UpDownBfs]
-    {
+    for algo in [
+        Algo::DownUp { release: true },
+        Algo::LTurn { release: true },
+        Algo::UpDownBfs,
+    ] {
         let inst = algo.construct(&topo, PreorderPolicy::M1, 0).unwrap();
         assert!(verify_routing(&inst.cg, &inst.table).is_ok(), "{algo}");
         assert_eq!(inst.tables.route_len(&inst.cg, 0, 1), 1);
@@ -20,7 +23,10 @@ fn two_switch_network_end_to_end() {
         };
         let stats = Simulator::new(&inst.cg, &inst.tables, cfg, 1).run();
         assert!(!stats.deadlocked);
-        assert!(stats.packets_delivered > 0, "{algo} delivered nothing on 2 switches");
+        assert!(
+            stats.packets_delivered > 0,
+            "{algo} delivered nothing on 2 switches"
+        );
     }
 }
 
@@ -28,7 +34,9 @@ fn two_switch_network_end_to_end() {
 fn single_switch_network_constructs() {
     // One switch, no links: trivially valid; no traffic is possible.
     let topo = Topology::new(1, 4, []).unwrap();
-    let inst = Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+    let inst = Algo::DownUp { release: true }
+        .construct(&topo, PreorderPolicy::M1, 0)
+        .unwrap();
     assert!(verify_routing(&inst.cg, &inst.table).is_ok());
     assert_eq!(inst.cg.num_channels(), 0);
     let cfg = SimConfig {
@@ -46,7 +54,9 @@ fn single_switch_network_constructs() {
 #[test]
 fn star_topology_concentrates_everything_on_the_hub() {
     let topo = gen::star(9).unwrap();
-    let inst = Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+    let inst = Algo::DownUp { release: true }
+        .construct(&topo, PreorderPolicy::M1, 0)
+        .unwrap();
     assert!(verify_routing(&inst.cg, &inst.table).is_ok());
     // Every leaf-to-leaf route is exactly two hops through the hub.
     for s in 1..9u32 {
@@ -68,13 +78,19 @@ fn star_topology_concentrates_everything_on_the_hub() {
     let m = PaperMetrics::compute(&stats, &inst.cg, &inst.tree);
     // The hub is levels 0 of the tree; nearly all utilization sits at
     // levels 0-1 by construction.
-    assert!(m.hot_spot_degree > 50.0, "hub share {:.1}%", m.hot_spot_degree);
+    assert!(
+        m.hot_spot_degree > 50.0,
+        "hub share {:.1}%",
+        m.hot_spot_degree
+    );
 }
 
 #[test]
 fn minimum_packet_length_of_two_flits() {
     let topo = gen::random_irregular(gen::IrregularParams::paper(12, 4), 2).unwrap();
-    let inst = Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+    let inst = Algo::DownUp { release: true }
+        .construct(&topo, PreorderPolicy::M1, 0)
+        .unwrap();
     let cfg = SimConfig {
         packet_len: 2,
         injection_rate: 0.2,
@@ -96,7 +112,9 @@ fn deep_path_network_has_long_but_valid_routes() {
     // A 40-switch path: diameter 39, tree is the path itself.
     let links: Vec<(u32, u32)> = (0..39).map(|i| (i, i + 1)).collect();
     let topo = Topology::new(40, 2, links).unwrap();
-    let inst = Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+    let inst = Algo::DownUp { release: true }
+        .construct(&topo, PreorderPolicy::M1, 0)
+        .unwrap();
     assert!(verify_routing(&inst.cg, &inst.table).is_ok());
     assert_eq!(inst.tables.route_len(&inst.cg, 0, 39), 39);
     assert_eq!(inst.tables.max_route_len(&inst.cg), 39);
@@ -110,7 +128,9 @@ fn max_port_configuration_works() {
     let topo = gen::random_irregular(gen::IrregularParams::paper(16, 8), 4).unwrap();
     assert!(topo.max_degree() <= 8);
     for policy in PreorderPolicy::ALL {
-        let inst = Algo::DownUp { release: true }.construct(&topo, policy, 7).unwrap();
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, policy, 7)
+            .unwrap();
         assert!(verify_routing(&inst.cg, &inst.table).is_ok());
     }
 }

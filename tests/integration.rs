@@ -29,7 +29,12 @@ fn full_pipeline_for_every_algorithm() {
     for algo in ALGOS {
         let inst = algo.construct(&topo, PreorderPolicy::M1, 0).unwrap();
         let report = verify_routing(&inst.cg, &inst.table);
-        assert!(report.is_ok(), "{algo}: {:?} {:?}", report.cycle, report.disconnected);
+        assert!(
+            report.is_ok(),
+            "{algo}: {:?} {:?}",
+            report.cycle,
+            report.disconnected
+        );
         let stats = Simulator::new(&inst.cg, &inst.tables, quick_cfg(0.05), 3).run();
         assert!(!stats.deadlocked, "{algo} deadlocked");
         assert!(stats.packets_delivered > 0, "{algo} delivered nothing");
@@ -51,7 +56,9 @@ fn downup_beats_updown_on_path_length_or_ties() {
         let d = Algo::DownUp { release: true }
             .construct(&topo, PreorderPolicy::M1, 0)
             .unwrap();
-        let u = Algo::UpDownBfs.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+        let u = Algo::UpDownBfs
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap();
         downup_sum += d.tables.avg_route_len(&d.cg);
         updown_sum += u.tables.avg_route_len(&u.cg);
     }
@@ -69,14 +76,19 @@ fn downup_has_fewer_opposite_prohibited_pairs_than_updown() {
     let mut downup_total = 0u32;
     for seed in 0..5 {
         let topo = gen::random_irregular(gen::IrregularParams::paper(32, 8), seed).unwrap();
-        let u = Algo::UpDownBfs.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+        let u = Algo::UpDownBfs
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap();
         let d = Algo::DownUp { release: true }
             .construct(&topo, PreorderPolicy::M1, 0)
             .unwrap();
         updown_total += u.table.nodes_with_opposite_prohibited_pairs(&u.cg);
         downup_total += d.table.nodes_with_opposite_prohibited_pairs(&d.cg);
     }
-    assert!(updown_total > 0, "up*/down* should exhibit opposite prohibited pairs");
+    assert!(
+        updown_total > 0,
+        "up*/down* should exhibit opposite prohibited pairs"
+    );
     assert!(
         downup_total <= updown_total,
         "DOWN/UP ({downup_total}) should not exceed up*/down* ({updown_total})"
@@ -90,8 +102,9 @@ fn simulation_respects_turn_restrictions() {
     // routing-table unit tests already pin candidates to allowed turns.
     for seed in 0..3 {
         let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
-        let inst =
-            Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap();
         let stats = Simulator::new(&inst.cg, &inst.tables, quick_cfg(1.0), seed).run();
         assert!(!stats.deadlocked);
     }
@@ -100,16 +113,15 @@ fn simulation_respects_turn_restrictions() {
 #[test]
 fn sweep_and_saturation_end_to_end() {
     let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 9).unwrap();
-    let inst = Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+    let inst = Algo::DownUp { release: true }
+        .construct(&topo, PreorderPolicy::M1, 0)
+        .unwrap();
     let curve = sweep::sweep(&inst, &quick_cfg(0.0), &[0.02, 0.1, 0.5], 4);
     assert_eq!(curve.points.len(), 3);
     let sat = curve.saturation();
     assert!(sat.metrics.accepted_traffic >= curve.points[0].metrics.accepted_traffic);
     // Latency at the lowest load is the smallest.
-    assert!(
-        curve.points[0].metrics.avg_latency
-            <= curve.points[2].metrics.avg_latency + 1.0
-    );
+    assert!(curve.points[0].metrics.avg_latency <= curve.points[2].metrics.avg_latency + 1.0);
 }
 
 #[test]
@@ -117,8 +129,12 @@ fn topology_json_roundtrip_through_routing() {
     let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), 3).unwrap();
     let json = irnet::topology::topology_to_json(&topo);
     let back = irnet::topology::topology_from_json(&json).unwrap();
-    let a = Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
-    let b = Algo::DownUp { release: true }.construct(&back, PreorderPolicy::M1, 0).unwrap();
+    let a = Algo::DownUp { release: true }
+        .construct(&topo, PreorderPolicy::M1, 0)
+        .unwrap();
+    let b = Algo::DownUp { release: true }
+        .construct(&back, PreorderPolicy::M1, 0)
+        .unwrap();
     assert_eq!(a.table, b.table);
     assert_eq!(a.tables.avg_route_len(&a.cg), b.tables.avg_route_len(&b.cg));
 }
@@ -126,9 +142,14 @@ fn topology_json_roundtrip_through_routing() {
 #[test]
 fn hotspot_traffic_pattern_stresses_one_node() {
     let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 6).unwrap();
-    let inst = Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+    let inst = Algo::DownUp { release: true }
+        .construct(&topo, PreorderPolicy::M1, 0)
+        .unwrap();
     let mut cfg = quick_cfg(0.08);
-    cfg.traffic = TrafficPattern::Hotspot { hot_node: 0, hot_fraction: 0.5 };
+    cfg.traffic = TrafficPattern::Hotspot {
+        hot_node: 0,
+        hot_fraction: 0.5,
+    };
     let stats = Simulator::new(&inst.cg, &inst.tables, cfg, 2).run();
     assert!(!stats.deadlocked);
     // The hot node's input channels should be busier than average.
@@ -146,8 +167,9 @@ fn regular_topologies_run_through_the_whole_stack() {
         gen::hypercube(4).unwrap(),
         gen::kary_tree(21, 4).unwrap(),
     ] {
-        let inst =
-            Algo::DownUp { release: true }.construct(&topo, PreorderPolicy::M1, 0).unwrap();
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M1, 0)
+            .unwrap();
         assert!(verify_routing(&inst.cg, &inst.table).is_ok());
         let stats = Simulator::new(&inst.cg, &inst.tables, quick_cfg(0.05), 1).run();
         assert!(!stats.deadlocked);

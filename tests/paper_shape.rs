@@ -33,8 +33,7 @@ fn measure(algo: Algo, policy: PreorderPolicy, samples: u64, ports: u32) -> Agg 
         throughput: 0.0,
     };
     for s in 0..samples {
-        let topo =
-            gen::random_irregular(gen::IrregularParams::paper(48, ports), 500 + s).unwrap();
+        let topo = gen::random_irregular(gen::IrregularParams::paper(48, ports), 500 + s).unwrap();
         let inst = algo.construct(&topo, policy, s).unwrap();
         let curve = sweep::sweep(&inst, &base, &rates, 77 + s);
         let m = curve.saturation().metrics;
@@ -61,8 +60,18 @@ fn measure(algo: Algo, policy: PreorderPolicy, samples: u64, ports: u32) -> Agg 
 #[test]
 fn downup_outperforms_lturn_at_saturation() {
     let samples = 4;
-    let l = measure(Algo::LTurn { release: true }, PreorderPolicy::M1, samples, 4);
-    let d = measure(Algo::DownUp { release: true }, PreorderPolicy::M1, samples, 4);
+    let l = measure(
+        Algo::LTurn { release: true },
+        PreorderPolicy::M1,
+        samples,
+        4,
+    );
+    let d = measure(
+        Algo::DownUp { release: true },
+        PreorderPolicy::M1,
+        samples,
+        4,
+    );
 
     assert!(
         d.throughput >= l.throughput * 0.97,
@@ -97,8 +106,18 @@ fn downup_outperforms_lturn_at_saturation() {
 #[test]
 fn m1_policy_is_best_or_competitive() {
     let samples = 3;
-    let m1 = measure(Algo::DownUp { release: true }, PreorderPolicy::M1, samples, 4);
-    let m3 = measure(Algo::DownUp { release: true }, PreorderPolicy::M3, samples, 4);
+    let m1 = measure(
+        Algo::DownUp { release: true },
+        PreorderPolicy::M1,
+        samples,
+        4,
+    );
+    let m3 = measure(
+        Algo::DownUp { release: true },
+        PreorderPolicy::M3,
+        samples,
+        4,
+    );
     assert!(
         m1.throughput >= m3.throughput * 0.95,
         "M1 throughput {:.4} decisively below M3 {:.4}",
@@ -113,7 +132,12 @@ fn m1_policy_is_best_or_competitive() {
 fn downup_has_fewer_hot_spots_than_updown_bfs() {
     let samples = 4;
     let u = measure(Algo::UpDownBfs, PreorderPolicy::M1, samples, 4);
-    let d = measure(Algo::DownUp { release: true }, PreorderPolicy::M1, samples, 4);
+    let d = measure(
+        Algo::DownUp { release: true },
+        PreorderPolicy::M1,
+        samples,
+        4,
+    );
     assert!(
         d.hot_spot < u.hot_spot,
         "DOWN/UP hot spots {:.1}% not below up*/down* {:.1}%",

@@ -1,0 +1,143 @@
+//! Offline `Serialize`/`Deserialize` derive macros for the vendored serde
+//! stub. Hand-rolled token parsing (no `syn`/`quote` available offline);
+//! supports exactly the shape this workspace derives on: non-generic
+//! structs with named fields. Anything else panics at compile time with a
+//! clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: serde::field(map, \"{f}\")?,"))
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 let map = v.as_map().ok_or_else(|| \
+                     serde::DeError::custom(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+/// Extract (struct name, named field list) from a derive input stream.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip attributes (`#` followed by a bracket group).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive: expected struct name, got {other:?}"),
+                };
+                for tt2 in iter.by_ref() {
+                    match tt2 {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            return (name, parse_fields(g.stream()));
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("serde_derive: generic structs are not supported")
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => {
+                            panic!("serde_derive: tuple/unit structs are not supported")
+                        }
+                        _ => {}
+                    }
+                }
+                panic!("serde_derive: struct {name} has no brace-delimited fields");
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("serde_derive: enums are not supported; write a manual impl")
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive: no struct found in derive input");
+}
+
+/// Collect field names from the token stream inside a struct's braces.
+fn parse_fields(ts: TokenStream) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        // Skip field attributes and doc comments.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Skip visibility (`pub`, `pub(crate)`, ...).
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => out.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma. Commas nested in
+        // parens/brackets live inside Groups; only `<...>` needs depth
+        // tracking because angle brackets are bare puncts.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    out
+}
