@@ -1,31 +1,35 @@
 //! Criterion benches for the wormhole simulator: cycles/second at the
 //! paper's scale under light and saturating load, with and without virtual
-//! channels.
+//! channels, for both scheduling cores.
+//!
+//! Topologies and routings come from [`irnet_bench::fixtures`], so the
+//! timed regions never pay fabric construction cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use irnet_core::DownUp;
+use irnet_bench::fixtures;
 use irnet_metrics::Algo;
-use irnet_sim::{SimConfig, Simulator};
-use irnet_topology::{gen, PreorderPolicy};
+use irnet_sim::{EngineCore, SimConfig, Simulator};
+use irnet_topology::PreorderPolicy;
 use std::hint::black_box;
 
 fn bench_sim_cycles(c: &mut Criterion) {
-    let topo = gen::random_irregular(gen::IrregularParams::paper(128, 8), 7).unwrap();
-    let routing = DownUp::new().construct(&topo).unwrap();
+    let fabric = fixtures::downup_fabric(128, 8, 7);
     let mut g = c.benchmark_group("sim_cycles");
     g.sample_size(10);
     const CYCLES: u32 = 3_000;
     g.throughput(Throughput::Elements(CYCLES as u64));
-    for (label, rate, vcs) in [
-        ("light_load", 0.02, 1u32),
-        ("saturated", 0.5, 1),
-        ("saturated_4vc", 0.5, 4),
+    for (label, rate, vcs, core) in [
+        ("light_load", 0.02, 1u32, EngineCore::ActiveSet),
+        ("light_load_dense", 0.02, 1, EngineCore::DenseReference),
+        ("saturated", 0.5, 1, EngineCore::ActiveSet),
+        ("saturated_4vc", 0.5, 4, EngineCore::ActiveSet),
     ] {
         let cfg = SimConfig {
             injection_rate: rate,
             virtual_channels: vcs,
             warmup_cycles: 0,
             measure_cycles: CYCLES,
+            engine_core: core,
             ..SimConfig::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
@@ -33,8 +37,13 @@ fn bench_sim_cycles(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 black_box(
-                    Simulator::new(routing.comm_graph(), routing.routing_tables(), *cfg, seed)
-                        .run(),
+                    Simulator::new(
+                        fabric.routing.comm_graph(),
+                        fabric.routing.routing_tables(),
+                        *cfg,
+                        seed,
+                    )
+                    .run(),
                 );
             });
         });
@@ -43,7 +52,9 @@ fn bench_sim_cycles(c: &mut Criterion) {
 }
 
 fn bench_algo_construct_and_route(c: &mut Criterion) {
-    // End-to-end "operator" cost: construct a routing for a fresh fabric.
+    // "Operator" cost: construct a routing for an existing fabric. The
+    // topology pool is pre-generated so only construction is timed.
+    let pool = fixtures::topology_pool(128, 4, 16, 1);
     let mut g = c.benchmark_group("end_to_end_construct");
     g.sample_size(10);
     for algo in [
@@ -54,12 +65,11 @@ fn bench_algo_construct_and_route(c: &mut Criterion) {
             BenchmarkId::from_parameter(algo.label()),
             &algo,
             |b, &algo| {
-                let mut seed = 0u64;
+                let mut k = 0usize;
                 b.iter(|| {
-                    seed += 1;
-                    let topo =
-                        gen::random_irregular(gen::IrregularParams::paper(128, 4), seed).unwrap();
-                    black_box(algo.construct(&topo, PreorderPolicy::M1, seed).unwrap());
+                    let topo = &pool[k % pool.len()];
+                    k += 1;
+                    black_box(algo.construct(topo, PreorderPolicy::M1, k as u64).unwrap());
                 });
             },
         );

@@ -1,0 +1,257 @@
+//! `perf` — the simulator-core performance harness behind `BENCH_sim.json`.
+//!
+//! Measures wall-clock cycles/second and flit-hops/second of the wormhole
+//! simulator at low / mid / saturation offered load on 32-, 128- and
+//! 512-switch fabrics, for both scheduling cores (the occupancy-driven
+//! active-set core and the dense reference scan), and writes a
+//! machine-readable report so later PRs can prove perf non-regression.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p irnet-bench --bin perf -- [--quick] \
+//!     [--out BENCH_sim.json] [--seed 7] [--reps 2]
+//! ```
+//!
+//! `--quick` restricts the sweep to the 32-switch fabric (the CI
+//! `perf-smoke` job); the default sweep covers 32/128/512 switches.
+//! Timing is reported, never asserted — CI fails only on panic or
+//! invalid JSON.
+//!
+//! ## `BENCH_sim.json` schema (`schema_version` 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "sim_core",
+//!   "quick": false,
+//!   "packet_len": 32,
+//!   "seed": 7,
+//!   "reps": 2,
+//!   "results": [
+//!     {
+//!       "switches": 128, "ports": 8,
+//!       "load": "low", "injection_rate": 0.002,
+//!       "core": "active_set",
+//!       "warmup_cycles": 1000, "measure_cycles": 8000,
+//!       "total_cycles": 9000, "wall_seconds": 0.0042,
+//!       "cycles_per_sec": 2142857.1,
+//!       "flit_hops": 20816, "flit_hops_per_sec": 4956190.5,
+//!       "packets_delivered": 638, "deadlocked": false
+//!     }
+//!   ],
+//!   "speedups": [
+//!     {
+//!       "switches": 128, "ports": 8,
+//!       "load": "low", "injection_rate": 0.002,
+//!       "active_cycles_per_sec": 2142857.1,
+//!       "dense_cycles_per_sec": 301003.3,
+//!       "speedup": 7.12
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `results` holds one entry per `(fabric, load, core)`; `wall_seconds`
+//!   is the fastest of `reps` identical runs (same seed, so identical
+//!   work), which filters scheduler noise.
+//! * `flit_hops` is the number of inter-switch link traversals during the
+//!   measurement window (`sum(channel_flits)`).
+//! * `speedups` pairs the two cores per `(fabric, load)`:
+//!   `speedup = active_cycles_per_sec / dense_cycles_per_sec`.
+
+use irnet_bench::fixtures;
+use irnet_bench::parse_args;
+use irnet_sim::{EngineCore, SimConfig, SimStats, Simulator};
+use serde::Serialize;
+use std::time::Instant;
+
+const USAGE: &str = "perf — simulator-core performance harness (BENCH_sim.json)
+
+options:
+  --quick        32-switch fabric only (CI-sized)
+  --out PATH     output path (default BENCH_sim.json)
+  --seed N       topology + simulation seed (default 7)
+  --reps N       timed repetitions per point, fastest wins (default 2)
+";
+
+/// One timed `(fabric, load, core)` measurement.
+#[derive(Serialize)]
+struct CoreResult {
+    switches: u32,
+    ports: u32,
+    load: String,
+    injection_rate: f64,
+    core: String,
+    warmup_cycles: u32,
+    measure_cycles: u32,
+    total_cycles: u64,
+    wall_seconds: f64,
+    cycles_per_sec: f64,
+    flit_hops: u64,
+    flit_hops_per_sec: f64,
+    packets_delivered: u64,
+    deadlocked: bool,
+}
+
+/// Active-set vs dense-reference pairing for one `(fabric, load)`.
+#[derive(Serialize)]
+struct Speedup {
+    switches: u32,
+    ports: u32,
+    load: String,
+    injection_rate: f64,
+    active_cycles_per_sec: f64,
+    dense_cycles_per_sec: f64,
+    speedup: f64,
+}
+
+/// The whole `BENCH_sim.json` document.
+#[derive(Serialize)]
+struct BenchReport {
+    schema_version: u32,
+    bench: String,
+    quick: bool,
+    packet_len: u32,
+    seed: u64,
+    reps: u32,
+    results: Vec<CoreResult>,
+    speedups: Vec<Speedup>,
+}
+
+/// Offered-load operating points (label, flits/node/clock).
+const LOADS: [(&str, f64); 3] = [("low", 0.002), ("mid", 0.02), ("saturation", 0.5)];
+const PACKET_LEN: u32 = 32;
+
+fn core_label(core: EngineCore) -> &'static str {
+    match core {
+        EngineCore::ActiveSet => "active_set",
+        EngineCore::DenseReference => "dense_reference",
+    }
+}
+
+/// Measurement-window length per fabric size (larger fabrics get fewer
+/// cycles so the dense reference stays affordable).
+fn measure_cycles(switches: u32) -> u32 {
+    match switches {
+        0..=63 => 16_000,
+        64..=255 => 8_000,
+        _ => 4_000,
+    }
+}
+
+fn time_run(fabric: &fixtures::Fabric, cfg: SimConfig, seed: u64, reps: u32) -> (f64, SimStats) {
+    let cg = fabric.routing.comm_graph();
+    let rt = fabric.routing.routing_tables();
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..reps.max(1) {
+        let sim = Simulator::new(cg, rt, cfg, seed);
+        let start = Instant::now();
+        let s = sim.run();
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        stats = Some(s);
+    }
+    (best, stats.expect("at least one rep"))
+}
+
+fn main() {
+    let cli = parse_args(std::env::args(), USAGE);
+    let quick = cli.flag("quick");
+    let out_path = cli.opt("out").unwrap_or("BENCH_sim.json").to_string();
+    let seed: u64 = cli.opt_parse("seed", 7);
+    let reps: u32 = cli.opt_parse("reps", 2);
+
+    let sizes: &[(u32, u32)] = if quick {
+        &[(32, 8)]
+    } else {
+        &[(32, 8), (128, 8), (512, 8)]
+    };
+
+    let mut results = Vec::new();
+    let mut speedups = Vec::new();
+    for &(switches, ports) in sizes {
+        eprintln!("building {switches}-switch/{ports}-port fabric...");
+        let fabric = fixtures::downup_fabric(switches, ports, seed);
+        for (load, rate) in LOADS {
+            let cfg = SimConfig {
+                packet_len: PACKET_LEN,
+                injection_rate: rate,
+                warmup_cycles: 1_000,
+                measure_cycles: measure_cycles(switches),
+                ..SimConfig::default()
+            };
+            let mut cps = [0.0f64; 2];
+            for (k, core) in [EngineCore::ActiveSet, EngineCore::DenseReference]
+                .into_iter()
+                .enumerate()
+            {
+                let run_cfg = SimConfig {
+                    engine_core: core,
+                    ..cfg
+                };
+                let (wall, stats) = time_run(fabric, run_cfg, seed, reps);
+                let total_cycles = cfg.total_cycles() as u64;
+                let flit_hops: u64 = stats.channel_flits.iter().sum();
+                let cycles_per_sec = total_cycles as f64 / wall;
+                cps[k] = cycles_per_sec;
+                eprintln!(
+                    "  {switches}sw {load:>10} {:<15} {:>12.0} cycles/s  \
+                     {:>12.0} flit-hops/s",
+                    core_label(core),
+                    cycles_per_sec,
+                    flit_hops as f64 / wall,
+                );
+                results.push(CoreResult {
+                    switches,
+                    ports,
+                    load: load.to_string(),
+                    injection_rate: rate,
+                    core: core_label(core).to_string(),
+                    warmup_cycles: cfg.warmup_cycles,
+                    measure_cycles: cfg.measure_cycles,
+                    total_cycles,
+                    wall_seconds: wall,
+                    cycles_per_sec,
+                    flit_hops,
+                    flit_hops_per_sec: flit_hops as f64 / wall,
+                    packets_delivered: stats.packets_delivered,
+                    deadlocked: stats.deadlocked,
+                });
+            }
+            speedups.push(Speedup {
+                switches,
+                ports,
+                load: load.to_string(),
+                injection_rate: rate,
+                active_cycles_per_sec: cps[0],
+                dense_cycles_per_sec: cps[1],
+                speedup: cps[0] / cps[1],
+            });
+        }
+    }
+
+    for s in &speedups {
+        println!(
+            "{:>4} switches  {:>10} load  active/dense speedup: {:.2}x",
+            s.switches, s.load, s.speedup
+        );
+    }
+
+    let report = BenchReport {
+        schema_version: 1,
+        bench: "sim_core".to_string(),
+        quick,
+        packet_len: PACKET_LEN,
+        seed,
+        reps,
+        results,
+        speedups,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialization failed");
+    std::fs::write(&out_path, json + "\n").expect("failed to write report");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,95 @@
+//! Shared topology/routing fixtures, built once per process and leaked.
+//!
+//! The Criterion benches and the `perf` harness used to regenerate
+//! topologies and routings inside their measurement loops, which both
+//! wasted wall clock and folded construction cost into simulation
+//! numbers. Every fixture here is constructed exactly once per
+//! `(switches, ports, seed)` and handed out as `&'static`, so repeated
+//! iterations measure only the code under test.
+
+use irnet_core::{DownUp, DownUpRouting};
+use irnet_topology::{gen, Topology};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// A generated fabric: the topology plus its constructed DOWN/UP routing.
+pub struct Fabric {
+    /// The random irregular topology.
+    pub topo: Topology,
+    /// The constructed DOWN/UP routing artifacts.
+    pub routing: DownUpRouting,
+}
+
+type FabricKey = (u32, u32, u64);
+
+fn fabric_cache() -> &'static Mutex<BTreeMap<FabricKey, &'static Fabric>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<FabricKey, &'static Fabric>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A paper-style random irregular fabric with its DOWN/UP routing,
+/// constructed on first request and cached for the process lifetime.
+pub fn downup_fabric(switches: u32, ports: u32, seed: u64) -> &'static Fabric {
+    let mut cache = fabric_cache().lock().unwrap();
+    if let Some(f) = cache.get(&(switches, ports, seed)) {
+        return f;
+    }
+    let topo = gen::random_irregular(gen::IrregularParams::paper(switches, ports), seed)
+        .expect("fixture topology generation failed");
+    let routing = DownUp::new()
+        .construct(&topo)
+        .expect("fixture routing construction failed");
+    let fabric: &'static Fabric = Box::leak(Box::new(Fabric { topo, routing }));
+    cache.insert((switches, ports, seed), fabric);
+    fabric
+}
+
+/// A pool of `count` pre-generated topologies (seeds `base_seed..`),
+/// for construction benches that want fresh inputs per iteration without
+/// paying generation cost inside the timed region.
+pub fn topology_pool(
+    switches: u32,
+    ports: u32,
+    count: usize,
+    base_seed: u64,
+) -> &'static [Topology] {
+    type PoolKey = (u32, u32, usize, u64);
+    static CACHE: OnceLock<Mutex<BTreeMap<PoolKey, &'static [Topology]>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap();
+    if let Some(p) = cache.get(&(switches, ports, count, base_seed)) {
+        return p;
+    }
+    let pool: Vec<Topology> = (0..count as u64)
+        .map(|k| {
+            gen::random_irregular(gen::IrregularParams::paper(switches, ports), base_seed + k)
+                .expect("fixture topology generation failed")
+        })
+        .collect();
+    let leaked: &'static [Topology] = Box::leak(pool.into_boxed_slice());
+    cache.insert((switches, ports, count, base_seed), leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_is_cached_per_key() {
+        let a = downup_fabric(16, 4, 3) as *const Fabric;
+        let b = downup_fabric(16, 4, 3) as *const Fabric;
+        assert_eq!(a, b, "same key must return the same fixture");
+        let c = downup_fabric(16, 4, 4) as *const Fabric;
+        assert_ne!(a, c, "different seed must build a different fixture");
+    }
+
+    #[test]
+    fn pool_has_distinct_topologies() {
+        let pool = topology_pool(12, 4, 3, 100);
+        assert_eq!(pool.len(), 3);
+        assert_ne!(pool[0].links(), pool[1].links());
+    }
+}

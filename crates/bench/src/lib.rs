@@ -13,12 +13,16 @@
 //! * `ablation_sim` — A4: buffer depth and packet length sensitivity.
 //! * `ablation_scale` — A5: network size sweep.
 //! * `ablation_vc` — A6: virtual channels.
+//! * `perf` — simulator-core performance harness; writes `BENCH_sim.json`
+//!   comparing the active-set and dense-reference scheduling cores.
 //!
 //! Every binary accepts `--quick` (CI-sized, the default) or `--full`
 //! (paper-sized), plus overrides; run with `--help` for the list.
 
 pub mod args;
+pub mod fixtures;
 pub mod grid;
 
 pub use args::{parse_args, Cli};
+pub use fixtures::{downup_fabric, topology_pool, Fabric};
 pub use grid::{run_grid, AvgPoint, CellKey, CellResult, ExperimentConfig, GridResults};

@@ -1,0 +1,120 @@
+//! Dense bitset worklists for the occupancy-driven simulator core.
+//!
+//! The engine keeps one [`ActiveSet`] per pipeline stage (occupied staging
+//! registers per channel, non-empty input FIFOs/source queues, pending
+//! ejections). Membership updates are O(1) bit operations; iteration cost
+//! is O(words + live entries) instead of O(universe), which is what makes
+//! a nearly idle cycle cheap. Iteration order is always ascending by index
+//! (optionally rotated by an offset), so the active-set schedule visits
+//! live entries in exactly the order the dense reference scan would, and
+//! the two cores stay bit-exact.
+
+/// A fixed-universe set of `u32` indices backed by a `u64` bitmap.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ActiveSet {
+    /// An empty set over the universe `0..len`.
+    pub(crate) fn new(len: usize) -> ActiveSet {
+        ActiveSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Adds `i` to the set (idempotent).
+    #[inline]
+    pub(crate) fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i` from the set (idempotent).
+    #[inline]
+    pub(crate) fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test (used by the cross-core consistency asserts).
+    #[cfg(debug_assertions)]
+    #[inline]
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Appends the members in ascending order to `out` (not cleared).
+    pub(crate) fn collect(&self, out: &mut Vec<u32>) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((w * 64) as u32 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Appends the members in the rotated order `offset, offset+1, …,
+    /// len-1, 0, 1, …, offset-1` (restricted to members) to `out`.
+    /// This is the dense scan order `(k + offset) % len` filtered to live
+    /// entries, which preserves the engine's rotating-offset fairness.
+    pub(crate) fn collect_rotated(&self, offset: usize, out: &mut Vec<u32>) {
+        debug_assert!(offset < self.len.max(1));
+        let split = out.len();
+        self.collect(out);
+        // `out[split..]` is ascending; rotate it so entries >= offset come
+        // first. Binary search for the split point.
+        let pivot = out[split..].partition_point(|&i| (i as usize) < offset);
+        out[split..].rotate_left(pivot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_collect() {
+        let mut s = ActiveSet::new(200);
+        for i in [0usize, 63, 64, 65, 130, 199] {
+            s.insert(i);
+        }
+        s.insert(65); // idempotent
+        s.remove(130);
+        s.remove(130);
+        let mut v = Vec::new();
+        s.collect(&mut v);
+        assert_eq!(v, [0, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn rotated_order_matches_dense_scan() {
+        let mut s = ActiveSet::new(10);
+        for i in [1usize, 4, 7, 9] {
+            s.insert(i);
+        }
+        for offset in 0..10 {
+            let mut got = Vec::new();
+            s.collect_rotated(offset, &mut got);
+            let want: Vec<u32> = (0..10)
+                .map(|k| ((k + offset) % 10) as u32)
+                .filter(|&i| [1, 4, 7, 9].contains(&i))
+                .collect();
+            assert_eq!(got, want, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn collect_appends_without_clearing() {
+        let mut s = ActiveSet::new(8);
+        s.insert(3);
+        let mut v = vec![99u32];
+        s.collect_rotated(0, &mut v);
+        assert_eq!(v, [99, 3]);
+    }
+}

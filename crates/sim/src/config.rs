@@ -23,6 +23,40 @@ pub enum RouteChoice {
     DeterministicMinimal,
 }
 
+/// Which scheduling core the simulator runs (see DESIGN.md §11).
+///
+/// Both cores are bit-exact: they produce identical [`crate::SimStats`]
+/// (including RNG-driven tie-breaks) for every configuration. The dense
+/// reference exists so equivalence tests and regressions can always fall
+/// back to the obviously-correct O(network) scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineCore {
+    /// Occupancy-driven worklists: each pipeline stage iterates only over
+    /// live entries (occupied staging registers, non-empty input queues,
+    /// pending ejections). The default; cycles cost O(live entries).
+    #[default]
+    ActiveSet,
+    /// The dense reference scan: every stage walks the whole network every
+    /// clock. O(network size) per cycle; kept for differential testing.
+    DenseReference,
+}
+
+/// How packet arrivals are sampled from the configured arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectionSampling {
+    /// One Bernoulli draw per node per clock — the seed implementation's
+    /// RNG stream. The default; all golden RNG pins assume this mode.
+    #[default]
+    PerCycle,
+    /// Skip-sample idle cycles per source: draw the gap to each node's
+    /// next arrival from the matching geometric distribution, so an idle
+    /// network costs zero RNG calls per clock. Statistically identical
+    /// arrival law to [`InjectionSampling::PerCycle`] but a different RNG
+    /// stream (it has its own determinism pins). Only valid with
+    /// [`ArrivalProcess::Bernoulli`].
+    Geometric,
+}
+
 /// Simulator configuration. Defaults mirror the paper's setup (§5) except
 /// for run lengths, which callers size per experiment.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +93,12 @@ pub struct SimConfig {
     /// deadlock-free routing this never triggers; it exists so tests can
     /// demonstrate that unrestricted routing deadlocks.
     pub deadlock_threshold: u32,
+    /// Scheduling core (active-set worklists vs the dense reference scan;
+    /// bit-exact either way).
+    pub engine_core: EngineCore,
+    /// Arrival sampling strategy (per-cycle Bernoulli draws vs geometric
+    /// idle-cycle skipping).
+    pub injection_sampling: InjectionSampling,
 }
 
 impl Default for SimConfig {
@@ -76,6 +116,8 @@ impl Default for SimConfig {
             misroute_patience: None,
             max_detours: 4,
             deadlock_threshold: 20_000,
+            engine_core: EngineCore::ActiveSet,
+            injection_sampling: InjectionSampling::PerCycle,
         }
     }
 }
@@ -109,9 +151,16 @@ impl SimConfig {
         );
         assert!(
             (1..=8).contains(&self.virtual_channels),
-            "virtual channels must be in 1..=8"
+            "virtual channels must be in 1..=8 (round-robin state and \
+             per-channel occupancy counters assume a small VC count)"
         );
         assert!(self.measure_cycles > 0, "nothing to measure");
+        assert!(
+            self.injection_sampling == InjectionSampling::PerCycle
+                || self.arrivals == ArrivalProcess::Bernoulli,
+            "InjectionSampling::Geometric requires ArrivalProcess::Bernoulli \
+             (on/off sources need per-cycle state updates)"
+        );
     }
 }
 
@@ -143,6 +192,29 @@ mod tests {
     fn rejects_zero_vcs() {
         SimConfig {
             virtual_channels: 0,
+            ..SimConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires ArrivalProcess::Bernoulli")]
+    fn rejects_geometric_sampling_of_bursty_sources() {
+        SimConfig {
+            injection_sampling: InjectionSampling::Geometric,
+            arrivals: ArrivalProcess::OnOff {
+                mean_burst: 50,
+                burstiness: 4.0,
+            },
+            ..SimConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn geometric_sampling_of_bernoulli_sources_is_valid() {
+        SimConfig {
+            injection_sampling: InjectionSampling::Geometric,
             ..SimConfig::default()
         }
         .validate();

@@ -1,12 +1,13 @@
-use crate::config::{RouteChoice, SimConfig};
+use crate::active::ActiveSet;
+use crate::config::{EngineCore, InjectionSampling, RouteChoice, SimConfig};
 use crate::hist::Histogram;
 use crate::stats::SimStats;
 use irnet_topology::{CommGraph, NodeId};
 use irnet_turns::{RoutingTables, INJECTION_SLOT};
-use rand::Rng;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Route sentinel: no output assigned yet.
 const ROUTE_NONE: u32 = u32::MAX;
@@ -27,6 +28,13 @@ struct Flit {
     time: u32,
 }
 
+/// Arena filler for never-read slots.
+const NO_FLIT: Flit = Flit {
+    pkt: 0,
+    seq: 0,
+    time: 0,
+};
+
 #[derive(Debug, Clone, Copy)]
 struct Packet {
     dst: NodeId,
@@ -37,6 +45,13 @@ struct Packet {
 }
 
 /// The wormhole network simulator. See the crate docs for the model.
+///
+/// Two scheduling cores share every data structure and mutation helper
+/// (see [`EngineCore`]): the default active-set core iterates per-stage
+/// worklists of live entries, the dense reference core scans the whole
+/// network. Both visit live entries in the same order, so their outputs
+/// are bit-exact — asserted by the differential tests below and in
+/// `tests/engine_equiv.rs`.
 pub struct Simulator<'a> {
     cg: &'a CommGraph,
     tables: &'a RoutingTables,
@@ -47,10 +62,22 @@ pub struct Simulator<'a> {
     vcs: u32,
     num_invc: usize,
     num_inputs: usize,
+    /// FIFO depth in flits (hoisted out of `cfg` for the hot path).
+    depth: usize,
+    /// Per-cycle packet-start probability
+    /// (`injection_rate / packet_len`, clamped), hoisted out of
+    /// [`Simulator::inject`]. Kept in sync by
+    /// [`Simulator::set_injection_rate`].
+    inject_p: f64,
 
     packets: Vec<Packet>,
-    /// Input FIFO per (physical channel, vc).
-    bufs: Vec<VecDeque<Flit>>,
+    /// Flat flit arena: slot `i * depth + k` holds flit `k` of input `i`'s
+    /// ring buffer. Replaces one `VecDeque` allocation per (channel, vc).
+    fifo: Vec<Flit>,
+    /// Ring-buffer head position per input FIFO.
+    fifo_head: Vec<u32>,
+    /// Occupancy per input FIFO.
+    fifo_len: Vec<u32>,
     /// Current route per input (physical in-vcs then injection per node).
     route: Vec<u32>,
     /// Oblivious pending port per input.
@@ -63,7 +90,7 @@ pub struct Simulator<'a> {
     /// Output staging register per (physical channel, vc).
     staged: Vec<Option<Flit>>,
     /// Round-robin pointer per physical channel for link arbitration.
-    rr: Vec<u8>,
+    rr: Vec<u32>,
     /// Ejection staging register and owner, per node.
     eject_staged: Vec<Option<Flit>>,
     eject_owner: Vec<u32>,
@@ -73,6 +100,22 @@ pub struct Simulator<'a> {
     src_sent: Vec<u32>,
     /// On/off state per source (used by the bursty arrival process).
     src_on: Vec<bool>,
+
+    /// Inputs with at least one queued flit (non-empty FIFO, or a source
+    /// with a pending packet). Everything the crossbar stage can act on.
+    active_in: ActiveSet,
+    /// Occupied staging registers per physical channel (vcs <= 8).
+    staged_count: Vec<u8>,
+    /// Channels with `staged_count > 0` — the link stage's worklist.
+    staged_active: ActiveSet,
+    /// Nodes with an occupied ejection register.
+    eject_active: ActiveSet,
+    /// Reusable iteration buffer (kept allocated across cycles).
+    scratch: Vec<u32>,
+
+    /// Per-source next scheduled arrival, keyed `(cycle, node)` — only
+    /// used by [`InjectionSampling::Geometric`].
+    next_arrival: BinaryHeap<Reverse<(u32, NodeId)>>,
 
     /// Flits buffered in FIFOs and staging registers.
     buffered_flits: u64,
@@ -114,7 +157,10 @@ impl<'a> Simulator<'a> {
         let vcs = cfg.virtual_channels;
         let num_invc = nch * vcs as usize;
         let num_inputs = num_invc + n;
-        Simulator {
+        let depth = cfg.buffer_depth as usize;
+        let inject_p = (cfg.injection_rate / cfg.packet_len as f64).clamp(0.0, 1.0);
+        debug_assert!(inject_p.is_finite(), "injection probability not finite");
+        let mut sim = Simulator {
             cg,
             tables,
             cfg,
@@ -123,10 +169,12 @@ impl<'a> Simulator<'a> {
             vcs,
             num_invc,
             num_inputs,
+            depth,
+            inject_p,
             packets: Vec::new(),
-            bufs: (0..num_invc)
-                .map(|_| VecDeque::with_capacity(cfg.buffer_depth as usize))
-                .collect(),
+            fifo: vec![NO_FLIT; num_invc * depth],
+            fifo_head: vec![0; num_invc],
+            fifo_len: vec![0; num_invc],
             route: vec![ROUTE_NONE; num_inputs],
             pending_port: vec![NO_PORT; num_inputs],
             blocked: vec![0; num_inputs],
@@ -138,6 +186,12 @@ impl<'a> Simulator<'a> {
             src_queue: vec![VecDeque::new(); n],
             src_sent: vec![0; n],
             src_on: vec![false; n],
+            active_in: ActiveSet::new(num_inputs),
+            staged_count: vec![0; nch],
+            staged_active: ActiveSet::new(nch),
+            eject_active: ActiveSet::new(n),
+            scratch: Vec::with_capacity(64),
+            next_arrival: BinaryHeap::new(),
             buffered_flits: 0,
             live_packets: 0,
             last_progress: 0,
@@ -152,7 +206,9 @@ impl<'a> Simulator<'a> {
             node_packets_generated: vec![0; n],
             header_block_cycles: 0,
             buffered_flit_cycles: 0,
-        }
+        };
+        sim.arm_geometric_arrivals();
+        sim
     }
 
     /// Runs warm-up plus measurement and returns the collected statistics.
@@ -185,12 +241,47 @@ impl<'a> Simulator<'a> {
             detours: 0,
         });
         self.src_queue[src as usize].push_back(id);
+        self.active_in.insert(self.num_invc + src as usize);
         self.live_packets += 1;
         if self.measuring() {
             self.packets_generated += 1;
             self.node_packets_generated[src as usize] += 1;
         }
         id
+    }
+
+    /// Changes the offered load mid-run, keeping the hoisted per-cycle
+    /// packet probability (and, in geometric sampling mode, the scheduled
+    /// arrivals) in sync. Use this instead of mutating the configuration.
+    pub fn set_injection_rate(&mut self, rate: f64) {
+        assert!(rate >= 0.0, "negative injection rate");
+        self.cfg.injection_rate = rate;
+        self.inject_p = (rate / self.cfg.packet_len as f64).clamp(0.0, 1.0);
+        debug_assert!(
+            self.inject_p.is_finite(),
+            "injection probability not finite"
+        );
+        if self.cfg.injection_sampling == InjectionSampling::Geometric {
+            self.next_arrival.clear();
+            self.arm_geometric_arrivals();
+        }
+    }
+
+    /// Schedules the first geometric arrival of every source (no-op in
+    /// per-cycle sampling mode or at zero load).
+    fn arm_geometric_arrivals(&mut self) {
+        let n = self.cg.num_nodes();
+        if self.cfg.injection_sampling != InjectionSampling::Geometric
+            || self.inject_p == 0.0
+            || n < 2
+        {
+            return;
+        }
+        for v in 0..n {
+            let skip = geometric_skip(&mut self.rng, self.inject_p);
+            self.next_arrival
+                .push(Reverse((self.now.saturating_add(skip), v)));
+        }
     }
 
     /// Advances the clock by one cycle (public stepping for custom loops;
@@ -258,131 +349,232 @@ impl<'a> Simulator<'a> {
     /// Advances the network by one clock.
     fn step(&mut self) {
         self.inject();
-        self.link_stage();
-        self.eject_stage();
-        self.crossbar_stage();
+        match self.cfg.engine_core {
+            EngineCore::ActiveSet => {
+                self.link_stage_active();
+                self.eject_stage_active();
+                self.crossbar_stage_active();
+            }
+            EngineCore::DenseReference => {
+                self.link_stage_dense();
+                self.eject_stage_dense();
+                self.crossbar_stage_dense();
+            }
+        }
         if self.measuring() {
             self.buffered_flit_cycles += self.buffered_flits;
         }
         self.now += 1;
     }
 
-    /// Generates new packets at each node (Bernoulli process with rate
-    /// `injection_rate / packet_len` packets per node per cycle).
+    /// Generates new packets at each node (rate `injection_rate /
+    /// packet_len` packets per node per cycle).
     fn inject(&mut self) {
+        if self.cg.num_nodes() < 2 || self.inject_p == 0.0 {
+            return;
+        }
+        match self.cfg.injection_sampling {
+            InjectionSampling::PerCycle => self.inject_per_cycle(),
+            InjectionSampling::Geometric => self.inject_geometric(),
+        }
+    }
+
+    /// One arrival-process draw per node per cycle (the seed RNG stream).
+    fn inject_per_cycle(&mut self) {
         let n = self.cg.num_nodes();
-        if n < 2 {
-            return;
-        }
-        let p = (self.cfg.injection_rate / self.cfg.packet_len as f64).clamp(0.0, 1.0);
-        if p == 0.0 {
-            return;
-        }
+        let p = self.inject_p;
         let arrivals = self.cfg.arrivals;
         for v in 0..n {
             let mut on = self.src_on[v as usize];
             let arrived = arrivals.arrives(&mut self.rng, &mut on, p);
             self.src_on[v as usize] = on;
             if arrived {
-                let dst = self.cfg.traffic.pick_dest(&mut self.rng, v, n);
-                let id = self.packets.len() as u32;
-                self.packets.push(Packet {
-                    dst,
-                    gen_time: self.now,
-                    len: self.cfg.packet_len,
-                    detours: 0,
-                });
-                self.src_queue[v as usize].push_back(id);
-                self.live_packets += 1;
-                if self.measuring() {
-                    self.packets_generated += 1;
-                    self.node_packets_generated[v as usize] += 1;
-                }
+                self.generate_packet(v);
             }
         }
     }
 
-    /// Moves at most one flit per physical channel from its staging
-    /// registers to the downstream input FIFO (1-clock link traversal).
-    fn link_stage(&mut self) {
-        let vcs = self.vcs as usize;
-        for c in 0..self.cg.num_channels() as usize {
-            let start = self.rr[c] as usize;
-            for k in 0..vcs {
-                let vc = (start + k) % vcs;
-                let idx = c * vcs + vc;
-                let Some(flit) = self.staged[idx] else {
-                    continue;
-                };
-                if flit.time >= self.now {
-                    continue;
-                }
-                if self.bufs[idx].len() >= self.cfg.buffer_depth as usize {
-                    continue;
-                }
-                self.staged[idx] = None;
-                self.bufs[idx].push_back(Flit {
-                    time: self.now,
-                    ..flit
-                });
-                if self.measuring() {
-                    self.channel_flits[c] += 1;
-                }
-                self.note_progress();
-                if flit.seq + 1 == self.packets[flit.pkt as usize].len {
-                    // Tail has traversed the link: the virtual channel is
-                    // released for a new reservation.
-                    self.owner[idx] = FREE;
-                }
-                self.rr[c] = ((vc + 1) % vcs) as u8;
+    /// Calendar-queue arrivals: only sources whose pre-drawn arrival time
+    /// is due cost anything this cycle; each arrival schedules the next
+    /// one a geometric gap ahead.
+    fn inject_geometric(&mut self) {
+        while let Some(&Reverse((t, v))) = self.next_arrival.peek() {
+            if t > self.now {
                 break;
             }
+            self.next_arrival.pop();
+            self.generate_packet(v);
+            let skip = geometric_skip(&mut self.rng, self.inject_p);
+            self.next_arrival
+                .push(Reverse((self.now.saturating_add(1 + skip), v)));
         }
     }
 
-    /// Delivers at most one flit per node from the ejection register to the
-    /// local processor.
-    fn eject_stage(&mut self) {
-        for v in 0..self.cg.num_nodes() as usize {
-            let Some(flit) = self.eject_staged[v] else {
+    /// Creates one packet at `v` with a freshly drawn destination.
+    fn generate_packet(&mut self, v: NodeId) {
+        let n = self.cg.num_nodes();
+        let dst = self.cfg.traffic.pick_dest(&mut self.rng, v, n);
+        let id = self.packets.len() as u32;
+        self.packets.push(Packet {
+            dst,
+            gen_time: self.now,
+            len: self.cfg.packet_len,
+            detours: 0,
+        });
+        self.src_queue[v as usize].push_back(id);
+        self.active_in.insert(self.num_invc + v as usize);
+        self.live_packets += 1;
+        if self.measuring() {
+            self.packets_generated += 1;
+            self.node_packets_generated[v as usize] += 1;
+        }
+    }
+
+    /// Link stage, dense reference: every physical channel, every clock.
+    fn link_stage_dense(&mut self) {
+        for c in 0..self.cg.num_channels() as usize {
+            self.advance_link(c);
+        }
+    }
+
+    /// Link stage, active-set core: only channels with an occupied staging
+    /// register. Ascending order matches the dense scan.
+    fn link_stage_active(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.staged_active.collect(&mut scratch);
+        for &c in &scratch {
+            self.advance_link(c as usize);
+        }
+        self.scratch = scratch;
+    }
+
+    /// Moves at most one flit on physical channel `c` from its staging
+    /// registers to the downstream input FIFO (1-clock link traversal).
+    fn advance_link(&mut self, c: usize) {
+        let vcs = self.vcs as usize;
+        let start = self.rr[c] as usize;
+        for k in 0..vcs {
+            let vc = (start + k) % vcs;
+            let idx = c * vcs + vc;
+            let Some(flit) = self.staged[idx] else {
                 continue;
             };
+            #[cfg(debug_assertions)]
+            assert!(
+                self.staged_active.contains(c),
+                "channel {c} staged but inactive"
+            );
             if flit.time >= self.now {
                 continue;
             }
-            self.eject_staged[v] = None;
-            self.buffered_flits -= 1;
-            self.note_progress();
-            let pkt = self.packets[flit.pkt as usize];
-            let measuring = self.measuring();
-            if measuring {
-                self.flits_delivered += 1;
-                self.node_flits_delivered[v] += 1;
+            if self.fifo_len[idx] as usize >= self.depth {
+                continue;
             }
-            if flit.seq + 1 == pkt.len {
-                self.eject_owner[v] = FREE;
-                self.live_packets -= 1;
-                if measuring {
-                    self.packets_delivered += 1;
-                    let lat = self.now - pkt.gen_time;
-                    self.latency_sum += lat as u64;
-                    self.latency_max = self.latency_max.max(lat);
-                    self.latency_hist.record(lat);
-                }
+            self.staged[idx] = None;
+            self.staged_count[c] -= 1;
+            if self.staged_count[c] == 0 {
+                self.staged_active.remove(c);
+            }
+            self.fifo_push(
+                idx,
+                Flit {
+                    time: self.now,
+                    ..flit
+                },
+            );
+            if self.measuring() {
+                self.channel_flits[c] += 1;
+            }
+            self.note_progress();
+            if flit.seq + 1 == self.packets[flit.pkt as usize].len {
+                // Tail has traversed the link: the virtual channel is
+                // released for a new reservation.
+                self.owner[idx] = FREE;
+            }
+            self.rr[c] = ((vc + 1) % vcs) as u32;
+            break;
+        }
+    }
+
+    /// Ejection stage, dense reference: every node, every clock.
+    fn eject_stage_dense(&mut self) {
+        for v in 0..self.cg.num_nodes() as usize {
+            self.advance_eject(v);
+        }
+    }
+
+    /// Ejection stage, active-set core: only nodes with a pending flit.
+    fn eject_stage_active(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.eject_active.collect(&mut scratch);
+        for &v in &scratch {
+            self.advance_eject(v as usize);
+        }
+        self.scratch = scratch;
+    }
+
+    /// Delivers at most one flit at node `v` from the ejection register to
+    /// the local processor.
+    fn advance_eject(&mut self, v: usize) {
+        let Some(flit) = self.eject_staged[v] else {
+            return;
+        };
+        #[cfg(debug_assertions)]
+        assert!(
+            self.eject_active.contains(v),
+            "node {v} staged but inactive"
+        );
+        if flit.time >= self.now {
+            return;
+        }
+        self.eject_staged[v] = None;
+        self.eject_active.remove(v);
+        self.buffered_flits -= 1;
+        self.note_progress();
+        let pkt = self.packets[flit.pkt as usize];
+        let measuring = self.measuring();
+        if measuring {
+            self.flits_delivered += 1;
+            self.node_flits_delivered[v] += 1;
+        }
+        if flit.seq + 1 == pkt.len {
+            self.eject_owner[v] = FREE;
+            self.live_packets -= 1;
+            if measuring {
+                self.packets_delivered += 1;
+                let lat = self.now - pkt.gen_time;
+                self.latency_sum += lat as u64;
+                self.latency_max = self.latency_max.max(lat);
+                self.latency_hist.record(lat);
             }
         }
     }
 
-    /// Routes headers and moves eligible flits from input FIFOs (and
-    /// injection sources) into output staging registers — the 1-clock
-    /// crossbar / routing-and-arbitration stage.
-    fn crossbar_stage(&mut self) {
-        // Rotate the scan order so no input is systematically favoured.
+    /// Crossbar stage, dense reference: every input, every clock, in the
+    /// rotated fairness order (two linear sweeps — no per-input modulo).
+    fn crossbar_stage_dense(&mut self) {
         let offset = self.now as usize % self.num_inputs;
-        for k in 0..self.num_inputs {
-            let i = (k + offset) % self.num_inputs;
+        for i in (offset..self.num_inputs).chain(0..offset) {
             self.advance_input(i);
         }
+    }
+
+    /// Crossbar stage, active-set core: only inputs with queued flits, in
+    /// the same rotated order the dense scan uses.
+    fn crossbar_stage_active(&mut self) {
+        if self.num_inputs == 0 {
+            return;
+        }
+        let offset = self.now as usize % self.num_inputs;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.active_in.collect_rotated(offset, &mut scratch);
+        for &i in &scratch {
+            self.advance_input(i as usize);
+        }
+        self.scratch = scratch;
     }
 
     /// Processes one input: (a) arbitrate if its head flit is an unrouted
@@ -391,6 +583,10 @@ impl<'a> Simulator<'a> {
     fn advance_input(&mut self, i: usize) {
         let head = self.peek_head(i);
         let Some(flit) = head else { return };
+        // The dense core double-checks the worklist bookkeeping: any input
+        // with a queued flit must be in `active_in`.
+        #[cfg(debug_assertions)]
+        assert!(self.active_in.contains(i), "input {i} queued but inactive");
         if flit.time >= self.now {
             return;
         }
@@ -413,6 +609,7 @@ impl<'a> Simulator<'a> {
                     time: self.now,
                     ..flit
                 });
+                self.eject_active.insert(v);
                 true
             } else {
                 false
@@ -423,6 +620,9 @@ impl<'a> Simulator<'a> {
                 time: self.now,
                 ..flit
             });
+            let c = route as usize / self.vcs as usize;
+            self.staged_count[c] += 1;
+            self.staged_active.insert(c);
             true
         } else {
             false
@@ -446,10 +646,24 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Pushes a flit onto input FIFO `i`'s ring buffer in the flat arena.
+    #[inline]
+    fn fifo_push(&mut self, i: usize, flit: Flit) {
+        let len = self.fifo_len[i] as usize;
+        debug_assert!(len < self.depth, "FIFO overflow at input {i}");
+        let pos = (self.fifo_head[i] as usize + len) % self.depth;
+        self.fifo[i * self.depth + pos] = flit;
+        self.fifo_len[i] = (len + 1) as u32;
+        self.active_in.insert(i);
+    }
+
     /// Head flit of an input, if any.
     fn peek_head(&self, i: usize) -> Option<Flit> {
         if i < self.num_invc {
-            self.bufs[i].front().copied()
+            if self.fifo_len[i] == 0 {
+                return None;
+            }
+            Some(self.fifo[i * self.depth + self.fifo_head[i] as usize])
         } else {
             let v = i - self.num_invc;
             let &pkt = self.src_queue[v].front()?;
@@ -470,7 +684,12 @@ impl<'a> Simulator<'a> {
     /// Consumes the head flit of an input after it moved.
     fn pop_head(&mut self, i: usize) {
         if i < self.num_invc {
-            self.bufs[i].pop_front();
+            debug_assert!(self.fifo_len[i] > 0, "popped empty FIFO");
+            self.fifo_head[i] = ((self.fifo_head[i] as usize + 1) % self.depth) as u32;
+            self.fifo_len[i] -= 1;
+            if self.fifo_len[i] == 0 {
+                self.active_in.remove(i);
+            }
             // The flit left a FIFO and entered a staging register:
             // buffered count is unchanged.
         } else {
@@ -482,6 +701,9 @@ impl<'a> Simulator<'a> {
             if self.src_sent[v] == self.packets[pkt].len {
                 self.src_queue[v].pop_front();
                 self.src_sent[v] = 0;
+                if self.src_queue[v].is_empty() {
+                    self.active_in.remove(i);
+                }
             }
         }
     }
@@ -619,10 +841,29 @@ fn nth_set_bit(mask: u16, k: u32) -> u32 {
     m.trailing_zeros()
 }
 
+/// Number of idle cycles before the next geometric arrival: the count of
+/// failures before the first success of a Bernoulli(`p`) sequence, sampled
+/// by inversion from one uniform draw. Uses the same 53-bit uniform
+/// construction as the vendored `Rng::gen_bool`.
+fn geometric_skip(rng: &mut ChaCha8Rng, p: f64) -> u32 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    if p >= 1.0 {
+        return 0;
+    }
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let skip = (1.0 - u).ln() / (1.0 - p).ln();
+    if skip >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        skip as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use irnet_baselines::updown;
+    use crate::config::{EngineCore, InjectionSampling};
+    use irnet_baselines::{lturn, updown};
     use irnet_core::DownUp;
     use irnet_topology::gen;
     use irnet_turns::TurnTable;
@@ -690,6 +931,309 @@ mod tests {
         assert_eq!(a.channel_flits, b.channel_flits);
         let c = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 10).run();
         assert_ne!(a.channel_flits, c.channel_flits);
+    }
+
+    /// The heart of the refactor's correctness argument: the active-set
+    /// core and the dense reference scan must produce bit-identical
+    /// statistics across routing algorithms, loads, VC counts and seeds.
+    #[test]
+    fn active_set_matches_dense_reference_bit_exactly() {
+        for topo_seed in [5u64, 11] {
+            let topo =
+                gen::random_irregular(gen::IrregularParams::paper(16, 4), topo_seed).unwrap();
+            let routings = [
+                {
+                    let (_, cg, _, rt) = DownUp::new().construct(&topo).unwrap().into_parts();
+                    (cg, rt)
+                },
+                {
+                    let (_, cg, _, rt) = lturn::construct(&topo).unwrap().into_parts();
+                    (cg, rt)
+                },
+            ];
+            for (cg, rt) in &routings {
+                for rate in [0.002, 0.05, 0.8] {
+                    for vcs in [1u32, 2] {
+                        for sim_seed in [1u64, 2] {
+                            let base = SimConfig {
+                                virtual_channels: vcs,
+                                ..quick_cfg(rate)
+                            };
+                            let dense = Simulator::new(
+                                cg,
+                                rt,
+                                SimConfig {
+                                    engine_core: EngineCore::DenseReference,
+                                    ..base
+                                },
+                                sim_seed,
+                            )
+                            .run();
+                            let active = Simulator::new(
+                                cg,
+                                rt,
+                                SimConfig {
+                                    engine_core: EngineCore::ActiveSet,
+                                    ..base
+                                },
+                                sim_seed,
+                            )
+                            .run();
+                            assert_eq!(
+                                dense, active,
+                                "cores diverged: topo {topo_seed} rate {rate} \
+                                 vcs {vcs} seed {sim_seed}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cores must also agree on the misrouting escape path and the
+    /// committed (oblivious/deterministic) arbitration modes.
+    #[test]
+    fn cores_agree_on_misrouting_and_route_choices() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 8).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let configs = [
+            SimConfig {
+                misroute_patience: Some(4),
+                max_detours: 6,
+                ..quick_cfg(0.8)
+            },
+            SimConfig {
+                route_choice: RouteChoice::ObliviousRandom,
+                ..quick_cfg(0.1)
+            },
+            SimConfig {
+                route_choice: RouteChoice::DeterministicMinimal,
+                ..quick_cfg(0.1)
+            },
+            SimConfig {
+                route_choice: RouteChoice::FirstFree,
+                ..quick_cfg(0.1)
+            },
+            SimConfig {
+                arrivals: crate::ArrivalProcess::OnOff {
+                    mean_burst: 20,
+                    burstiness: 3.0,
+                },
+                ..quick_cfg(0.1)
+            },
+        ];
+        for (k, base) in configs.into_iter().enumerate() {
+            let dense = Simulator::new(
+                r.comm_graph(),
+                r.routing_tables(),
+                SimConfig {
+                    engine_core: EngineCore::DenseReference,
+                    ..base
+                },
+                7,
+            )
+            .run();
+            let active = Simulator::new(
+                r.comm_graph(),
+                r.routing_tables(),
+                SimConfig {
+                    engine_core: EngineCore::ActiveSet,
+                    ..base
+                },
+                7,
+            )
+            .run();
+            assert_eq!(dense, active, "cores diverged on config {k}");
+        }
+    }
+
+    /// Golden pins for the active-set path: 2 fixed seeds per algorithm.
+    /// Pure functions of the seeded ChaCha8 stream; if one fails after an
+    /// intentional change, re-derive with `PRINT_ENGINE_GOLDEN=1 cargo
+    /// test -p irnet-sim print_engine_golden -- --nocapture`.
+    #[test]
+    fn active_set_golden_pins() {
+        for (pin, want) in engine_golden_cases().into_iter().zip(ENGINE_GOLDEN) {
+            assert_eq!(pin.1, want, "engine golden pin changed for {}", pin.0);
+        }
+    }
+
+    /// (label, (packets_delivered, latency_sum, sum(channel_flits),
+    /// deadlocked)) per golden case.
+    fn engine_golden_cases() -> Vec<(String, (u64, u64, u64, bool))> {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let routings = [
+            ("downup", {
+                let (_, cg, _, rt) = DownUp::new().construct(&topo).unwrap().into_parts();
+                (cg, rt)
+            }),
+            ("lturn", {
+                let (_, cg, _, rt) = lturn::construct(&topo).unwrap().into_parts();
+                (cg, rt)
+            }),
+        ];
+        let mut out = Vec::new();
+        for (name, (cg, rt)) in &routings {
+            for seed in [1u64, 2] {
+                let stats = Simulator::new(cg, rt, quick_cfg(0.05), seed).run();
+                out.push((
+                    format!("{name}/seed{seed}"),
+                    (
+                        stats.packets_delivered,
+                        stats.latency_sum,
+                        stats.channel_flits.iter().sum(),
+                        stats.deadlocked,
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    const ENGINE_GOLDEN: [(u64, u64, u64, bool); 4] = [
+        (150, 2067, 2696, false), // downup/seed1
+        (160, 2265, 2869, false), // downup/seed2
+        (151, 2069, 2608, false), // lturn/seed1
+        (163, 2285, 2850, false), // lturn/seed2
+    ];
+
+    /// Regenerates [`ENGINE_GOLDEN`] (and the geometric pins) after an
+    /// intentional behavioural change.
+    #[test]
+    fn print_engine_golden() {
+        if std::env::var("PRINT_ENGINE_GOLDEN").is_err() {
+            return;
+        }
+        for (label, pin) in engine_golden_cases() {
+            println!("{label}: {pin:?}");
+        }
+        for (label, pin) in geometric_golden_cases() {
+            println!("{label}: {pin:?}");
+        }
+    }
+
+    /// Geometric sampling has its own RNG stream, so its own pins.
+    #[test]
+    fn geometric_sampling_golden_pins() {
+        for (pin, want) in geometric_golden_cases().into_iter().zip(GEOMETRIC_GOLDEN) {
+            assert_eq!(pin.1, want, "geometric golden pin changed for {}", pin.0);
+        }
+    }
+
+    fn geometric_golden_cases() -> Vec<(String, (u64, u64, u64, bool))> {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let mut out = Vec::new();
+        for seed in [1u64, 2] {
+            let cfg = SimConfig {
+                injection_sampling: InjectionSampling::Geometric,
+                ..quick_cfg(0.05)
+            };
+            let stats = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, seed).run();
+            out.push((
+                format!("geometric/seed{seed}"),
+                (
+                    stats.packets_delivered,
+                    stats.latency_sum,
+                    stats.channel_flits.iter().sum(),
+                    stats.deadlocked,
+                ),
+            ));
+        }
+        out
+    }
+
+    const GEOMETRIC_GOLDEN: [(u64, u64, u64, bool); 2] = [
+        (141, 2034, 2638, false), // geometric/seed1
+        (137, 1870, 2332, false), // geometric/seed2
+    ];
+
+    /// Geometric skip-sampling must reproduce the Bernoulli arrival law:
+    /// same long-run offered load, same delivered throughput within
+    /// statistical tolerance, and identical results across cores.
+    #[test]
+    fn geometric_sampling_matches_bernoulli_statistically() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 3).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let rate = 0.05;
+        let cfg = |sampling| SimConfig {
+            injection_sampling: sampling,
+            packet_len: 8,
+            injection_rate: rate,
+            warmup_cycles: 500,
+            measure_cycles: 8_000,
+            deadlock_threshold: 5_000,
+            ..SimConfig::default()
+        };
+        let mut per_cycle = 0.0;
+        let mut geometric = 0.0;
+        for seed in 0..4 {
+            per_cycle += Simulator::new(
+                r.comm_graph(),
+                r.routing_tables(),
+                cfg(InjectionSampling::PerCycle),
+                seed,
+            )
+            .run()
+            .accepted_traffic();
+            geometric += Simulator::new(
+                r.comm_graph(),
+                r.routing_tables(),
+                cfg(InjectionSampling::Geometric),
+                seed,
+            )
+            .run()
+            .accepted_traffic();
+        }
+        per_cycle /= 4.0;
+        geometric /= 4.0;
+        assert!(
+            (geometric / per_cycle - 1.0).abs() < 0.1,
+            "geometric accepted {geometric:.5} vs per-cycle {per_cycle:.5}"
+        );
+        // And the two cores agree bit-exactly in geometric mode too.
+        let dense = Simulator::new(
+            r.comm_graph(),
+            r.routing_tables(),
+            SimConfig {
+                engine_core: EngineCore::DenseReference,
+                ..cfg(InjectionSampling::Geometric)
+            },
+            11,
+        )
+        .run();
+        let active = Simulator::new(
+            r.comm_graph(),
+            r.routing_tables(),
+            SimConfig {
+                engine_core: EngineCore::ActiveSet,
+                ..cfg(InjectionSampling::Geometric)
+            },
+            11,
+        )
+        .run();
+        assert_eq!(dense, active);
+    }
+
+    #[test]
+    fn set_injection_rate_keeps_hoisted_probability_in_sync() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(10, 4), 1).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.2), 3);
+        assert!((sim.inject_p - 0.2 / 8.0).abs() < 1e-12);
+        sim.set_injection_rate(0.0);
+        assert_eq!(sim.inject_p, 0.0);
+        for _ in 0..100 {
+            sim.step();
+        }
+        assert_eq!(sim.packets.len(), 0, "zero rate must stop injection");
+        sim.set_injection_rate(0.4);
+        assert!((sim.inject_p - 0.4 / 8.0).abs() < 1e-12);
+        for _ in 0..500 {
+            sim.step();
+        }
+        assert!(!sim.packets.is_empty(), "restored rate must inject again");
     }
 
     #[test]
@@ -936,7 +1480,7 @@ mod tests {
             sim.step();
         }
         // Stop generating and drain.
-        sim.cfg.injection_rate = 0.0;
+        sim.set_injection_rate(0.0);
         for _ in 0..20_000 {
             sim.step();
             if sim.live_packets == 0 {

@@ -22,6 +22,13 @@
 //! The simulator is deterministic per seed and allocates nothing on its
 //! per-cycle hot path.
 //!
+//! Two bit-exact scheduling cores are provided (see [`EngineCore`] and
+//! DESIGN.md §11): the default occupancy-driven *active-set* core, whose
+//! per-cycle cost scales with the number of live flits rather than the
+//! network size, and a dense reference scan kept for differential testing.
+//! [`InjectionSampling::Geometric`] additionally removes the per-node
+//! per-cycle RNG draw at low loads (opt-in; its own RNG stream).
+//!
 //! ```
 //! use irnet_topology::gen;
 //! use irnet_core::DownUp;
@@ -41,6 +48,7 @@
 //! assert!(stats.packets_delivered > 0);
 //! ```
 
+mod active;
 mod config;
 mod engine;
 mod hist;
@@ -48,7 +56,7 @@ mod stats;
 pub mod trace;
 mod traffic;
 
-pub use config::{RouteChoice, SimConfig};
+pub use config::{EngineCore, InjectionSampling, RouteChoice, SimConfig};
 pub use engine::Simulator;
 pub use hist::Histogram;
 pub use stats::SimStats;

@@ -4,7 +4,9 @@ use irnet_topology::{ChannelId, CommGraph, NodeId};
 /// Raw measurement counters plus derived metrics for one simulation run.
 ///
 /// All counters cover only the measurement window (after warm-up).
-#[derive(Debug, Clone)]
+/// Equality is bit-exact over every counter — the engine-equivalence
+/// tests compare whole `SimStats` values across scheduling cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimStats {
     /// Measured cycles.
     pub cycles: u32,

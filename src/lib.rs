@@ -56,7 +56,10 @@ pub mod prelude {
     pub use irnet_metrics::paper::PaperMetrics;
     pub use irnet_metrics::sweep;
     pub use irnet_metrics::{Algo, Instance};
-    pub use irnet_sim::{RouteChoice, SimConfig, SimStats, Simulator, TrafficPattern};
+    pub use irnet_sim::{
+        ArrivalProcess, EngineCore, InjectionSampling, RouteChoice, SimConfig, SimStats, Simulator,
+        TrafficPattern,
+    };
     pub use irnet_topology::analysis;
     pub use irnet_topology::{
         gen, CommGraph, CoordinatedTree, Direction, PreorderPolicy, Topology,
