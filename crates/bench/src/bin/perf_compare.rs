@@ -1,0 +1,147 @@
+//! `perf_compare` — diff two `BENCH_sim.json` reports (see the `perf` bin
+//! for the schema) and flag throughput regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p irnet-bench --bin perf_compare -- \
+//!     --old prev/BENCH_sim.json --new BENCH_sim.json [--threshold 20]
+//! ```
+//!
+//! Results are matched by `(switches, ports, load, core)`; for each pair
+//! the relative change in `cycles_per_sec` is printed, and any drop larger
+//! than the threshold (percent, default 20) is called out as a WARNING.
+//!
+//! The comparator is **report-only**: it always exits 0 on a successful
+//! comparison, so noisy CI runners cannot fail the build — the warnings are
+//! for humans reading the job log. Only unreadable/invalid input files are
+//! hard errors (exit 1).
+
+use irnet_bench::parse_args;
+use serde::Value;
+
+const USAGE: &str = "perf_compare — diff two BENCH_sim.json reports (report-only)
+
+options:
+  --old PATH       previous report (required)
+  --new PATH       current report (required)
+  --threshold PCT  warn when cycles/sec drops by more than PCT (default 20)
+";
+
+/// One comparable measurement, keyed by `(switches, ports, load, core)`.
+struct Entry {
+    key: (u64, u64, String, String),
+    cycles_per_sec: f64,
+    deadlocked: bool,
+}
+
+fn load_entries(path: &str) -> Result<Vec<Entry>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc: Value =
+        serde_json::from_str(&raw).map_err(|e| format!("invalid JSON in {path}: {e}"))?;
+    let results = doc
+        .get("results")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| format!("{path}: no `results` array (not a BENCH_sim.json report?)"))?;
+    let num = |v: &Value, k: &str| -> Result<f64, String> {
+        match v.get(k) {
+            Some(Value::F64(x)) => Ok(*x),
+            Some(Value::U64(x)) => Ok(*x as f64),
+            Some(Value::I64(x)) => Ok(*x as f64),
+            _ => Err(format!("{path}: result entry missing numeric `{k}`")),
+        }
+    };
+    let text = |v: &Value, k: &str| -> Result<String, String> {
+        match v.get(k) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("{path}: result entry missing string `{k}`")),
+        }
+    };
+    results
+        .iter()
+        .map(|r| {
+            Ok(Entry {
+                key: (
+                    num(r, "switches")? as u64,
+                    num(r, "ports")? as u64,
+                    text(r, "load")?,
+                    text(r, "core")?,
+                ),
+                cycles_per_sec: num(r, "cycles_per_sec")?,
+                deadlocked: matches!(r.get("deadlocked"), Some(Value::Bool(true))),
+            })
+        })
+        .collect()
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_args(std::env::args(), USAGE);
+    let old_path = cli
+        .opt("old")
+        .ok_or_else(|| "--old PATH is required".to_string())?
+        .to_string();
+    let new_path = cli
+        .opt("new")
+        .ok_or_else(|| "--new PATH is required".to_string())?
+        .to_string();
+    let threshold: f64 = cli.opt_parse("threshold", 20.0);
+
+    let old = load_entries(&old_path)?;
+    let new = load_entries(&new_path)?;
+
+    let mut compared = 0u32;
+    let mut warnings = 0u32;
+    let mut unmatched = 0u32;
+    println!("switches ports       load            core      old c/s      new c/s   change");
+    for e in &new {
+        let Some(prev) = old.iter().find(|o| o.key == e.key) else {
+            unmatched += 1;
+            continue;
+        };
+        compared += 1;
+        let change = if prev.cycles_per_sec > 0.0 {
+            100.0 * (e.cycles_per_sec - prev.cycles_per_sec) / prev.cycles_per_sec
+        } else {
+            0.0
+        };
+        let mark = if change < -threshold {
+            "  << WARNING"
+        } else {
+            ""
+        };
+        println!(
+            "{:>8} {:>5} {:>10} {:>15} {:>12.0} {:>12.0} {:>+7.1}%{mark}",
+            e.key.0, e.key.1, e.key.2, e.key.3, prev.cycles_per_sec, e.cycles_per_sec, change
+        );
+        if change < -threshold {
+            warnings += 1;
+            eprintln!(
+                "WARNING: {}sw/{}p {} {}: cycles/sec dropped {:.1}% \
+                 ({:.0} -> {:.0}, threshold {threshold}%)",
+                e.key.0, e.key.1, e.key.2, e.key.3, -change, prev.cycles_per_sec, e.cycles_per_sec
+            );
+        }
+        if e.deadlocked && !prev.deadlocked {
+            warnings += 1;
+            eprintln!(
+                "WARNING: {}sw/{}p {} {}: run deadlocks now but did not before",
+                e.key.0, e.key.1, e.key.2, e.key.3
+            );
+        }
+    }
+    if unmatched > 0 {
+        println!("({unmatched} new result(s) had no match in the old report — skipped)");
+    }
+    println!(
+        "perf_compare: {compared} point(s) compared, {warnings} warning(s) \
+         (report-only, not a gate)"
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("perf_compare: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -132,8 +132,14 @@ pub struct CellKey {
 pub struct AvgPoint {
     /// Offered load (flits/node/cycle).
     pub offered: f64,
-    /// Paper metrics averaged over samples at this load.
+    /// Paper metrics averaged over the samples that completed at this load.
     pub metrics: PaperMetrics,
+    /// Samples whose run at this load was aborted by the deadlock watchdog.
+    /// Those samples are *excluded* from `metrics` (a stalled run's partial
+    /// counters would silently bias the average); when every sample
+    /// deadlocked, `metrics` falls back to averaging the partial runs so
+    /// the point is still plottable — but it is marked here either way.
+    pub deadlocked_samples: u32,
 }
 
 /// A fully aggregated grid cell.
@@ -145,6 +151,9 @@ pub struct CellResult {
     pub points: Vec<AvgPoint>,
     /// Average of each sample's maximal-throughput metrics (Tables 1–4).
     pub saturation: PaperMetrics,
+    /// Total (sample × load) runs in this cell aborted by the deadlock
+    /// watchdog; nonzero means some of `points` carry a deadlock mark.
+    pub deadlocked_runs: u32,
 }
 
 impl CellResult {
@@ -261,13 +270,38 @@ pub fn run_grid(cfg: &ExperimentConfig) -> GridResults {
 }
 
 /// Averages one cell's sample curves point-wise and at saturation.
+/// Deadlocked sample points are excluded from the averages, counted, and
+/// reported on stderr with their stall cycle.
 fn aggregate_cell(key: CellKey, samples: &[SweepCurve], rates: &[f64]) -> CellResult {
+    let mut deadlocked_runs = 0u32;
     let points = (0..rates.len())
         .map(|i| {
-            let ms: Vec<&PaperMetrics> = samples.iter().map(|c| &c.points[i].metrics).collect();
+            let clean: Vec<&PaperMetrics> = samples
+                .iter()
+                .filter(|c| !c.points[i].deadlocked)
+                .map(|c| &c.points[i].metrics)
+                .collect();
+            let deadlocked_samples = (samples.len() - clean.len()) as u32;
+            deadlocked_runs += deadlocked_samples;
+            for (s, c) in samples.iter().enumerate() {
+                let p = &c.points[i];
+                if p.deadlocked {
+                    eprintln!(
+                        "!! deadlock: ports={} policy={:?} algo={} offered={:.4} \
+                         sample={s}: no progress since cycle {}",
+                        key.ports, key.policy, key.algo, p.offered, p.stall_cycle
+                    );
+                }
+            }
+            let metrics = if clean.is_empty() {
+                PaperMetrics::mean(samples.iter().map(|c| &c.points[i].metrics))
+            } else {
+                PaperMetrics::mean(clean)
+            };
             AvgPoint {
                 offered: rates[i],
-                metrics: PaperMetrics::mean(ms),
+                metrics,
+                deadlocked_samples,
             }
         })
         .collect();
@@ -276,6 +310,7 @@ fn aggregate_cell(key: CellKey, samples: &[SweepCurve], rates: &[f64]) -> CellRe
         key,
         points,
         saturation: PaperMetrics::mean(sats.iter()),
+        deadlocked_runs,
     }
 }
 
@@ -336,6 +371,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn deadlocked_samples_are_marked_and_excluded_from_averages() {
+        use irnet_metrics::sweep::SweepPoint;
+        let m = |accepted: f64| PaperMetrics {
+            node_utilization: accepted,
+            traffic_load: 0.0,
+            hot_spot_degree: 0.0,
+            leaf_utilization: 0.0,
+            avg_latency: 10.0,
+            accepted_traffic: accepted,
+        };
+        let point = |accepted: f64, deadlocked: bool| SweepPoint {
+            offered: 0.1,
+            metrics: m(accepted),
+            deadlocked,
+            stall_cycle: if deadlocked { 1234 } else { 0 },
+        };
+        let clean = SweepCurve {
+            points: vec![point(0.4, false)],
+        };
+        let stalled = SweepCurve {
+            points: vec![point(0.1, true)],
+        };
+        let key = CellKey {
+            ports: 4,
+            policy: PreorderPolicy::M1,
+            algo: Algo::PAPER_PAIR[0],
+        };
+        let cell = aggregate_cell(key, &[clean.clone(), stalled.clone()], &[0.1]);
+        assert_eq!(cell.deadlocked_runs, 1);
+        assert_eq!(cell.points[0].deadlocked_samples, 1);
+        // The stalled sample's partial 0.1 must not drag the average down.
+        assert!((cell.points[0].metrics.accepted_traffic - 0.4).abs() < 1e-12);
+        // When every sample stalls the point is still plottable but marked.
+        let all_bad = aggregate_cell(key, &[stalled.clone(), stalled], &[0.1]);
+        assert_eq!(all_bad.points[0].deadlocked_samples, 2);
+        assert!((all_bad.points[0].metrics.accepted_traffic - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   lint battery (one target, or a seed grid when no `--topology` is given)
 //! * `routes`   — print route statistics (and a sample route)
 //! * `simulate` — run one wormhole simulation and print the paper metrics
+//! * `faults`   — degrade the network with a fault plan, repair it epoch by
+//!   epoch, certify every transition, and simulate through the failures
 //!
 //! Examples:
 //!
@@ -18,7 +20,12 @@
 //! irnet lint --topology net.json --algo downup --json
 //! irnet lint --quick
 //! irnet simulate --topology net.json --algo lturn --rate 0.1
+//! irnet faults --topology net.json --scenario faults.json --json
 //! ```
+//!
+//! Usage errors (bad flags, malformed values) print the usage text and exit
+//! with status 2; data and runtime errors print one diagnostic line and
+//! exit with status 1.
 
 use irnet_metrics::paper::PaperMetrics;
 use irnet_metrics::{sweep, Algo, Instance};
@@ -28,10 +35,11 @@ use irnet_topology::{
 };
 use irnet_turns::{verify_routing, ChannelDepGraph, TurnTable};
 use irnet_verify::{LintReport, Severity, Verdict};
+use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 
 const USAGE: &str =
-    "irnet <gen|analyze|verify|lint|routes|simulate|sweep|export|render|replay> [options]
+    "irnet <gen|analyze|verify|lint|routes|simulate|sweep|export|render|replay|faults> [options]
 
 common options:
   --topology FILE     read a topology JSON (otherwise --switches/--ports/--seed generate one)
@@ -71,7 +79,17 @@ replay options:
   --trace FILE        CSV trace (time,src,dst) to replay; without it a
                       synthetic uniform trace is generated
   --trace-packets N   synthetic trace size (default 500)
-  --trace-span N      synthetic trace injection window in clocks (default 4000)";
+  --trace-span N      synthetic trace injection window in clocks (default 4000)
+
+faults options (in addition to the simulate options; DOWN/UP only):
+  --scenario FILE     fault-plan JSON: {\"events\":[{\"cycle\":N,\"link\":[a,b]},
+                      {\"cycle\":N,\"switch\":v}, ...]}
+  --random-links N    without --scenario: draw N random link faults (default 1)
+  --random-switches N without --scenario: draw N random switch faults (default 0)
+  --fault-window N    random activations fall in [warmup, warmup+N]
+                      (default measure/2)
+  --fault-seed N      fault-plan randomization seed (default 13)
+  --json              print the epoch/certificate report as JSON";
 
 fn fail(msg: &str) -> ! {
     eprintln!("irnet: {msg}\n\n{USAGE}");
@@ -127,17 +145,16 @@ fn parse_opts(args: &[String]) -> Opts {
     Opts { kv }
 }
 
-fn load_topology(o: &Opts) -> Topology {
+fn load_topology(o: &Opts) -> Result<Topology, String> {
     if let Some(path) = o.get("topology") {
-        let raw = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-        topology_from_json(&raw).unwrap_or_else(|e| fail(&format!("invalid topology: {e}")))
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        topology_from_json(&raw).map_err(|e| format!("invalid topology in {path}: {e}"))
     } else {
         let n = o.parse("switches", 64u32);
         let ports = o.parse("ports", 4u32);
         let seed = o.parse("seed", 1u64);
         gen::random_irregular(gen::IrregularParams::paper(n, ports), seed)
-            .unwrap_or_else(|e| fail(&format!("generation failed: {e}")))
+            .map_err(|e| format!("generation failed: {e}"))
     }
 }
 
@@ -162,21 +179,20 @@ fn parse_policy(o: &Opts) -> PreorderPolicy {
     }
 }
 
-fn build_instance(o: &Opts, topo: &Topology) -> Instance {
+fn build_instance(o: &Opts, topo: &Topology) -> Result<Instance, String> {
     let algo = parse_algo(o);
     let policy = parse_policy(o);
     let seed = o.parse("seed", 1u64);
     algo.construct(topo, policy, seed)
-        .unwrap_or_else(|e| fail(&format!("construction failed: {e}")))
+        .map_err(|e| format!("construction failed: {e}"))
 }
 
-fn cmd_gen(o: &Opts) {
-    let topo = load_topology(o);
+fn cmd_gen(o: &Opts) -> Result<(), String> {
+    let topo = load_topology(o)?;
     let json = topology_to_json(&topo);
     match o.get("out") {
         Some(path) => {
-            std::fs::write(path, &json)
-                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!(
                 "wrote {path}: {} switches, {} links, avg degree {:.2}, diameter {}",
                 topo.num_nodes(),
@@ -187,11 +203,12 @@ fn cmd_gen(o: &Opts) {
         }
         None => println!("{json}"),
     }
+    Ok(())
 }
 
-fn cmd_verify(o: &Opts) {
-    let topo = load_topology(o);
-    let inst = build_instance(o, &topo);
+fn cmd_verify(o: &Opts) -> Result<(), String> {
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
     let report = verify_routing(&inst.cg, &inst.table);
     println!("algorithm          : {}", parse_algo(o));
     println!(
@@ -225,24 +242,25 @@ fn cmd_verify(o: &Opts) {
     if !report.is_ok() {
         std::process::exit(1);
     }
+    Ok(())
 }
 
-fn cmd_lint(o: &Opts) {
+fn cmd_lint(o: &Opts) -> Result<(), String> {
     if o.get("topology").is_some() {
-        lint_single(o);
+        lint_single(o)
     } else {
-        lint_grid(o);
+        lint_grid(o)
     }
 }
 
 /// Lint one `(topology, algo, policy)` target; exit 1 on error findings.
-fn lint_single(o: &Opts) {
-    let topo = load_topology(o);
-    let inst = build_instance(o, &topo);
+fn lint_single(o: &Opts) -> Result<(), String> {
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
     let report = irnet_verify::lint(&inst.cg, &inst.table);
     let dep = ChannelDepGraph::build(&inst.cg, &inst.table);
     if let Err(e) = irnet_verify::recheck(&report.certificate, &dep) {
-        fail(&format!(
+        return Err(format!(
             "internal error: certificate failed its own recheck: {e}"
         ));
     }
@@ -255,6 +273,7 @@ fn lint_single(o: &Opts) {
     if report.has_errors() {
         std::process::exit(1);
     }
+    Ok(())
 }
 
 fn print_lint_report(report: &LintReport) {
@@ -282,7 +301,7 @@ fn print_lint_report(report: &LintReport) {
 /// counterexample, which must be *rejected* with a minimized witness).
 /// Exits nonzero if any cell errors, any certificate fails its independent
 /// recheck, or the negative control is not caught.
-fn lint_grid(o: &Opts) {
+fn lint_grid(o: &Opts) -> Result<(), String> {
     let topos: &[(u32, u32, u64)] = if o.flag("full") {
         &[
             (32, 4, 1),
@@ -308,46 +327,48 @@ fn lint_grid(o: &Opts) {
     let mut cells = 0u32;
     let mut failed = 0u32;
     let mut warning_findings = 0usize;
-    let mut run_cell = |topo: &Topology, label: &str, policy: PreorderPolicy, algo: Algo| {
-        cells += 1;
-        let inst = algo
-            .construct(topo, policy, 0)
-            .unwrap_or_else(|e| fail(&format!("construction failed for {label}: {e}")));
-        let report = irnet_verify::lint(&inst.cg, &inst.table);
-        let dep = ChannelDepGraph::build(&inst.cg, &inst.table);
-        let recheck = irnet_verify::recheck(&report.certificate, &dep);
-        let warnings = report
-            .findings
-            .iter()
-            .filter(|f| f.severity == Severity::Warning)
-            .count();
-        warning_findings += warnings;
-        if report.has_errors() || recheck.is_err() {
-            failed += 1;
-            println!("FAIL {label} policy={policy:?} algo={algo}");
-            for f in &report.findings {
-                if f.severity == Severity::Error {
-                    println!("  {}: {}", f.code, f.message);
+    let mut run_cell =
+        |topo: &Topology, label: &str, policy: PreorderPolicy, algo: Algo| -> Result<(), String> {
+            cells += 1;
+            let inst = algo
+                .construct(topo, policy, 0)
+                .map_err(|e| format!("construction failed for {label}: {e}"))?;
+            let report = irnet_verify::lint(&inst.cg, &inst.table);
+            let dep = ChannelDepGraph::build(&inst.cg, &inst.table);
+            let recheck = irnet_verify::recheck(&report.certificate, &dep);
+            let warnings = report
+                .findings
+                .iter()
+                .filter(|f| f.severity == Severity::Warning)
+                .count();
+            warning_findings += warnings;
+            if report.has_errors() || recheck.is_err() {
+                failed += 1;
+                println!("FAIL {label} policy={policy:?} algo={algo}");
+                for f in &report.findings {
+                    if f.severity == Severity::Error {
+                        println!("  {}: {}", f.code, f.message);
+                    }
                 }
+                if let Err(e) = recheck {
+                    println!("  certificate failed independent recheck: {e}");
+                }
+            } else {
+                println!("ok   {label} policy={policy:?} algo={algo} warnings={warnings}");
             }
-            if let Err(e) = recheck {
-                println!("  certificate failed independent recheck: {e}");
-            }
-        } else {
-            println!("ok   {label} policy={policy:?} algo={algo} warnings={warnings}");
-        }
-    };
+            Ok(())
+        };
     for &(n, ports, seed) in topos {
         let topo = gen::random_irregular(gen::IrregularParams::paper(n, ports), seed)
-            .unwrap_or_else(|e| fail(&format!("generation failed: {e}")));
+            .map_err(|e| format!("generation failed: {e}"))?;
         let label = format!("switches={n} ports={ports} seed={seed}");
         for policy in PreorderPolicy::ALL {
             for &algo in &all_policy_algos {
-                run_cell(&topo, &label, policy, algo);
+                run_cell(&topo, &label, policy, algo)?;
             }
         }
         for &algo in &m1_only_algos {
-            run_cell(&topo, &label, PreorderPolicy::M1, algo);
+            run_cell(&topo, &label, PreorderPolicy::M1, algo)?;
         }
     }
 
@@ -369,6 +390,7 @@ fn lint_grid(o: &Opts) {
     if failed > 0 {
         std::process::exit(1);
     }
+    Ok(())
 }
 
 /// The five-switch counterexample under the paper's printed (erroneous)
@@ -402,9 +424,9 @@ fn negative_control() -> Result<usize, String> {
     }
 }
 
-fn cmd_routes(o: &Opts) {
-    let topo = load_topology(o);
-    let inst = build_instance(o, &topo);
+fn cmd_routes(o: &Opts) -> Result<(), String> {
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
     println!(
         "avg route length: {:.3}",
         inst.tables.avg_route_len(&inst.cg)
@@ -419,19 +441,24 @@ fn cmd_routes(o: &Opts) {
         print!(" -({})-> {}", inst.cg.direction(c), ch.sink(c));
     }
     println!();
+    Ok(())
 }
 
-fn cmd_simulate(o: &Opts) {
-    let topo = load_topology(o);
-    let inst = build_instance(o, &topo);
-    let cfg = SimConfig {
+fn sim_config(o: &Opts) -> SimConfig {
+    SimConfig {
         packet_len: o.parse("packet-len", 128u32),
         injection_rate: o.parse("rate", 0.1f64),
         warmup_cycles: o.parse("warmup", 2_000u32),
         measure_cycles: o.parse("measure", 8_000u32),
         virtual_channels: o.parse("vcs", 1u32),
         ..SimConfig::default()
-    };
+    }
+}
+
+fn cmd_simulate(o: &Opts) -> Result<(), String> {
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
+    let cfg = sim_config(o);
     let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64)).run();
     let m = PaperMetrics::compute(&stats, &inst.cg, &inst.tree);
     println!(
@@ -452,14 +479,18 @@ fn cmd_simulate(o: &Opts) {
     println!("leaf utilization : {:.6}", m.leaf_utilization);
     println!("packets delivered: {}", stats.packets_delivered);
     if stats.deadlocked {
-        println!("!! simulation aborted by the deadlock watchdog");
-        std::process::exit(1);
+        return Err(format!(
+            "simulation aborted by the deadlock watchdog: no progress since \
+             cycle {} ({} flits stranded in the network)",
+            stats.last_progress, stats.flits_in_flight
+        ));
     }
+    Ok(())
 }
 
-fn cmd_analyze(o: &Opts) {
+fn cmd_analyze(o: &Opts) -> Result<(), String> {
     use irnet_topology::analysis;
-    let topo = load_topology(o);
+    let topo = load_topology(o)?;
     let deg = analysis::degree_stats(&topo);
     let dist = analysis::distance_stats(&topo);
     let cuts = analysis::articulation_points(&topo);
@@ -484,7 +515,7 @@ fn cmd_analyze(o: &Opts) {
         }
     );
     let tree = irnet_topology::CoordinatedTree::build(&topo, parse_policy(o), o.parse("seed", 1))
-        .unwrap_or_else(|e| fail(&format!("tree construction failed: {e}")));
+        .map_err(|e| format!("tree construction failed: {e}"))?;
     let lvl = analysis::level_profile(&topo, &tree);
     println!(
         "tree levels         : {:?} switches per level",
@@ -496,11 +527,12 @@ fn cmd_analyze(o: &Opts) {
         100.0 * lvl.cross_link_fraction,
         lvl.same_level_cross_links
     );
+    Ok(())
 }
 
-fn cmd_sweep(o: &Opts) {
-    let topo = load_topology(o);
-    let inst = build_instance(o, &topo);
+fn cmd_sweep(o: &Opts) -> Result<(), String> {
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
     let base = SimConfig {
         packet_len: o.parse("packet-len", 128u32),
         warmup_cycles: o.parse("warmup", 2_000u32),
@@ -520,32 +552,41 @@ fn cmd_sweep(o: &Opts) {
         None => sweep::default_rates(8),
     };
     let curve = sweep::sweep(&inst, &base, &rates, o.parse("sim-seed", 7u64));
-    println!("offered,accepted,latency,node_util,hot_spot_pct");
+    println!("offered,accepted,latency,node_util,hot_spot_pct,deadlocked");
     for p in &curve.points {
         println!(
-            "{:.5},{:.5},{:.2},{:.5},{:.2}",
+            "{:.5},{:.5},{:.2},{:.5},{:.2},{}",
             p.offered,
             p.metrics.accepted_traffic,
             p.metrics.avg_latency,
             p.metrics.node_utilization,
-            p.metrics.hot_spot_degree
+            p.metrics.hot_spot_degree,
+            p.deadlocked
         );
+    }
+    for p in &curve.points {
+        if p.deadlocked {
+            eprintln!(
+                "!! offered load {:.4} deadlocked (no progress since cycle {})",
+                p.offered, p.stall_cycle
+            );
+        }
     }
     eprintln!(
         "max throughput {:.4} flits/clock/node at offered {:.4}",
         curve.max_throughput(),
         curve.saturation().offered
     );
+    Ok(())
 }
 
-fn cmd_export(o: &Opts) {
-    let topo = load_topology(o);
-    let inst = build_instance(o, &topo);
+fn cmd_export(o: &Opts) -> Result<(), String> {
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
     let text = irnet_turns::export_tables(&inst.cg, &inst.tables);
     match o.get("out") {
         Some(path) => {
-            std::fs::write(path, &text)
-                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!(
                 "wrote {path}: forwarding tables for {} switches ({} bytes)",
                 topo.num_nodes(),
@@ -554,19 +595,14 @@ fn cmd_export(o: &Opts) {
         }
         None => print!("{text}"),
     }
+    Ok(())
 }
 
-fn cmd_render(o: &Opts) {
+fn cmd_render(o: &Opts) -> Result<(), String> {
     use irnet_metrics::netplot::{render_network, NetPlotOptions};
-    let topo = load_topology(o);
-    let inst = build_instance(o, &topo);
-    let cfg = SimConfig {
-        packet_len: o.parse("packet-len", 128u32),
-        injection_rate: o.parse("rate", 0.1f64),
-        warmup_cycles: o.parse("warmup", 2_000u32),
-        measure_cycles: o.parse("measure", 8_000u32),
-        ..SimConfig::default()
-    };
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
+    let cfg = sim_config(o);
     let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64)).run();
     let svg = render_network(
         &topo,
@@ -577,24 +613,24 @@ fn cmd_render(o: &Opts) {
     );
     match o.get("out") {
         Some(path) => {
-            std::fs::write(path, &svg)
-                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            std::fs::write(path, &svg).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("wrote {path} ({} bytes)", svg.len());
         }
         None => print!("{svg}"),
     }
+    Ok(())
 }
 
-fn cmd_replay(o: &Opts) {
+fn cmd_replay(o: &Opts) -> Result<(), String> {
     use irnet_sim::{replay, Trace};
-    let topo = load_topology(o);
-    let inst = build_instance(o, &topo);
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
     let trace = match o.get("trace") {
         Some(path) => {
-            let raw = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let raw =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Trace::from_csv(&raw, topo.num_nodes())
-                .unwrap_or_else(|e| fail(&format!("invalid trace: {e}")))
+                .map_err(|e| format!("invalid trace in {path}: {e}"))?
         }
         None => Trace::synthetic_uniform(
             topo.num_nodes(),
@@ -621,10 +657,7 @@ fn cmd_replay(o: &Opts) {
     println!("packets          : {}", trace.len());
     match result.makespan {
         Some(m) => println!("makespan         : {m} clocks"),
-        None => {
-            println!("!! network failed to drain");
-            std::process::exit(1);
-        }
+        None => return Err("network failed to drain the trace".to_string()),
     }
     println!(
         "avg latency      : {:.1} clocks",
@@ -632,6 +665,215 @@ fn cmd_replay(o: &Opts) {
     );
     if let Some(p99) = result.stats.latency_quantile(0.99) {
         println!("p99 latency      : {p99} clocks");
+    }
+    Ok(())
+}
+
+/// Degrade → repair → certify → simulate: the robustness pipeline.
+fn cmd_faults(o: &Opts) -> Result<(), String> {
+    use irnet_core::{plan_epochs, DownUp};
+    use irnet_sim::FaultEpoch;
+    use irnet_topology::{FaultKind, FaultPlan};
+    use irnet_verify::certify_transition;
+
+    if let Some(algo) = o.get("algo") {
+        if algo != "downup" {
+            return Err(format!(
+                "the fault pipeline repairs with the DOWN/UP builder; \
+                 --algo {algo} is not supported"
+            ));
+        }
+    }
+    let topo = load_topology(o)?;
+    let builder = DownUp::new()
+        .policy(parse_policy(o))
+        .seed(o.parse("seed", 1u64));
+    let routing = builder
+        .construct(&topo)
+        .map_err(|e| format!("construction failed: {e}"))?;
+    let cfg = sim_config(o);
+    let plan = match o.get("scenario") {
+        Some(path) => {
+            let raw =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            FaultPlan::from_json(&raw).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            let links = o.parse("random-links", 1u32);
+            let switches = o.parse("random-switches", 0u32);
+            let lo = cfg.warmup_cycles;
+            let hi = lo.saturating_add(o.parse("fault-window", cfg.measure_cycles / 2));
+            FaultPlan::random(
+                &topo,
+                links,
+                switches,
+                (lo, hi),
+                o.parse("fault-seed", 13u64),
+            )
+            .map_err(|e| format!("random fault plan: {e}"))?
+        }
+    };
+    if plan.is_empty() {
+        return Err("the fault plan contains no events".to_string());
+    }
+    let cg = routing.comm_graph();
+    let epochs = plan_epochs(&topo, cg, routing.turn_table(), &plan, builder)
+        .map_err(|e| format!("fault repair failed: {e}"))?;
+    let nch = cg.num_channels() as usize;
+    let certs: Vec<_> = epochs
+        .iter()
+        .map(|e| {
+            let mut dead = vec![false; nch];
+            for &c in &e.dead_channels {
+                dead[c as usize] = true;
+            }
+            certify_transition(cg, &e.old_table, &e.new_table, &dead)
+        })
+        .collect();
+    let mut sim = Simulator::new(cg, routing.routing_tables(), cfg, o.parse("sim-seed", 7u64));
+    for e in &epochs {
+        sim.schedule_reconfig(FaultEpoch {
+            cycle: e.cycle,
+            dead_channels: e.dead_channels.clone(),
+            dead_nodes: e.dead_nodes.clone(),
+            tables: &e.tables,
+        });
+    }
+    let stats = sim.run();
+    let all_certified = certs
+        .iter()
+        .all(irnet_verify::EpochCertificates::is_deadlock_free);
+
+    if o.flag("json") {
+        let epoch_values: Vec<Value> = epochs
+            .iter()
+            .zip(&certs)
+            .map(|(e, c)| {
+                Value::Map(vec![
+                    ("cycle".to_string(), Value::U64(u64::from(e.cycle))),
+                    ("dead_links".to_string(), ids(&e.dead_links)),
+                    ("dead_switches".to_string(), ids(&e.dead_nodes)),
+                    ("dead_channels".to_string(), ids(&e.dead_channels)),
+                    ("flipped_channels".to_string(), ids(&e.flipped_channels)),
+                    ("certificates".to_string(), c.to_value()),
+                    ("certified".to_string(), Value::Bool(c.is_deadlock_free())),
+                ])
+            })
+            .collect();
+        let report = Value::Map(vec![
+            ("plan".to_string(), plan.to_value()),
+            ("epochs".to_string(), Value::Seq(epoch_values)),
+            (
+                "simulation".to_string(),
+                Value::Map(vec![
+                    (
+                        "packets_delivered".to_string(),
+                        Value::U64(stats.packets_delivered),
+                    ),
+                    (
+                        "packets_generated".to_string(),
+                        Value::U64(stats.packets_generated),
+                    ),
+                    ("dropped_flits".to_string(), Value::U64(stats.dropped_flits)),
+                    (
+                        "dropped_packets".to_string(),
+                        Value::U64(stats.dropped_packets),
+                    ),
+                    (
+                        "reconfig_epochs".to_string(),
+                        Value::U64(u64::from(stats.reconfig_epochs)),
+                    ),
+                    (
+                        "accepted_traffic".to_string(),
+                        Value::F64(stats.accepted_traffic()),
+                    ),
+                    ("avg_latency".to_string(), Value::F64(stats.avg_latency())),
+                    ("deadlocked".to_string(), Value::Bool(stats.deadlocked)),
+                    (
+                        "last_progress".to_string(),
+                        Value::U64(u64::from(stats.last_progress)),
+                    ),
+                ]),
+            ),
+            ("certified".to_string(), Value::Bool(all_certified)),
+        ]);
+        // The vendored serializer is infallible on value trees.
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).unwrap_or_default()
+        );
+    } else {
+        println!(
+            "fault plan       : {} event(s), {} epoch(s)",
+            plan.events().len(),
+            epochs.len()
+        );
+        for ev in plan.events() {
+            match ev.kind {
+                FaultKind::Link { a, b } => {
+                    println!("  cycle {:>6}: link {a}-{b} dies", ev.cycle);
+                }
+                FaultKind::Switch { node } => {
+                    println!("  cycle {:>6}: switch {node} dies", ev.cycle);
+                }
+            }
+        }
+        for (e, c) in epochs.iter().zip(&certs) {
+            println!(
+                "epoch @{:<8}: {} dead link(s), {} dead switch(es), \
+                 {} flipped channel(s)",
+                e.cycle,
+                e.dead_links.len(),
+                e.dead_nodes.len(),
+                e.flipped_channels.len()
+            );
+            println!("  degraded table : {}", verdict_line(&c.degraded));
+            println!("  old∪new union  : {}", verdict_line(&c.union));
+        }
+        println!("packets delivered: {}", stats.packets_delivered);
+        println!(
+            "dropped          : {} flit(s) in {} packet(s)",
+            stats.dropped_flits, stats.dropped_packets
+        );
+        println!("reconfig epochs  : {}", stats.reconfig_epochs);
+        println!(
+            "accepted traffic : {:.4} flits/clock/node",
+            stats.accepted_traffic()
+        );
+    }
+    if stats.deadlocked {
+        return Err(format!(
+            "simulation aborted by the deadlock watchdog: no progress since \
+             cycle {} ({} flits stranded in the network)",
+            stats.last_progress, stats.flits_in_flight
+        ));
+    }
+    if !all_certified {
+        return Err(
+            "a reconfiguration epoch failed certification (witness in the report above)"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// `Value::Seq` of numeric ids.
+fn ids<T: Copy + Into<u64>>(xs: &[T]) -> Value {
+    Value::Seq(xs.iter().map(|&x| Value::U64(x.into())).collect())
+}
+
+fn verdict_line(cert: &irnet_verify::Certificate) -> String {
+    match &cert.verdict {
+        Verdict::DeadlockFree { .. } => format!(
+            "certified deadlock-free ({} channels, {} dependency edges)",
+            cert.num_channels, cert.num_edges
+        ),
+        Verdict::Deadlock { witness } => {
+            format!(
+                "DEADLOCK (minimized witness cycle, {} channels)",
+                witness.len()
+            )
+        }
     }
 }
 
@@ -641,7 +883,7 @@ fn main() {
         fail("missing subcommand")
     };
     let opts = parse_opts(rest);
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "gen" => cmd_gen(&opts),
         "analyze" => cmd_analyze(&opts),
         "verify" => cmd_verify(&opts),
@@ -652,7 +894,15 @@ fn main() {
         "export" => cmd_export(&opts),
         "render" => cmd_render(&opts),
         "replay" => cmd_replay(&opts),
-        "--help" | "-h" | "help" => println!("{USAGE}"),
+        "faults" => cmd_faults(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
         other => fail(&format!("unknown subcommand {other:?}")),
+    };
+    if let Err(msg) = result {
+        eprintln!("irnet: {msg}");
+        std::process::exit(1);
     }
 }

@@ -102,7 +102,10 @@ fn sweep_emits_csv() {
     assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
     let stdout = String::from_utf8_lossy(&r.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines[0], "offered,accepted,latency,node_util,hot_spot_pct");
+    assert_eq!(
+        lines[0],
+        "offered,accepted,latency,node_util,hot_spot_pct,deadlocked"
+    );
     assert_eq!(lines.len(), 3, "expected header + 2 data rows: {stdout}");
 }
 
@@ -190,4 +193,71 @@ fn render_emits_svg() {
     assert!(svg.starts_with("<svg"));
     assert!(svg.contains("node utilization"));
     std::fs::remove_file(out).ok();
+}
+
+#[test]
+fn faults_runs_a_scripted_scenario_end_to_end() {
+    let scenario = tmpfile("scenario.json");
+    std::fs::write(&scenario, r#"{"events":[{"cycle":600,"link":[0,1]}]}"#).unwrap();
+    // Link (0, 1) may not exist in the generated fabric; pick one that does
+    // by asking the topology itself.
+    let topo = irnet_topology::gen::random_irregular(
+        irnet_topology::gen::IrregularParams::paper(24, 4),
+        3,
+    )
+    .unwrap();
+    let (a, b) = topo.link(0);
+    std::fs::write(
+        &scenario,
+        format!(r#"{{"events":[{{"cycle":600,"link":[{a},{b}]}}]}}"#),
+    )
+    .unwrap();
+    let r = irnet(&[
+        "faults",
+        "--switches",
+        "24",
+        "--ports",
+        "4",
+        "--seed",
+        "3",
+        "--rate",
+        "0.1",
+        "--packet-len",
+        "8",
+        "--warmup",
+        "200",
+        "--measure",
+        "1500",
+        "--scenario",
+        scenario.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    // The pipeline must complete and report both certificates per epoch;
+    // a witnessed (uncertified) transition is a legitimate exit-1 outcome.
+    assert!(stdout.contains("fault plan"), "{stdout}");
+    assert!(stdout.contains("degraded table"), "{stdout}");
+    assert!(stdout.contains("old∪new union"), "{stdout}");
+    assert!(stdout.contains("reconfig epochs  : 1"), "{stdout}");
+    std::fs::remove_file(scenario).ok();
+}
+
+#[test]
+fn data_errors_exit_1_without_usage() {
+    let r = irnet(&["simulate", "--topology", "/nonexistent/net.json"]);
+    assert_eq!(r.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(
+        !stderr.contains("common options"),
+        "data errors must not dump the usage text: {stderr}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_2_with_usage() {
+    let r = irnet(&["simulate", "--rate", "not-a-number"]);
+    assert_eq!(r.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("invalid --rate"), "{stderr}");
+    assert!(stderr.contains("common options"), "{stderr}");
 }

@@ -31,5 +31,7 @@
 mod builder;
 pub mod phase2;
 pub mod phase3;
+pub mod repair;
 
 pub use builder::{ConstructError, DownUp, DownUpRouting};
+pub use repair::{plan_epochs, repair_epoch, ReconfigEpoch, RepairError};

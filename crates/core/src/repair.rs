@@ -1,0 +1,319 @@
+//! The repair path: rebuilding DOWN/UP routing on the surviving graph
+//! after faults, and packaging each rebuild as a *reconfiguration epoch*.
+//!
+//! A fault plan partitions simulated time into epochs at its activation
+//! cycles. For each epoch boundary the repair:
+//!
+//! 1. degrades the original topology by every fault activated so far
+//!    (compact surviving graph + id maps, from `irnet-topology`);
+//! 2. re-runs the paper's Phases 1–3 on the surviving graph — a fresh
+//!    coordinated tree, the ADDG₇ prohibitions, and the `cycle_detection`
+//!    release;
+//! 3. *lifts* the repaired turn table back into the original channel id
+//!    space (dead channels stay fully prohibited) and rebuilds masked
+//!    routing tables over the original communication graph, so a running
+//!    simulator can swap tables without renumbering anything;
+//! 4. records which surviving channels changed tree direction — the
+//!    channels whose dependency sense flips, and the reason the UPR-style
+//!    old∪new union check (in `irnet-verify`) is not vacuous.
+
+use crate::builder::{ConstructError, DownUp};
+use irnet_topology::{ChannelId, CommGraph, FaultError, FaultPlan, LinkId, NodeId, Topology};
+use irnet_turns::{RoutingTables, TurnTable};
+
+/// One reconfiguration epoch: everything a live fabric needs to switch
+/// from the pre-fault routing function to the repaired one. All ids are in
+/// the *original* topology's channel/node space.
+#[derive(Debug, Clone)]
+pub struct ReconfigEpoch {
+    /// Activation cycle of the faults this epoch repairs.
+    pub cycle: u32,
+    /// Dead switches so far (cumulative, original ids).
+    pub dead_nodes: Vec<NodeId>,
+    /// Dead links so far (cumulative, original ids).
+    pub dead_links: Vec<LinkId>,
+    /// Both directed channels of every dead link (cumulative).
+    pub dead_channels: Vec<ChannelId>,
+    /// The turn table in force before this epoch.
+    pub old_table: TurnTable,
+    /// The repaired turn table, lifted to the original channel space;
+    /// every pair touching a dead channel is prohibited.
+    pub new_table: TurnTable,
+    /// Surviving channels whose coordinated-tree direction changed under
+    /// the repaired tree.
+    pub flipped_channels: Vec<ChannelId>,
+    /// Masked shortest-path routing tables over the original communication
+    /// graph: dead channels appear in no candidate mask (injection
+    /// included) and dead nodes are skipped as destinations.
+    pub tables: RoutingTables,
+}
+
+/// Why an epoch could not be repaired.
+#[derive(Debug)]
+pub enum RepairError {
+    /// The degraded graph is unusable (partitioned, no survivors, or the
+    /// plan names unknown elements).
+    Fault(FaultError),
+    /// DOWN/UP construction failed on the surviving graph.
+    Construct(ConstructError),
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::Fault(e) => write!(f, "{e}"),
+            RepairError::Construct(e) => write!(f, "repair construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<FaultError> for RepairError {
+    fn from(e: FaultError) -> Self {
+        RepairError::Fault(e)
+    }
+}
+
+impl From<ConstructError> for RepairError {
+    fn from(e: ConstructError) -> Self {
+        RepairError::Construct(e)
+    }
+}
+
+/// Repairs the routing for every activation cycle of `plan`, chaining the
+/// epochs (epoch *k*'s old table is epoch *k−1*'s new table).
+///
+/// `cg` and `base_table` are the pre-fault communication graph and turn
+/// table of `topo`; `builder` configures the Phases-1–3 rebuild.
+pub fn plan_epochs(
+    topo: &Topology,
+    cg: &CommGraph,
+    base_table: &TurnTable,
+    plan: &FaultPlan,
+    builder: DownUp,
+) -> Result<Vec<ReconfigEpoch>, RepairError> {
+    let mut epochs = Vec::new();
+    let mut prev = base_table.clone();
+    for cycle in plan.activation_cycles() {
+        let epoch = repair_epoch(topo, cg, &prev, &plan.up_to(cycle), cycle, builder)?;
+        prev = epoch.new_table.clone();
+        epochs.push(epoch);
+    }
+    Ok(epochs)
+}
+
+/// Repairs one epoch: applies `cumulative` (every fault active at `cycle`)
+/// to `topo`, rebuilds DOWN/UP on the survivors, and lifts the result back
+/// into the original id space.
+pub fn repair_epoch(
+    topo: &Topology,
+    cg: &CommGraph,
+    old_table: &TurnTable,
+    cumulative: &FaultPlan,
+    cycle: u32,
+    builder: DownUp,
+) -> Result<ReconfigEpoch, RepairError> {
+    let deg = topo.degrade_detailed(cumulative)?;
+    let repaired = builder.construct(&deg.topology)?;
+    let new_cg = repaired.comm_graph();
+    let compact_table = repaired.turn_table();
+
+    // Original channel `2l + d` maps to compact channel `2·link_map[l] + d`:
+    // the compact renumbering is monotone, so every surviving link keeps
+    // its `a < b` endpoint orientation and the direction bit is preserved.
+    let nch = cg.num_channels();
+    let map_ch = |c: ChannelId| -> Option<ChannelId> {
+        deg.link_map[(c / 2) as usize].map(|nl| 2 * nl + (c & 1))
+    };
+    let dead_channel: Vec<bool> = (0..nch).map(|c| map_ch(c).is_none()).collect();
+    let alive_node: Vec<bool> = deg.node_map.iter().map(Option::is_some).collect();
+
+    let new_table = TurnTable::from_channel_rule(cg, |ic, oc| match (map_ch(ic), map_ch(oc)) {
+        (Some(ni), Some(no)) => compact_table.is_allowed(new_cg, ni, no),
+        _ => false,
+    });
+
+    let flipped_channels: Vec<ChannelId> = (0..nch)
+        .filter(|&c| map_ch(c).is_some_and(|nc| cg.direction(c) != new_cg.direction(nc)))
+        .collect();
+
+    let tables = RoutingTables::build_masked(cg, &new_table, &dead_channel, &alive_node)
+        .map_err(|e| RepairError::Construct(ConstructError::Routing(e)))?;
+
+    Ok(ReconfigEpoch {
+        cycle,
+        dead_nodes: deg.dead_nodes,
+        dead_channels: deg
+            .dead_links
+            .iter()
+            .flat_map(|&l| [2 * l, 2 * l + 1])
+            .collect(),
+        dead_links: deg.dead_links,
+        old_table: old_table.clone(),
+        new_table,
+        flipped_channels,
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnet_topology::{gen, FaultEvent, FaultKind};
+    use irnet_turns::ChannelDepGraph;
+
+    fn base(seed: u64) -> (Topology, CommGraph, TurnTable) {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), seed).unwrap();
+        let routing = DownUp::new().construct(&topo).unwrap();
+        let (_, cg, table, _) = routing.into_parts();
+        (topo, cg, table)
+    }
+
+    fn link_fault(cycle: u32, a: NodeId, b: NodeId) -> FaultEvent {
+        FaultEvent {
+            cycle,
+            kind: FaultKind::Link { a, b },
+        }
+    }
+
+    /// A link whose removal keeps the graph connected (not a bridge).
+    fn non_bridge(topo: &Topology) -> (NodeId, NodeId) {
+        for &(a, b) in topo.links() {
+            let plan = FaultPlan::scripted([link_fault(0, a, b)]);
+            if topo.degrade(&plan).is_ok() {
+                return (a, b);
+            }
+        }
+        panic!("every link is a bridge");
+    }
+
+    #[test]
+    fn repaired_epoch_is_lifted_consistently() {
+        let (topo, cg, table) = base(3);
+        let (a, b) = non_bridge(&topo);
+        let plan = FaultPlan::scripted([link_fault(500, a, b)]);
+        let epochs = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap();
+        assert_eq!(epochs.len(), 1);
+        let ep = &epochs[0];
+        assert_eq!(ep.cycle, 500);
+        let l = topo.link_between(a, b).unwrap();
+        assert_eq!(ep.dead_links, vec![l]);
+        assert_eq!(ep.dead_channels, vec![2 * l, 2 * l + 1]);
+        assert!(ep.dead_nodes.is_empty());
+        assert_eq!(ep.old_table, table);
+
+        // The lifted table prohibits every turn touching a dead channel.
+        let ch = cg.channels();
+        for c in [2 * l, 2 * l + 1] {
+            let v = ch.sink(c);
+            for &out in ch.outputs(v) {
+                assert!(!ep.new_table.is_allowed(&cg, c, out));
+            }
+            let s = ch.start(c);
+            for &inp in ch.inputs(s) {
+                assert!(!ep.new_table.is_allowed(&cg, inp, c));
+            }
+        }
+        // The lifted table is deadlock-free in the original space.
+        assert!(ChannelDepGraph::build(&cg, &ep.new_table).is_acyclic());
+        // Flipped channels are alive and really flipped in tree direction.
+        for &c in &ep.flipped_channels {
+            assert!(!ep.dead_channels.contains(&c));
+        }
+        // Masked tables route every alive pair without dead ports.
+        for s in 0..topo.num_nodes() {
+            for t in 0..topo.num_nodes() {
+                if s != t {
+                    let path = ep.tables.route(&cg, s, t);
+                    assert!(path.iter().all(|&c| c / 2 != l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_chain_old_to_new() {
+        let (topo, cg, table) = base(5);
+        // Two link faults at different cycles, both non-bridges applied
+        // cumulatively: search a pair that stays connected.
+        let mut picked = Vec::new();
+        for &(a, b) in topo.links() {
+            let mut events: Vec<FaultEvent> = picked
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| link_fault(100 * (i as u32 + 1), x, y))
+                .collect();
+            events.push(link_fault(100 * (picked.len() as u32 + 1), a, b));
+            if topo.degrade(&FaultPlan::scripted(events)).is_ok() {
+                picked.push((a, b));
+                if picked.len() == 2 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(picked.len(), 2, "could not find two safe faults");
+        let plan = FaultPlan::scripted([
+            link_fault(100, picked[0].0, picked[0].1),
+            link_fault(200, picked[1].0, picked[1].1),
+        ]);
+        let epochs = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap();
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[0].old_table, table);
+        assert_eq!(epochs[1].old_table, epochs[0].new_table);
+        assert_eq!(epochs[1].dead_links.len(), 2);
+        assert!(epochs[0].dead_links.len() == 1);
+    }
+
+    #[test]
+    fn switch_fault_kills_node_as_destination() {
+        let (topo, cg, table) = base(7);
+        // Find a switch whose removal keeps the rest connected.
+        let node = (0..topo.num_nodes())
+            .find(|&v| {
+                let plan = FaultPlan::scripted([FaultEvent {
+                    cycle: 0,
+                    kind: FaultKind::Switch { node: v },
+                }]);
+                topo.degrade(&plan).is_ok()
+            })
+            .expect("some switch is removable");
+        let plan = FaultPlan::scripted([FaultEvent {
+            cycle: 50,
+            kind: FaultKind::Switch { node },
+        }]);
+        let epochs = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap();
+        let ep = &epochs[0];
+        assert_eq!(ep.dead_nodes, vec![node]);
+        assert_eq!(ep.dead_links.len() as u32, topo.degree(node));
+        // No masks toward the dead destination.
+        use irnet_turns::INJECTION_SLOT;
+        for v in 0..topo.num_nodes() {
+            if v != node {
+                assert_eq!(ep.tables.candidates(node, v, INJECTION_SLOT), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_surfaces_as_fault_error() {
+        // A path topology: every link is a bridge.
+        let topo = Topology::new(4, 4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let routing = DownUp::new().construct(&topo).unwrap();
+        let (_, cg, table, _) = routing.into_parts();
+        let plan = FaultPlan::scripted([link_fault(10, 1, 2)]);
+        let err = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            RepairError::Fault(FaultError::Partitioned { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_plan_yields_no_epochs() {
+        let (topo, cg, table) = base(1);
+        let plan = FaultPlan::scripted([]);
+        let epochs = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap();
+        assert!(epochs.is_empty());
+    }
+}

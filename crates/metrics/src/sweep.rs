@@ -13,6 +13,13 @@ pub struct SweepPoint {
     pub offered: f64,
     /// The paper metrics at this load.
     pub metrics: PaperMetrics,
+    /// Whether the deadlock watchdog aborted this operating point. A
+    /// deadlocked point's metrics cover only the cycles before the stall —
+    /// callers must not fold them into averages silently.
+    pub deadlocked: bool,
+    /// Last cycle at which any flit advanced (the stall point when
+    /// `deadlocked`, otherwise just the final progress cycle).
+    pub stall_cycle: u32,
 }
 
 /// A full latency/throughput curve for one routing instance.
@@ -65,6 +72,8 @@ pub fn run_point(inst: &Instance, base: &SimConfig, rate: f64, seed: u64) -> Swe
     let stats = Simulator::new(&inst.cg, &inst.tables, cfg, seed).run();
     SweepPoint {
         offered: rate,
+        deadlocked: stats.deadlocked,
+        stall_cycle: stats.last_progress,
         metrics: PaperMetrics::compute(&stats, &inst.cg, &inst.tree),
     }
 }

@@ -2,7 +2,7 @@ use crate::active::ActiveSet;
 use crate::config::{EngineCore, InjectionSampling, RouteChoice, SimConfig};
 use crate::hist::Histogram;
 use crate::stats::SimStats;
-use irnet_topology::{CommGraph, NodeId};
+use irnet_topology::{ChannelId, CommGraph, NodeId};
 use irnet_turns::{RoutingTables, INJECTION_SLOT};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -15,8 +15,13 @@ const ROUTE_NONE: u32 = u32::MAX;
 const ROUTE_EJECT: u32 = u32::MAX - 1;
 /// Owner sentinel: virtual channel is free.
 const FREE: u32 = u32::MAX;
+/// Owner sentinel: virtual channel died in a reconfiguration epoch and can
+/// never be claimed again.
+const DEAD: u32 = u32::MAX - 2;
 /// No pending oblivious port.
 const NO_PORT: u8 = u8::MAX;
+/// `route_pkt` sentinel: no packet holds this input's route.
+const NO_PKT: u32 = u32::MAX;
 
 /// One flit in flight. `time` is the cycle the flit entered its current
 /// stage; a flit only advances when `time < now`, which enforces the
@@ -37,11 +42,34 @@ const NO_FLIT: Flit = Flit {
 
 #[derive(Debug, Clone, Copy)]
 struct Packet {
+    src: NodeId,
     dst: NodeId,
     gen_time: u32,
     len: u32,
     /// Non-minimal detours taken so far (bounded by `max_detours`).
     detours: u32,
+}
+
+/// One scheduled reconfiguration: at `cycle` the listed channels and nodes
+/// die, every packet holding a dead resource is dropped, and all further
+/// arbitration retargets `tables` (built over the surviving sub-network,
+/// e.g. by `RoutingTables::build_masked`).
+///
+/// Contract: when a node is listed dead, the channels of all its incident
+/// links must be listed dead too (a repair derived from a switch fault
+/// always satisfies this). `tables` must cover the same network as the
+/// simulator's communication graph.
+#[derive(Debug, Clone)]
+pub struct FaultEpoch<'a> {
+    /// Activation cycle (applied at the start of the first step at or
+    /// after this clock).
+    pub cycle: u32,
+    /// Channels that die at activation.
+    pub dead_channels: Vec<ChannelId>,
+    /// Switches that die at activation.
+    pub dead_nodes: Vec<NodeId>,
+    /// Routing tables of the repaired network.
+    pub tables: &'a RoutingTables,
 }
 
 /// The wormhole network simulator. See the crate docs for the model.
@@ -80,6 +108,10 @@ pub struct Simulator<'a> {
     fifo_len: Vec<u32>,
     /// Current route per input (physical in-vcs then injection per node).
     route: Vec<u32>,
+    /// Packet holding each input's route (`NO_PKT` when `route` is
+    /// `ROUTE_NONE`); lets a reconfiguration identify cut worms even when
+    /// no flit of theirs is currently buffered at the input.
+    route_pkt: Vec<u32>,
     /// Oblivious pending port per input.
     pending_port: Vec<u8>,
     /// Consecutive cycles the current header at each input has been
@@ -116,6 +148,18 @@ pub struct Simulator<'a> {
     /// Per-source next scheduled arrival, keyed `(cycle, node)` — only
     /// used by [`InjectionSampling::Geometric`].
     next_arrival: BinaryHeap<Reverse<(u32, NodeId)>>,
+
+    /// Scheduled reconfiguration epochs, sorted by activation cycle;
+    /// `next_reconfig` indexes the first not yet applied.
+    reconfigs: Vec<FaultEpoch<'a>>,
+    next_reconfig: usize,
+    /// Channels killed by an applied epoch.
+    dead_channel: Vec<bool>,
+    /// Switches killed by an applied epoch.
+    node_dead: Vec<bool>,
+    dropped_flits: u64,
+    dropped_packets: u64,
+    reconfig_epochs: u32,
 
     /// Flits buffered in FIFOs and staging registers.
     buffered_flits: u64,
@@ -176,6 +220,7 @@ impl<'a> Simulator<'a> {
             fifo_head: vec![0; num_invc],
             fifo_len: vec![0; num_invc],
             route: vec![ROUTE_NONE; num_inputs],
+            route_pkt: vec![NO_PKT; num_inputs],
             pending_port: vec![NO_PORT; num_inputs],
             blocked: vec![0; num_inputs],
             owner: vec![FREE; num_invc],
@@ -192,6 +237,13 @@ impl<'a> Simulator<'a> {
             eject_active: ActiveSet::new(n),
             scratch: Vec::with_capacity(64),
             next_arrival: BinaryHeap::new(),
+            reconfigs: Vec::new(),
+            next_reconfig: 0,
+            dead_channel: vec![false; nch],
+            node_dead: vec![false; n],
+            dropped_flits: 0,
+            dropped_packets: 0,
+            reconfig_epochs: 0,
             buffered_flits: 0,
             live_packets: 0,
             last_progress: 0,
@@ -235,6 +287,7 @@ impl<'a> Simulator<'a> {
         assert!(src < self.cg.num_nodes() && dst < self.cg.num_nodes());
         let id = self.packets.len() as u32;
         self.packets.push(Packet {
+            src,
             dst,
             gen_time: self.now,
             len: self.cfg.packet_len,
@@ -338,6 +391,10 @@ impl<'a> Simulator<'a> {
             buffered_flit_cycles: self.buffered_flit_cycles,
             deadlocked,
             flits_in_flight: self.buffered_flits,
+            dropped_flits: self.dropped_flits,
+            dropped_packets: self.dropped_packets,
+            reconfig_epochs: self.reconfig_epochs,
+            last_progress: self.last_progress,
         }
     }
 
@@ -346,8 +403,217 @@ impl<'a> Simulator<'a> {
         self.now >= self.cfg.warmup_cycles
     }
 
+    /// Schedules a reconfiguration epoch. Epochs may be scheduled in any
+    /// order and at any time before their activation cycle; each is applied
+    /// at the start of the first step at or after `epoch.cycle`.
+    pub fn schedule_reconfig(&mut self, epoch: FaultEpoch<'a>) {
+        assert_eq!(
+            epoch.tables.num_nodes(),
+            self.cg.num_nodes(),
+            "epoch tables belong to a different network"
+        );
+        let live = &self.reconfigs[self.next_reconfig..];
+        let pos = self.next_reconfig + live.partition_point(|e| e.cycle <= epoch.cycle);
+        self.reconfigs.insert(pos, epoch);
+    }
+
+    /// Applies every epoch whose activation cycle has been reached.
+    fn apply_due_reconfigs(&mut self) {
+        while self.next_reconfig < self.reconfigs.len()
+            && self.reconfigs[self.next_reconfig].cycle <= self.now
+        {
+            let epoch = self.reconfigs[self.next_reconfig].clone();
+            self.next_reconfig += 1;
+            self.apply_reconfig(&epoch);
+        }
+    }
+
+    /// Applies one reconfiguration epoch: marks the dead resources, drops
+    /// every packet holding one, retires the dead virtual channels, and
+    /// swaps in the repaired routing tables.
+    fn apply_reconfig(&mut self, epoch: &FaultEpoch<'a>) {
+        let vcs = self.vcs as usize;
+        for &c in &epoch.dead_channels {
+            self.dead_channel[c as usize] = true;
+        }
+        for &v in &epoch.dead_nodes {
+            self.node_dead[v as usize] = true;
+        }
+        // A packet dies when it holds a dead resource: a flit staged on or
+        // buffered past a dead channel, a claimed route from or into a dead
+        // channel, an ejection in progress at a dead node, or a source-queue
+        // slot at a dead node. Packets merely *destined* to a dead node are
+        // dropped lazily when their header next arbitrates.
+        let mut drops: Vec<u32> = Vec::new();
+        for &c in &epoch.dead_channels {
+            for vc in 0..vcs {
+                let idx = c as usize * vcs + vc;
+                if let Some(f) = self.staged[idx] {
+                    drops.push(f.pkt);
+                }
+                let head = self.fifo_head[idx] as usize;
+                for k in 0..self.fifo_len[idx] as usize {
+                    drops.push(self.fifo[idx * self.depth + (head + k) % self.depth].pkt);
+                }
+            }
+        }
+        for i in 0..self.num_inputs {
+            let r = self.route[i];
+            if r == ROUTE_NONE {
+                continue;
+            }
+            let from_dead = i < self.num_invc && self.dead_channel[i / vcs];
+            let to_dead = r != ROUTE_EJECT && self.dead_channel[r as usize / vcs];
+            let eject_dead = r == ROUTE_EJECT && self.node_dead[self.input_node(i) as usize];
+            if from_dead || to_dead || eject_dead {
+                drops.push(self.route_pkt[i]);
+            }
+        }
+        for &v in &epoch.dead_nodes {
+            drops.extend(self.src_queue[v as usize].iter().copied());
+            if let Some(f) = self.eject_staged[v as usize] {
+                drops.push(f.pkt);
+            }
+        }
+        drops.sort_unstable();
+        drops.dedup();
+        for pkt in drops {
+            self.drop_packet(pkt);
+        }
+        // Dead resources can never be claimed again.
+        for &c in &epoch.dead_channels {
+            for vc in 0..vcs {
+                self.owner[c as usize * vcs + vc] = DEAD;
+            }
+        }
+        for &v in &epoch.dead_nodes {
+            self.eject_owner[v as usize] = DEAD;
+        }
+        self.tables = epoch.tables;
+        self.reconfig_epochs += 1;
+        // The epoch barrier counts as progress: the repaired network gets a
+        // full watchdog window before a stall is declared.
+        self.note_progress();
+    }
+
+    /// Removes every trace of packet `pkt` from the network — flits in
+    /// FIFOs, staging and ejection registers, claimed routes and channel
+    /// ownerships, and its source-queue entry — and updates the drop
+    /// accounting. Only called on fault paths; a run without faults never
+    /// drops.
+    fn drop_packet(&mut self, pkt: u32) {
+        let len = self.packets[pkt as usize].len;
+        // Input FIFOs: compact each ring that holds flits of the packet
+        // (rings can interleave flits of different packets).
+        for idx in 0..self.num_invc {
+            let n = self.fifo_len[idx] as usize;
+            if n == 0 {
+                continue;
+            }
+            let head = self.fifo_head[idx] as usize;
+            let base = idx * self.depth;
+            let mut kept = 0usize;
+            for k in 0..n {
+                let f = self.fifo[base + (head + k) % self.depth];
+                if f.pkt == pkt {
+                    continue;
+                }
+                self.fifo[base + (head + kept) % self.depth] = f;
+                kept += 1;
+            }
+            let removed = n - kept;
+            if removed == 0 {
+                continue;
+            }
+            self.fifo_len[idx] = kept as u32;
+            self.buffered_flits -= removed as u64;
+            self.dropped_flits += removed as u64;
+            if kept == 0 {
+                self.active_in.remove(idx);
+            }
+            if self.route[idx] == ROUTE_NONE {
+                // The purged head may have been a header mid-arbitration;
+                // its committed port and patience die with it.
+                self.blocked[idx] = 0;
+                self.pending_port[idx] = NO_PORT;
+            }
+        }
+        // Staging registers.
+        for idx in 0..self.num_invc {
+            let Some(f) = self.staged[idx] else { continue };
+            if f.pkt != pkt {
+                continue;
+            }
+            self.staged[idx] = None;
+            let c = idx / self.vcs as usize;
+            self.staged_count[c] -= 1;
+            if self.staged_count[c] == 0 {
+                self.staged_active.remove(c);
+            }
+            self.buffered_flits -= 1;
+            self.dropped_flits += 1;
+            if f.seq + 1 == len && self.owner[idx] != DEAD {
+                // A staged tail still holds the channel (it is released
+                // only on link traversal) even though the upstream route
+                // was already reset when the tail was popped.
+                self.owner[idx] = FREE;
+            }
+        }
+        // Ejection registers.
+        for v in 0..self.cg.num_nodes() as usize {
+            let Some(f) = self.eject_staged[v] else {
+                continue;
+            };
+            if f.pkt != pkt {
+                continue;
+            }
+            self.eject_staged[v] = None;
+            self.eject_active.remove(v);
+            self.buffered_flits -= 1;
+            self.dropped_flits += 1;
+            if f.seq + 1 == len && self.eject_owner[v] != DEAD {
+                self.eject_owner[v] = FREE;
+            }
+        }
+        // Claimed routes and the channels they own.
+        for i in 0..self.num_inputs {
+            if self.route[i] == ROUTE_NONE || self.route_pkt[i] != pkt {
+                continue;
+            }
+            let r = self.route[i];
+            if r == ROUTE_EJECT {
+                let v = self.input_node(i) as usize;
+                if self.eject_owner[v] == i as u32 {
+                    self.eject_owner[v] = FREE;
+                }
+            } else if self.owner[r as usize] == i as u32 {
+                self.owner[r as usize] = FREE;
+            }
+            self.route[i] = ROUTE_NONE;
+            self.route_pkt[i] = NO_PKT;
+            self.pending_port[i] = NO_PORT;
+            self.blocked[i] = 0;
+        }
+        // Source-queue entry (queued, or mid-injection at the front).
+        let src = self.packets[pkt as usize].src as usize;
+        if let Some(pos) = self.src_queue[src].iter().position(|&p| p == pkt) {
+            if pos == 0 {
+                self.src_sent[src] = 0;
+            }
+            self.src_queue[src].remove(pos);
+            if self.src_queue[src].is_empty() {
+                self.active_in.remove(self.num_invc + src);
+            }
+        }
+        self.live_packets -= 1;
+        self.dropped_packets += 1;
+    }
+
     /// Advances the network by one clock.
     fn step(&mut self) {
+        if self.next_reconfig < self.reconfigs.len() {
+            self.apply_due_reconfigs();
+        }
         self.inject();
         match self.cfg.engine_core {
             EngineCore::ActiveSet => {
@@ -385,6 +651,10 @@ impl<'a> Simulator<'a> {
         let p = self.inject_p;
         let arrivals = self.cfg.arrivals;
         for v in 0..n {
+            if self.node_dead[v as usize] {
+                // A dead processor generates nothing (and costs no draw).
+                continue;
+            }
             let mut on = self.src_on[v as usize];
             let arrived = arrivals.arrives(&mut self.rng, &mut on, p);
             self.src_on[v as usize] = on;
@@ -403,6 +673,10 @@ impl<'a> Simulator<'a> {
                 break;
             }
             self.next_arrival.pop();
+            if self.node_dead[v as usize] {
+                // A dead source's arrival stream ends: drop without re-arm.
+                continue;
+            }
             self.generate_packet(v);
             let skip = geometric_skip(&mut self.rng, self.inject_p);
             self.next_arrival
@@ -416,6 +690,7 @@ impl<'a> Simulator<'a> {
         let dst = self.cfg.traffic.pick_dest(&mut self.rng, v, n);
         let id = self.packets.len() as u32;
         self.packets.push(Packet {
+            src: v,
             dst,
             gen_time: self.now,
             len: self.cfg.packet_len,
@@ -592,14 +867,19 @@ impl<'a> Simulator<'a> {
         }
         if self.route[i] == ROUTE_NONE {
             debug_assert_eq!(flit.seq, 0, "only headers arbitrate");
-            if !self.arbitrate(i, flit) {
-                self.blocked[i] += 1;
-                if self.measuring() {
-                    self.header_block_cycles += 1;
+            match self.arbitrate(i, flit) {
+                Arb::Claimed => self.blocked[i] = 0,
+                Arb::Blocked => {
+                    self.blocked[i] += 1;
+                    if self.measuring() {
+                        self.header_block_cycles += 1;
+                    }
+                    return;
                 }
-                return;
+                // The packet was destroyed; this input's head (if any) is
+                // now a different packet and gets its turn next cycle.
+                Arb::Dropped => return,
             }
-            self.blocked[i] = 0;
         }
         let route = self.route[i];
         let moved = if route == ROUTE_EJECT {
@@ -632,6 +912,7 @@ impl<'a> Simulator<'a> {
             self.note_progress();
             if flit.seq + 1 == self.packets[flit.pkt as usize].len {
                 self.route[i] = ROUTE_NONE;
+                self.route_pkt[i] = NO_PKT;
             }
         }
     }
@@ -708,36 +989,58 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Tries to assign an output to the header at input `i`. Returns true
-    /// if a route was claimed.
-    fn arbitrate(&mut self, i: usize, header: Flit) -> bool {
+    /// Tries to assign an output to the header at input `i`.
+    fn arbitrate(&mut self, i: usize, header: Flit) -> Arb {
         let ch = self.cg.channels();
         let v = self.input_node(i);
         let dst = self.packets[header.pkt as usize].dst;
+        if self.node_dead[dst as usize] {
+            // The destination died: the packet can never be delivered.
+            self.drop_packet(header.pkt);
+            return Arb::Dropped;
+        }
         if v == dst {
             if self.eject_owner[v as usize] == FREE {
                 self.eject_owner[v as usize] = i as u32;
                 self.route[i] = ROUTE_EJECT;
-                return true;
+                self.route_pkt[i] = header.pkt;
+                return Arb::Claimed;
             }
-            return false;
+            return Arb::Blocked;
         }
         let slot = if i < self.num_invc {
             ch.in_port((i / self.vcs as usize) as u32) as usize + 1
         } else {
             INJECTION_SLOT
         };
-        let mask = self.tables.candidates(dst, v, slot);
-        debug_assert_ne!(
-            mask, 0,
+        let mut mask = self.tables.candidates(dst, v, slot);
+        debug_assert!(
+            mask != 0 || self.reconfig_epochs > 0,
             "no minimal candidate at node {v} slot {slot} for dst {dst}"
         );
+        if mask == 0 {
+            // Graceful degradation: a packet routed under the pre-fault
+            // table can arrive at an input whose repaired minimal mask is
+            // empty. Fall back to any turn-legal output that still reaches
+            // the destination; if none exists, the packet is stranded and
+            // is dropped rather than left to wedge the network.
+            mask = self.tables.candidates_any(dst, v, slot);
+            if mask == 0 {
+                self.drop_packet(header.pkt);
+                return Arb::Dropped;
+            }
+        }
 
         // Committed modes: decide on one port up front and wait for it.
         if matches!(
             self.cfg.route_choice,
             RouteChoice::ObliviousRandom | RouteChoice::DeterministicMinimal
         ) {
+            if self.pending_port[i] != NO_PORT && (mask >> self.pending_port[i]) & 1 == 0 {
+                // The committed port fell out of the candidate set (a
+                // reconfiguration killed it): re-decide below.
+                self.pending_port[i] = NO_PORT;
+            }
             if self.pending_port[i] == NO_PORT {
                 self.pending_port[i] = match self.cfg.route_choice {
                     RouteChoice::DeterministicMinimal => mask.trailing_zeros() as u8,
@@ -750,11 +1053,11 @@ impl<'a> Simulator<'a> {
             }
             let p = self.pending_port[i];
             if let Some(out) = self.free_outvc(v, p) {
-                self.claim(i, out);
+                self.claim(i, out, header.pkt);
                 self.pending_port[i] = NO_PORT;
-                return true;
+                return Arb::Claimed;
             }
-            return false;
+            return Arb::Blocked;
         }
 
         // Adaptive modes: consider every candidate port with a free VC.
@@ -775,12 +1078,12 @@ impl<'a> Simulator<'a> {
             // the escape deadlock-free; the per-packet budget bounds
             // livelock.
             let Some(patience) = self.cfg.misroute_patience else {
-                return false;
+                return Arb::Blocked;
             };
             if self.blocked[i] < patience
                 || self.packets[header.pkt as usize].detours >= self.cfg.max_detours
             {
-                return false;
+                return Arb::Blocked;
             }
             let escape = self.tables.candidates_any(dst, v, slot) & !mask;
             let mut m = escape;
@@ -792,7 +1095,7 @@ impl<'a> Simulator<'a> {
                 }
             }
             if free_mask == 0 {
-                return false;
+                return Arb::Blocked;
             }
             misrouting = true;
         }
@@ -808,8 +1111,8 @@ impl<'a> Simulator<'a> {
         if misrouting {
             self.packets[header.pkt as usize].detours += 1;
         }
-        self.claim(i, out);
-        true
+        self.claim(i, out, header.pkt);
+        Arb::Claimed
     }
 
     /// Lowest free virtual channel of output port `p` at node `v`.
@@ -821,15 +1124,27 @@ impl<'a> Simulator<'a> {
             .find(|&idx| self.owner[idx] == FREE)
     }
 
-    fn claim(&mut self, i: usize, out: usize) {
+    fn claim(&mut self, i: usize, out: usize, pkt: u32) {
         self.owner[out] = i as u32;
         self.route[i] = out as u32;
+        self.route_pkt[i] = pkt;
     }
 
     #[inline]
     fn note_progress(&mut self) {
         self.last_progress = self.now;
     }
+}
+
+/// Outcome of one header arbitration.
+enum Arb {
+    /// A route was claimed; the flit may move this cycle.
+    Claimed,
+    /// No free output: the header waits (counted as a blocked cycle).
+    Blocked,
+    /// The packet was destroyed (dead destination or stranded by a
+    /// reconfiguration).
+    Dropped,
 }
 
 /// Index of the `k`-th (0-based) set bit of `mask`.
@@ -1459,6 +1774,201 @@ mod tests {
         // time in network. Just check the occupancy is in a sane range.
         assert!(low.avg_network_occupancy() > 0.0);
         assert!(high.avg_network_occupancy() < 10_000.0);
+    }
+
+    /// Busiest link whose scripted failure at `cycle` is repairable (not a
+    /// bridge), with its repaired epoch. Ranking by a probe run's traffic
+    /// guarantees the fault actually cuts worms mid-flight.
+    fn link_fault_epoch(
+        topo: &irnet_topology::Topology,
+        r: &irnet_core::DownUpRouting,
+        cycle: u32,
+    ) -> irnet_core::ReconfigEpoch {
+        use irnet_topology::{FaultEvent, FaultKind, FaultPlan};
+        let probe = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.3), 7).run();
+        let mut links: Vec<u32> = (0..topo.num_links()).collect();
+        links.sort_by_key(|&l| {
+            std::cmp::Reverse(
+                probe.channel_flits[2 * l as usize] + probe.channel_flits[2 * l as usize + 1],
+            )
+        });
+        for l in links {
+            let (a, b) = topo.link(l);
+            let plan = FaultPlan::scripted([FaultEvent {
+                cycle,
+                kind: FaultKind::Link { a, b },
+            }]);
+            if let Ok(e) = irnet_core::repair_epoch(
+                topo,
+                r.comm_graph(),
+                r.turn_table(),
+                &plan,
+                cycle,
+                DownUp::new(),
+            ) {
+                return e;
+            }
+        }
+        panic!("every link is a bridge");
+    }
+
+    fn as_fault_epoch(e: &irnet_core::ReconfigEpoch) -> FaultEpoch<'_> {
+        FaultEpoch {
+            cycle: e.cycle,
+            dead_channels: e.dead_channels.clone(),
+            dead_nodes: e.dead_nodes.clone(),
+            tables: &e.tables,
+        }
+    }
+
+    #[test]
+    fn mid_run_link_failure_drops_and_recovers() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let epoch = link_fault_epoch(&topo, &r, 800);
+        let cfg = SimConfig {
+            packet_len: 8,
+            injection_rate: 0.3,
+            warmup_cycles: 0,
+            measure_cycles: 4_000,
+            deadlock_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 7);
+        sim.schedule_reconfig(as_fault_epoch(&epoch));
+        let stats = sim.run();
+        assert!(!stats.deadlocked, "repaired run must not stall");
+        assert_eq!(stats.reconfig_epochs, 1);
+        assert!(stats.dropped_flits > 0, "loaded link died carrying nothing");
+        assert!(stats.dropped_packets > 0);
+        assert!(
+            stats.packets_delivered > 100,
+            "delivery did not recover: {}",
+            stats.packets_delivered
+        );
+    }
+
+    #[test]
+    fn cores_agree_bit_exactly_under_faults() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 11).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let epoch = link_fault_epoch(&topo, &r, 500);
+        let run = |core| {
+            let cfg = SimConfig {
+                engine_core: core,
+                packet_len: 8,
+                injection_rate: 0.4,
+                warmup_cycles: 0,
+                measure_cycles: 3_000,
+                deadlock_threshold: 2_000,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 3);
+            sim.schedule_reconfig(as_fault_epoch(&epoch));
+            sim.run()
+        };
+        let dense = run(EngineCore::DenseReference);
+        let active = run(EngineCore::ActiveSet);
+        assert_eq!(dense, active, "cores diverged under a fault epoch");
+        assert!(dense.dropped_flits > 0);
+    }
+
+    #[test]
+    fn switch_fault_kills_node_and_its_traffic() {
+        use irnet_topology::{FaultEvent, FaultKind, FaultPlan};
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let epoch = (0..topo.num_nodes())
+            .find_map(|node| {
+                let plan = FaultPlan::scripted([FaultEvent {
+                    cycle: 600,
+                    kind: FaultKind::Switch { node },
+                }]);
+                irnet_core::repair_epoch(
+                    &topo,
+                    r.comm_graph(),
+                    r.turn_table(),
+                    &plan,
+                    600,
+                    DownUp::new(),
+                )
+                .ok()
+            })
+            .expect("some switch fault must be repairable");
+        let dead = epoch.dead_nodes[0] as usize;
+        let cfg = SimConfig {
+            packet_len: 8,
+            injection_rate: 0.2,
+            warmup_cycles: 0,
+            measure_cycles: 4_000,
+            deadlock_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 9);
+        sim.schedule_reconfig(as_fault_epoch(&epoch));
+        let stats = sim.run();
+        assert!(!stats.deadlocked);
+        assert!(
+            stats.dropped_packets > 0,
+            "traffic to the dead switch must be purged"
+        );
+        assert!(stats.packets_delivered > 0);
+        // The dead switch neither generates nor receives after the epoch:
+        // a healthy node's counters keep growing past any level the dead
+        // node could reach in 600 cycles; just check it fell silent
+        // relative to the network average.
+        let avg = stats.node_flits_delivered.iter().sum::<u64>() / stats.num_nodes as u64;
+        assert!(
+            stats.node_flits_delivered[dead] < avg,
+            "dead node kept receiving"
+        );
+    }
+
+    #[test]
+    fn epoch_after_the_horizon_changes_nothing() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let epoch = link_fault_epoch(&topo, &r, 1_000_000);
+        let baseline = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 1).run();
+        let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), quick_cfg(0.05), 1);
+        sim.schedule_reconfig(as_fault_epoch(&epoch));
+        let scheduled = sim.run();
+        assert_eq!(baseline, scheduled, "an unreached epoch perturbed the run");
+    }
+
+    #[test]
+    fn flit_conservation_with_drops() {
+        // Inject for 1000 cycles with a link failing at 500, stop
+        // injection, drain: every generated packet was either delivered or
+        // dropped, and no flit is left anywhere.
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let epoch = link_fault_epoch(&topo, &r, 500);
+        let cfg = SimConfig {
+            packet_len: 8,
+            injection_rate: 0.3,
+            warmup_cycles: 0,
+            measure_cycles: 4_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 12);
+        sim.schedule_reconfig(as_fault_epoch(&epoch));
+        for _ in 0..1_000 {
+            sim.step();
+        }
+        sim.set_injection_rate(0.0);
+        for _ in 0..20_000 {
+            sim.step();
+            if sim.live_packets == 0 {
+                break;
+            }
+        }
+        assert_eq!(sim.live_packets, 0, "network failed to drain after fault");
+        assert_eq!(sim.buffered_flits, 0);
+        let generated = sim.packets.len() as u64;
+        let stats = sim.finish();
+        assert!(stats.dropped_packets > 0);
+        assert_eq!(stats.packets_delivered + stats.dropped_packets, generated);
     }
 
     #[test]

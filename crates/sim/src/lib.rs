@@ -57,7 +57,7 @@ pub mod trace;
 mod traffic;
 
 pub use config::{EngineCore, InjectionSampling, RouteChoice, SimConfig};
-pub use engine::Simulator;
+pub use engine::{FaultEpoch, Simulator};
 pub use hist::Histogram;
 pub use stats::SimStats;
 pub use trace::{replay, ReplayResult, Trace, TraceEntry, TraceError};

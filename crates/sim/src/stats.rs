@@ -44,6 +44,18 @@ pub struct SimStats {
     pub deadlocked: bool,
     /// Flits still buffered in the network when the run ended.
     pub flits_in_flight: u64,
+    /// In-network flits destroyed by fault-driven reconfigurations,
+    /// counted over the whole run (not just the measurement window).
+    pub dropped_flits: u64,
+    /// Packets destroyed by fault-driven reconfigurations (cut worms,
+    /// unroutable survivors, traffic for dead destinations), counted over
+    /// the whole run.
+    pub dropped_packets: u64,
+    /// Reconfiguration epochs applied during the run.
+    pub reconfig_epochs: u32,
+    /// Last cycle at which any flit advanced — on a deadlocked run this is
+    /// the stall point the watchdog fired from.
+    pub last_progress: u32,
 }
 
 impl SimStats {
@@ -139,6 +151,10 @@ mod tests {
             buffered_flit_cycles: 12_000,
             deadlocked: false,
             flits_in_flight: 0,
+            dropped_flits: 0,
+            dropped_packets: 0,
+            reconfig_epochs: 0,
+            last_progress: 0,
         }
     }
 

@@ -1,0 +1,563 @@
+//! Fault injection: scripted and seeded-random link/switch failure plans,
+//! and the [`Topology::degrade`] path that filters a topology down to its
+//! surviving graph while reporting partition and isolation.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s, each bound to an
+//! *activation cycle* — the simulator clock at which the fault strikes.
+//! Degrading a topology applies every event (or every event up to a cycle)
+//! and yields both the compact surviving [`Topology`] and the id maps the
+//! repair layer needs to lift the rebuilt routing function back into the
+//! original channel space.
+
+use crate::error::TopologyError;
+use crate::graph::{LinkId, NodeId, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// What fails: a single bidirectional link, or a whole switch (which takes
+/// every incident link down with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The bidirectional link between `a` and `b` goes dead.
+    Link {
+        /// One endpoint (order does not matter).
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Switch `node` goes dead, along with all its links and its attached
+    /// processor (it stops injecting and ejecting traffic).
+    Switch {
+        /// The failing switch.
+        node: NodeId,
+    },
+}
+
+/// One fault bound to the simulator cycle at which it activates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulator clock at which the fault strikes.
+    pub cycle: u32,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+impl Serialize for FaultEvent {
+    fn to_value(&self) -> Value {
+        let mut map = vec![("cycle".to_string(), Value::U64(u64::from(self.cycle)))];
+        match self.kind {
+            FaultKind::Link { a, b } => map.push((
+                "link".to_string(),
+                Value::Seq(vec![Value::U64(u64::from(a)), Value::U64(u64::from(b))]),
+            )),
+            FaultKind::Switch { node } => {
+                map.push(("switch".to_string(), Value::U64(u64::from(node))));
+            }
+        }
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for FaultEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("fault event must be a map"))?;
+        let cycle: u32 = serde::field(map, "cycle")?;
+        let link = v.get("link");
+        let switch = v.get("switch");
+        let kind = match (link, switch) {
+            (Some(l), None) => {
+                let (a, b): (NodeId, NodeId) = Deserialize::from_value(l)?;
+                FaultKind::Link { a, b }
+            }
+            (None, Some(s)) => FaultKind::Switch {
+                node: NodeId::from_value(s)?,
+            },
+            _ => {
+                return Err(DeError::custom(
+                    "fault event needs exactly one of `link` or `switch`",
+                ))
+            }
+        };
+        Ok(FaultEvent { cycle, kind })
+    }
+}
+
+/// An ordered fault scenario: events sorted by activation cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Builds a scripted plan; events are stably sorted by activation cycle
+    /// so same-cycle faults keep their scripted order.
+    pub fn scripted(events: impl IntoIterator<Item = FaultEvent>) -> FaultPlan {
+        let mut events: Vec<FaultEvent> = events.into_iter().collect();
+        events.sort_by_key(|e| e.cycle);
+        FaultPlan { events }
+    }
+
+    /// Draws a seeded-random plan against `topo`: `links` distinct link
+    /// failures and `switches` distinct switch failures, each activating at
+    /// a uniform cycle in `window` (inclusive). Deterministic per seed.
+    pub fn random(
+        topo: &Topology,
+        links: u32,
+        switches: u32,
+        window: (u32, u32),
+        seed: u64,
+    ) -> Result<FaultPlan, FaultError> {
+        if links > topo.num_links() {
+            return Err(FaultError::Unsatisfiable(format!(
+                "asked for {links} link faults but the topology has {} links",
+                topo.num_links()
+            )));
+        }
+        if switches >= topo.num_nodes() {
+            return Err(FaultError::Unsatisfiable(format!(
+                "asked for {switches} switch faults but the topology has {} switches",
+                topo.num_nodes()
+            )));
+        }
+        let (lo, hi) = (window.0.min(window.1), window.0.max(window.1));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let pick_distinct = |rng: &mut ChaCha8Rng, count: u32, n: u32| -> Vec<u32> {
+            let mut chosen: Vec<u32> = Vec::with_capacity(count as usize);
+            while (chosen.len() as u32) < count {
+                let c = rng.gen_range(0..n);
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                }
+            }
+            chosen
+        };
+        for l in pick_distinct(&mut rng, links, topo.num_links()) {
+            let (a, b) = topo.link(l);
+            events.push(FaultEvent {
+                cycle: rng.gen_range(lo..=hi),
+                kind: FaultKind::Link { a, b },
+            });
+        }
+        for node in pick_distinct(&mut rng, switches, topo.num_nodes()) {
+            events.push(FaultEvent {
+                cycle: rng.gen_range(lo..=hi),
+                kind: FaultKind::Switch { node },
+            });
+        }
+        Ok(FaultPlan::scripted(events))
+    }
+
+    /// All events, sorted by activation cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Distinct activation cycles in increasing order — one reconfiguration
+    /// epoch boundary per entry.
+    pub fn activation_cycles(&self) -> Vec<u32> {
+        let mut cycles: Vec<u32> = self.events.iter().map(|e| e.cycle).collect();
+        cycles.dedup();
+        cycles
+    }
+
+    /// The sub-plan of events with `cycle <= limit` (the cumulative fault
+    /// state at a given epoch boundary).
+    pub fn up_to(&self, limit: u32) -> FaultPlan {
+        FaultPlan {
+            events: self
+                .events
+                .iter()
+                .copied()
+                .take_while(|e| e.cycle <= limit)
+                .collect(),
+        }
+    }
+
+    /// Parses a scenario from JSON:
+    /// `{"events":[{"cycle":N,"link":[a,b]},{"cycle":N,"switch":v}]}`.
+    pub fn from_json(text: &str) -> Result<FaultPlan, FaultError> {
+        let value = serde_json::from_str(text)
+            .map_err(|e| FaultError::Parse(format!("invalid scenario JSON: {e}")))?;
+        let plan = FaultPlan::from_value(&value)
+            .map_err(|e| FaultError::Parse(format!("invalid fault scenario: {e}")))?;
+        Ok(FaultPlan::scripted(plan.events))
+    }
+
+    /// Renders the scenario as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        // The vendored serializer is infallible on value trees.
+        serde_json::to_string_pretty(&self.to_value()).unwrap_or_default()
+    }
+}
+
+/// Why a fault plan cannot be applied (or survived).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A link fault names a pair of switches with no link between them.
+    UnknownLink {
+        /// Claimed endpoint.
+        a: NodeId,
+        /// Claimed endpoint.
+        b: NodeId,
+    },
+    /// A switch fault names a node outside the topology.
+    UnknownSwitch {
+        /// The out-of-range node id.
+        node: NodeId,
+        /// Number of switches in the topology.
+        num_nodes: u32,
+    },
+    /// Every switch failed; nothing is left to route on.
+    NoSurvivors,
+    /// The surviving graph is split: only `reached` of the `alive` surviving
+    /// switches are reachable from the lowest-numbered survivor, and
+    /// `isolated` survivors lost every link.
+    Partitioned {
+        /// Surviving (non-failed) switches.
+        alive: u32,
+        /// Survivors reachable from the lowest-numbered survivor.
+        reached: u32,
+        /// Survivors with zero remaining links.
+        isolated: u32,
+    },
+    /// A random plan's parameters cannot be satisfied.
+    Unsatisfiable(String),
+    /// A scenario file could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::UnknownLink { a, b } => {
+                write!(f, "fault names link ({a}, {b}), but no such link exists")
+            }
+            FaultError::UnknownSwitch { node, num_nodes } => {
+                write!(
+                    f,
+                    "fault names switch {node}, but the topology has {num_nodes} switches"
+                )
+            }
+            FaultError::NoSurvivors => write!(f, "every switch failed; nothing survives"),
+            FaultError::Partitioned {
+                alive,
+                reached,
+                isolated,
+            } => write!(
+                f,
+                "surviving network is partitioned: {reached} of {alive} \
+                 surviving switches reachable, {isolated} fully isolated"
+            ),
+            FaultError::Unsatisfiable(msg) => write!(f, "unsatisfiable fault plan: {msg}"),
+            FaultError::Parse(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A degraded topology plus the id maps relating it to the original.
+///
+/// The surviving graph is *compacted*: surviving nodes and links are
+/// renumbered contiguously in increasing original-id order. Because the
+/// renumbering is monotone, every surviving link keeps its `a < b`
+/// endpoint orientation — which is what lets the repair layer map original
+/// channel `2l + d` to compact channel `2·link_map[l] + d` with the same
+/// direction bit `d`.
+#[derive(Debug, Clone)]
+pub struct DegradedTopology {
+    /// The compact surviving graph.
+    pub topology: Topology,
+    /// Original node id → compact id (`None` for dead switches).
+    pub node_map: Vec<Option<NodeId>>,
+    /// Compact node id → original id.
+    pub node_unmap: Vec<NodeId>,
+    /// Original link id → compact id (`None` for dead links).
+    pub link_map: Vec<Option<LinkId>>,
+    /// Original ids of dead links (scripted plus those lost to switch
+    /// faults), in increasing order.
+    pub dead_links: Vec<LinkId>,
+    /// Original ids of dead switches, in increasing order.
+    pub dead_nodes: Vec<NodeId>,
+}
+
+impl Topology {
+    /// Applies every event of `plan` and returns the compact surviving
+    /// topology, or an error describing why nothing routable survives.
+    pub fn degrade(&self, plan: &FaultPlan) -> Result<Topology, FaultError> {
+        self.degrade_detailed(plan).map(|d| d.topology)
+    }
+
+    /// Like [`Topology::degrade`], but also returns the node/link id maps
+    /// the repair layer needs to lift routing structures between the
+    /// original and surviving id spaces.
+    pub fn degrade_detailed(&self, plan: &FaultPlan) -> Result<DegradedTopology, FaultError> {
+        let n = self.num_nodes() as usize;
+        let m = self.num_links() as usize;
+        let mut node_dead = vec![false; n];
+        let mut link_dead = vec![false; m];
+        for ev in plan.events() {
+            match ev.kind {
+                FaultKind::Link { a, b } => {
+                    let l = self
+                        .link_between(a.min(b), a.max(b))
+                        .ok_or(FaultError::UnknownLink { a, b })?;
+                    link_dead[l as usize] = true;
+                }
+                FaultKind::Switch { node } => {
+                    if node >= self.num_nodes() {
+                        return Err(FaultError::UnknownSwitch {
+                            node,
+                            num_nodes: self.num_nodes(),
+                        });
+                    }
+                    node_dead[node as usize] = true;
+                    for &(_, l) in self.neighbors(node) {
+                        link_dead[l as usize] = true;
+                    }
+                }
+            }
+        }
+
+        // Compact monotone renumbering of the survivors.
+        let mut node_map = vec![None; n];
+        let mut node_unmap = Vec::new();
+        for (v, dead) in node_dead.iter().enumerate() {
+            if !dead {
+                node_map[v] = Some(node_unmap.len() as NodeId);
+                node_unmap.push(v as NodeId);
+            }
+        }
+        if node_unmap.is_empty() {
+            return Err(FaultError::NoSurvivors);
+        }
+
+        let mut link_map = vec![None; m];
+        let mut surviving_links = Vec::new();
+        for (l, dead) in link_dead.iter().enumerate() {
+            if !dead {
+                let (a, b) = self.link(l as LinkId);
+                link_map[l] = Some(surviving_links.len() as LinkId);
+                surviving_links.push((
+                    node_map[a as usize].expect("live link endpoint is alive"),
+                    node_map[b as usize].expect("live link endpoint is alive"),
+                ));
+            }
+        }
+
+        let alive = node_unmap.len() as u32;
+        let topology =
+            Topology::new(alive, self.ports(), surviving_links).map_err(|e| match e {
+                TopologyError::Disconnected { reached, .. } => {
+                    let isolated = node_unmap
+                        .iter()
+                        .filter(|&&orig| {
+                            self.neighbors(orig)
+                                .iter()
+                                .all(|&(_, l)| link_dead[l as usize])
+                        })
+                        .count() as u32;
+                    FaultError::Partitioned {
+                        alive,
+                        reached,
+                        isolated,
+                    }
+                }
+                // The original is simple and degrees only shrink, so the only
+                // other reachable failure is a single surviving switch with no
+                // links — which `Topology::new` accepts. Anything else is a bug.
+                other => unreachable!("degrade produced an invalid graph: {other}"),
+            })?;
+
+        Ok(DegradedTopology {
+            topology,
+            node_map,
+            node_unmap,
+            link_map,
+            dead_links: (0..m as u32).filter(|&l| link_dead[l as usize]).collect(),
+            dead_nodes: (0..n as u32).filter(|&v| node_dead[v as usize]).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> Topology {
+        // 0-1, 1-2, 2-3, 0-3, 1-3
+        Topology::new(4, 4, [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]).unwrap()
+    }
+
+    fn link(cycle: u32, a: NodeId, b: NodeId) -> FaultEvent {
+        FaultEvent {
+            cycle,
+            kind: FaultKind::Link { a, b },
+        }
+    }
+
+    fn switch(cycle: u32, node: NodeId) -> FaultEvent {
+        FaultEvent {
+            cycle,
+            kind: FaultKind::Switch { node },
+        }
+    }
+
+    #[test]
+    fn link_fault_filters_one_link() {
+        let t = square_with_diagonal();
+        let d = t
+            .degrade_detailed(&FaultPlan::scripted([link(10, 3, 1)]))
+            .unwrap();
+        assert_eq!(d.topology.num_nodes(), 4);
+        assert_eq!(d.topology.num_links(), 4);
+        assert_eq!(d.dead_links, vec![t.link_between(1, 3).unwrap()]);
+        assert!(d.dead_nodes.is_empty());
+        // Node map is the identity for link-only plans.
+        for v in 0..4 {
+            assert_eq!(d.node_map[v as usize], Some(v));
+        }
+        // Surviving links keep their relative order and orientation.
+        for (l, &mapped) in d.link_map.iter().enumerate() {
+            if let Some(nl) = mapped {
+                let (a, b) = t.link(l as LinkId);
+                assert_eq!(d.topology.link(nl), (a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn switch_fault_removes_node_and_incident_links() {
+        let t = square_with_diagonal();
+        let d = t
+            .degrade_detailed(&FaultPlan::scripted([switch(5, 1)]))
+            .unwrap();
+        // Node 1 had degree 3; survivors 0-3-2 form a path.
+        assert_eq!(d.topology.num_nodes(), 3);
+        assert_eq!(d.topology.num_links(), 2);
+        assert_eq!(d.dead_nodes, vec![1]);
+        assert_eq!(d.node_unmap, vec![0, 2, 3]);
+        assert_eq!(d.node_map, vec![Some(0), None, Some(1), Some(2)]);
+        // Monotone renumbering preserves a < b orientation.
+        for &(a, b) in d.topology.links() {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn partition_is_reported_with_isolation() {
+        // Path 0-1-2-3; killing link (1,2) splits it 2/2.
+        let t = Topology::new(4, 4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let err = t
+            .degrade(&FaultPlan::scripted([link(0, 1, 2)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::Partitioned {
+                alive: 4,
+                reached: 2,
+                isolated: 0,
+            }
+        );
+        // Killing both links of node 1 isolates it — and node 0 with it.
+        let err = t
+            .degrade(&FaultPlan::scripted([link(0, 0, 1), link(0, 1, 2)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::Partitioned {
+                alive: 4,
+                reached: 1,
+                isolated: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_faults_are_rejected() {
+        let t = square_with_diagonal();
+        assert_eq!(
+            t.degrade(&FaultPlan::scripted([link(0, 0, 2)]))
+                .unwrap_err(),
+            FaultError::UnknownLink { a: 0, b: 2 }
+        );
+        assert_eq!(
+            t.degrade(&FaultPlan::scripted([switch(0, 9)])).unwrap_err(),
+            FaultError::UnknownSwitch {
+                node: 9,
+                num_nodes: 4
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_faults_are_idempotent() {
+        let t = square_with_diagonal();
+        let d = t
+            .degrade_detailed(&FaultPlan::scripted([
+                link(1, 1, 3),
+                link(2, 3, 1),
+                switch(3, 2),
+                switch(4, 2),
+            ]))
+            .unwrap();
+        assert_eq!(d.topology.num_nodes(), 3);
+        assert_eq!(d.dead_nodes, vec![2]);
+    }
+
+    #[test]
+    fn up_to_is_cumulative_and_sorted() {
+        let plan = FaultPlan::scripted([link(30, 0, 1), link(10, 1, 2), switch(20, 3)]);
+        assert_eq!(plan.activation_cycles(), vec![10, 20, 30]);
+        assert_eq!(plan.up_to(20).events().len(), 2);
+        assert_eq!(plan.up_to(9).events().len(), 0);
+        assert_eq!(plan.up_to(u32::MAX), plan);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        let t = crate::gen::random_irregular(crate::gen::IrregularParams::paper(32, 4), 7).unwrap();
+        let a = FaultPlan::random(&t, 3, 1, (100, 500), 11).unwrap();
+        let b = FaultPlan::random(&t, 3, 1, (100, 500), 11).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 4);
+        for ev in a.events() {
+            assert!((100..=500).contains(&ev.cycle));
+        }
+        // Validity: every event names a real link/switch.
+        t.degrade_detailed(&a).ok();
+        assert!(FaultPlan::random(&t, 10_000, 0, (0, 1), 1).is_err());
+        assert!(FaultPlan::random(&t, 0, 32, (0, 1), 1).is_err());
+    }
+
+    #[test]
+    fn scenario_json_roundtrip() {
+        let plan = FaultPlan::scripted([link(100, 2, 7), switch(300, 5)]);
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(plan, back);
+        assert!(FaultPlan::from_json("{").is_err());
+        assert!(FaultPlan::from_json("{\"events\":[{\"cycle\":1}]}").is_err());
+        let both = "{\"events\":[{\"cycle\":1,\"link\":[0,1],\"switch\":2}]}";
+        assert!(FaultPlan::from_json(both).is_err());
+    }
+
+    #[test]
+    fn all_switches_dead_is_no_survivors() {
+        let t = Topology::new(2, 4, [(0, 1)]).unwrap();
+        let err = t
+            .degrade(&FaultPlan::scripted([switch(0, 0), switch(0, 1)]))
+            .unwrap_err();
+        assert_eq!(err, FaultError::NoSurvivors);
+    }
+}

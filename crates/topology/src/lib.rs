@@ -27,6 +27,7 @@ mod channel;
 mod comm_graph;
 mod coord_tree;
 mod error;
+mod fault;
 mod graph;
 mod io;
 
@@ -37,5 +38,6 @@ pub use channel::{ChannelId, ChannelTable};
 pub use comm_graph::{CommGraph, Direction, LinkKind, Quadrant};
 pub use coord_tree::{CoordinatedTree, PreorderPolicy, RootPolicy};
 pub use error::TopologyError;
+pub use fault::{DegradedTopology, FaultError, FaultEvent, FaultKind, FaultPlan};
 pub use graph::{LinkId, NodeId, Topology};
 pub use io::{topology_from_json, topology_to_json};

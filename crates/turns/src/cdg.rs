@@ -44,6 +44,38 @@ impl ChannelDepGraph {
         ChannelDepGraph { offsets, succ }
     }
 
+    /// The edge-wise union of two dependency graphs over the same channel
+    /// set — the UPR reconfiguration-safety object: a live transition from
+    /// the routing behind `self` to the one behind `other` is deadlock-free
+    /// iff this union is acyclic (packets routed under either function can
+    /// coexist during the drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two graphs have different channel counts.
+    pub fn union(&self, other: &ChannelDepGraph) -> ChannelDepGraph {
+        assert_eq!(
+            self.num_channels(),
+            other.num_channels(),
+            "dependency union needs identical channel sets"
+        );
+        let n = self.num_channels();
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        offsets.push(0u32);
+        let mut succ = Vec::with_capacity(self.num_edges().max(other.num_edges()));
+        let mut merged: Vec<ChannelId> = Vec::new();
+        for c in 0..n {
+            merged.clear();
+            merged.extend_from_slice(self.successors(c));
+            merged.extend_from_slice(other.successors(c));
+            merged.sort_unstable();
+            merged.dedup();
+            succ.extend_from_slice(&merged);
+            offsets.push(succ.len() as u32);
+        }
+        ChannelDepGraph { offsets, succ }
+    }
+
     /// Number of channel nodes.
     pub fn num_channels(&self) -> u32 {
         (self.offsets.len() - 1) as u32
@@ -233,6 +265,37 @@ mod tests {
             .unwrap();
         assert!(!dep.has_path(leaf_up, other_down));
         assert!(dep.has_path(leaf_up, leaf_up));
+    }
+
+    #[test]
+    fn union_merges_edges_and_preserves_cycles() {
+        let topo = gen::ring(4).unwrap();
+        let cg = cg_of(&topo);
+        let open = ChannelDepGraph::build(&cg, &TurnTable::all_allowed(&cg));
+        let closed = ChannelDepGraph::build(&cg, &TurnTable::from_channel_rule(&cg, |_, _| false));
+        assert_eq!(closed.num_edges(), 0);
+        assert!(closed.is_acyclic());
+        // closed ∪ open == open, edge for edge.
+        let u = closed.union(&open);
+        assert_eq!(u.num_edges(), open.num_edges());
+        assert!(!u.is_acyclic());
+        for c in 0..u.num_channels() {
+            let mut expect = open.successors(c).to_vec();
+            expect.sort_unstable();
+            assert_eq!(u.successors(c), expect);
+        }
+        // Union with itself is idempotent.
+        let uu = open.union(&open);
+        assert_eq!(uu.num_edges(), open.num_edges());
+        // Two acyclic halves can still cycle jointly: split the ring's
+        // dependency edges between two tables.
+        let half_a = TurnTable::from_channel_rule(&cg, |i, _| i % 2 == 0);
+        let half_b = TurnTable::from_channel_rule(&cg, |i, _| i % 2 == 1);
+        let da = ChannelDepGraph::build(&cg, &half_a);
+        let db = ChannelDepGraph::build(&cg, &half_b);
+        let joint = da.union(&db);
+        assert_eq!(joint.num_edges(), open.num_edges());
+        assert!(!joint.is_acyclic());
     }
 
     #[test]

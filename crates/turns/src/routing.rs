@@ -59,6 +59,34 @@ impl RoutingTables {
     /// Builds the tables and verifies full connectivity: every ordered pair
     /// of distinct switches must be reachable from injection.
     pub fn build(cg: &CommGraph, table: &TurnTable) -> Result<RoutingTables, RoutingError> {
+        Self::build_inner(cg, table, None, None)
+    }
+
+    /// Like [`RoutingTables::build`], but over the surviving sub-network of
+    /// a degraded fabric: channels flagged in `dead_channel` never appear
+    /// in any candidate mask (including the injection slot, which ignores
+    /// the turn table), and nodes flagged dead in `alive_node` are skipped
+    /// both as destinations and as route hops. Connectivity is only
+    /// required between pairs of *alive* switches.
+    pub fn build_masked(
+        cg: &CommGraph,
+        table: &TurnTable,
+        dead_channel: &[bool],
+        alive_node: &[bool],
+    ) -> Result<RoutingTables, RoutingError> {
+        assert_eq!(dead_channel.len(), cg.num_channels() as usize);
+        assert_eq!(alive_node.len(), cg.num_nodes() as usize);
+        Self::build_inner(cg, table, Some(dead_channel), Some(alive_node))
+    }
+
+    fn build_inner(
+        cg: &CommGraph,
+        table: &TurnTable,
+        dead_channel: Option<&[bool]>,
+        alive_node: Option<&[bool]>,
+    ) -> Result<RoutingTables, RoutingError> {
+        let ch_dead = |c: ChannelId| dead_channel.is_some_and(|d| d[c as usize]);
+        let node_alive = |v: NodeId| alive_node.is_none_or(|a| a[v as usize]);
         let n = cg.num_nodes();
         let nch = cg.num_channels();
         let ch = cg.channels();
@@ -92,26 +120,32 @@ impl RoutingTables {
         let mut queue = VecDeque::with_capacity(nch as usize);
 
         for t in 0..n {
+            if !node_alive(t) {
+                continue; // dead destinations keep MAX costs and zero masks
+            }
             let base = t as usize * nch as usize;
             queue.clear();
             // Seeds: channels whose sink is the destination cost exactly 1.
             for &c in ch.inputs(t) {
-                cost[base + c as usize] = 1;
-                queue.push_back(c);
+                if !ch_dead(c) {
+                    cost[base + c as usize] = 1;
+                    queue.push_back(c);
+                }
             }
             while let Some(c) = queue.pop_front() {
                 let d = cost[base + c as usize];
                 for &p in &pred[toff[c as usize] as usize..toff[c as usize + 1] as usize] {
-                    if cost[base + p as usize] == u16::MAX {
+                    if !ch_dead(p) && cost[base + p as usize] == u16::MAX {
                         cost[base + p as usize] = d + 1;
                         queue.push_back(p);
                     }
                 }
             }
 
-            // Minimal-output port masks.
+            // Minimal-output port masks. Dead channels never acquire a
+            // finite cost, so they drop out of every mask below.
             for v in 0..n {
-                if v == t {
+                if v == t || !node_alive(v) {
                     continue;
                 }
                 let outs = ch.outputs(v);
@@ -380,6 +414,98 @@ mod tests {
             RoutingTables::build(&cg, &hard),
             Err(RoutingError::Disconnected { .. })
         ));
+    }
+
+    #[test]
+    fn masked_build_with_no_faults_matches_plain_build() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), 3).unwrap();
+        let cg = cg_of(&topo);
+        let table = TurnTable::all_allowed(&cg);
+        let plain = RoutingTables::build(&cg, &table).unwrap();
+        let dead = vec![false; cg.num_channels() as usize];
+        let alive = vec![true; cg.num_nodes() as usize];
+        let masked = RoutingTables::build_masked(&cg, &table, &dead, &alive).unwrap();
+        for t in 0..topo.num_nodes() {
+            for c in 0..cg.num_channels() {
+                assert_eq!(plain.cost(t, c), masked.cost(t, c));
+            }
+            for v in 0..topo.num_nodes() {
+                for slot in 0..plain.slots() {
+                    assert_eq!(plain.candidates(t, v, slot), masked.candidates(t, v, slot));
+                    assert_eq!(
+                        plain.candidates_any(t, v, slot),
+                        masked.candidates_any(t, v, slot)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_build_excludes_dead_channels_everywhere() {
+        // Square 0-1-2-3-0 with a diagonal 1-3; kill the diagonal.
+        let topo =
+            irnet_topology::Topology::new(4, 4, [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]).unwrap();
+        let cg = cg_of(&topo);
+        let ch = cg.channels();
+        let table = TurnTable::all_allowed(&cg);
+        let l = topo.link_between(1, 3).unwrap();
+        let mut dead = vec![false; cg.num_channels() as usize];
+        dead[2 * l as usize] = true;
+        dead[2 * l as usize + 1] = true;
+        let alive = vec![true; 4];
+        let rt = RoutingTables::build_masked(&cg, &table, &dead, &alive).unwrap();
+        // No candidate mask — injection or transit, minimal or any — may
+        // contain a dead output port.
+        for t in 0..4u32 {
+            for v in 0..4u32 {
+                if t == v {
+                    continue;
+                }
+                for slot in 0..rt.slots() {
+                    let any = rt.candidates_any(t, v, slot);
+                    for (p, &c) in ch.outputs(v).iter().enumerate() {
+                        if dead[c as usize] {
+                            assert_eq!((any >> p) & 1, 0, "dead channel {c} in mask");
+                        }
+                    }
+                }
+            }
+        }
+        // 1 -> 3 must now detour through 0 or 2: two hops instead of one.
+        assert_eq!(rt.route_len(&cg, 1, 3), 2);
+        // Unmasked, the diagonal is a one-hop route.
+        let free = RoutingTables::build(&cg, &table).unwrap();
+        assert_eq!(free.route_len(&cg, 1, 3), 1);
+    }
+
+    #[test]
+    fn masked_build_skips_dead_nodes() {
+        // Path 0-1-2 plus 0-2 chord: node 1 dies, 0<->2 still routable.
+        let topo = irnet_topology::Topology::new(3, 4, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let cg = cg_of(&topo);
+        let table = TurnTable::all_allowed(&cg);
+        let mut dead = vec![false; cg.num_channels() as usize];
+        for l in [
+            topo.link_between(0, 1).unwrap(),
+            topo.link_between(1, 2).unwrap(),
+        ] {
+            dead[2 * l as usize] = true;
+            dead[2 * l as usize + 1] = true;
+        }
+        let alive = vec![true, false, true];
+        let rt = RoutingTables::build_masked(&cg, &table, &dead, &alive).unwrap();
+        assert_eq!(rt.route_len(&cg, 0, 2), 1);
+        // Dead destination: no masks at all.
+        assert_eq!(rt.candidates(1, 0, INJECTION_SLOT), 0);
+        assert_eq!(rt.candidates_any(1, 0, INJECTION_SLOT), 0);
+        // Disconnecting the alive pair is still an error.
+        let mut all_dead = vec![true; cg.num_channels() as usize];
+        let chord = topo.link_between(0, 2).unwrap();
+        all_dead[2 * chord as usize] = false;
+        // Reverse of the chord stays dead: 2 cannot reach 0.
+        let err = RoutingTables::build_masked(&cg, &table, &all_dead, &alive).unwrap_err();
+        assert!(matches!(err, RoutingError::Disconnected { .. }));
     }
 
     #[test]

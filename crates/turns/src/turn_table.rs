@@ -63,6 +63,40 @@ impl TurnTable {
         TurnTable { offsets, masks }
     }
 
+    /// Builds a table with exact per-channel-pair control: the turn
+    /// `in_ch → out_ch` is allowed iff `rule(in_ch, out_ch)` holds.
+    ///
+    /// Unlike [`TurnTable::from_direction_rule`] there is no
+    /// same-direction override — the rule is consulted for *every*
+    /// non-180° pair. This is what lets a routing function computed on a
+    /// degraded topology be lifted channel-for-channel into the original
+    /// id space (where dead channels must stay fully prohibited).
+    /// 180° turns remain always disallowed.
+    pub fn from_channel_rule(
+        cg: &CommGraph,
+        rule: impl Fn(ChannelId, ChannelId) -> bool,
+    ) -> TurnTable {
+        let ch = cg.channels();
+        let n = cg.num_nodes();
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        offsets.push(0u32);
+        let mut masks = Vec::new();
+        for v in 0..n {
+            let outputs = ch.outputs(v);
+            for &in_ch in ch.inputs(v) {
+                let mut mask = 0u16;
+                for (p, &out_ch) in outputs.iter().enumerate() {
+                    if out_ch != ch.reverse(in_ch) && rule(in_ch, out_ch) {
+                        mask |= 1 << p;
+                    }
+                }
+                masks.push(mask);
+            }
+            offsets.push(masks.len() as u32);
+        }
+        TurnTable { offsets, masks }
+    }
+
     /// Allowed-output mask for a packet arriving at `v` on input port `q`.
     #[inline]
     pub fn mask(&self, v: NodeId, in_port: u8) -> u16 {
@@ -304,6 +338,32 @@ mod tests {
             total > 0,
             "up*/down* never produced an opposite prohibited pair"
         );
+    }
+
+    #[test]
+    fn channel_rule_has_no_same_direction_override() {
+        let cg = sample_cg();
+        let ch = cg.channels();
+        // A channel rule that denies everything really denies everything
+        // (from_direction_rule would keep same-direction transitions).
+        let closed = TurnTable::from_channel_rule(&cg, |_, _| false);
+        assert_eq!(closed.num_allowed_turns(), 0);
+        // An always-true channel rule matches all_allowed exactly.
+        let open = TurnTable::from_channel_rule(&cg, |_, _| true);
+        assert_eq!(open, TurnTable::all_allowed(&cg));
+        // Per-pair control: prohibit exactly one pair.
+        let v = (0..cg.num_nodes())
+            .find(|&v| ch.inputs(v).len() >= 2)
+            .unwrap();
+        let in_ch = ch.inputs(v)[0];
+        let out_ch = *ch
+            .outputs(v)
+            .iter()
+            .find(|&&c| c != ch.reverse(in_ch))
+            .unwrap();
+        let tt = TurnTable::from_channel_rule(&cg, |i, o| (i, o) != (in_ch, out_ch));
+        assert!(!tt.is_allowed(&cg, in_ch, out_ch));
+        assert_eq!(tt.num_prohibited_turns(&cg), 1);
     }
 
     #[test]

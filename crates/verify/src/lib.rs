@@ -31,6 +31,8 @@
 
 pub mod certificate;
 pub mod lints;
+pub mod reconfig;
 
 pub use certificate::{certify, certify_dep, recheck, Certificate, RecheckError, Verdict};
 pub use lints::{classify_turn, lint, Finding, LintCode, LintReport, Severity};
+pub use reconfig::{certify_transition, EpochCertificates};

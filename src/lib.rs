@@ -52,23 +52,25 @@ pub use irnet_verify as verify;
 /// The most common imports in one place.
 pub mod prelude {
     pub use irnet_baselines::{lturn, updown, BaselineRouting};
-    pub use irnet_core::{DownUp, DownUpRouting};
+    pub use irnet_core::{plan_epochs, repair_epoch, DownUp, DownUpRouting, ReconfigEpoch};
     pub use irnet_metrics::paper::PaperMetrics;
     pub use irnet_metrics::sweep;
     pub use irnet_metrics::{Algo, Instance};
     pub use irnet_sim::{
-        ArrivalProcess, EngineCore, InjectionSampling, RouteChoice, SimConfig, SimStats, Simulator,
-        TrafficPattern,
+        ArrivalProcess, EngineCore, FaultEpoch, InjectionSampling, RouteChoice, SimConfig,
+        SimStats, Simulator, TrafficPattern,
     };
     pub use irnet_topology::analysis;
     pub use irnet_topology::{
-        gen, CommGraph, CoordinatedTree, Direction, PreorderPolicy, Topology,
+        gen, CommGraph, CoordinatedTree, Direction, FaultEvent, FaultKind, FaultPlan,
+        PreorderPolicy, Topology,
     };
     pub use irnet_turns::{
         adaptivity, verify_routing, AdaptivityStats, ChannelDepGraph, RoutingTables, TurnTable,
         VerifyReport,
     };
     pub use irnet_verify::{
-        certify, lint, recheck, Certificate, Finding, LintCode, LintReport, Severity, Verdict,
+        certify, certify_transition, lint, recheck, Certificate, EpochCertificates, Finding,
+        LintCode, LintReport, Severity, Verdict,
     };
 }
