@@ -19,7 +19,9 @@ options:
   --rates r1,r2,...        offered-load ladder (flits/node/clock)
   --packet-len N           flits per packet
   --warmup N --measure N   simulation windows
-  --threads N              worker threads
+  --threads N              worker threads (default: all cores)
+  --chunk N                tasks claimed per steal (default: auto)
+  --progress               grid progress (done/total, elapsed, ETA) on stderr
   --seed N                 base topology seed
   --out DIR                output directory (default results)";
 

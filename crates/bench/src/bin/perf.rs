@@ -1,33 +1,44 @@
 //! `perf` — the simulator-core performance harness behind `BENCH_sim.json`.
 //!
 //! Measures wall-clock cycles/second and flit-hops/second of the wormhole
-//! simulator at low / mid / saturation offered load on 32-, 128- and
-//! 512-switch fabrics, for both scheduling cores (the occupancy-driven
-//! active-set core and the dense reference scan), and writes a
-//! machine-readable report so later PRs can prove perf non-regression.
+//! simulator at low / mid / saturation offered load on fabrics from 32 up
+//! to 4096 switches, for both scheduling cores (the occupancy-driven
+//! active-set core and the dense reference scan), plus the construction
+//! cost (topology generation and DOWN/UP routing construction) of each
+//! fabric, and writes a machine-readable report so later PRs can prove
+//! perf non-regression.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p irnet-bench --bin perf -- [--quick] \
-//!     [--out BENCH_sim.json] [--seed 7] [--reps 2]
+//!     [--sizes 32,1024] [--out BENCH_sim.json] [--seed 7] [--reps 2]
 //! ```
 //!
 //! `--quick` restricts the sweep to the 32-switch fabric (the CI
-//! `perf-smoke` job); the default sweep covers 32/128/512 switches.
-//! Timing is reported, never asserted — CI fails only on panic or
-//! invalid JSON.
+//! `perf-smoke` job); the default sweep covers 32/128/512/1024/2048/4096
+//! switches. `--sizes` overrides either preset with an explicit
+//! comma-separated list of switch counts. Timing is reported, never
+//! asserted — CI fails only on panic or invalid JSON.
 //!
-//! ## `BENCH_sim.json` schema (`schema_version` 1)
+//! ## `BENCH_sim.json` schema (`schema_version` 2)
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "bench": "sim_core",
 //!   "quick": false,
 //!   "packet_len": 32,
 //!   "seed": 7,
 //!   "reps": 2,
+//!   "construction": [
+//!     {
+//!       "switches": 128, "ports": 8, "channels": 1004,
+//!       "topology_seconds": 0.0008,
+//!       "construct_seconds": 0.0231,
+//!       "construct_micros_per_switch": 180.5
+//!     }
+//!   ],
 //!   "results": [
 //!     {
 //!       "switches": 128, "ports": 8,
@@ -52,6 +63,12 @@
 //! }
 //! ```
 //!
+//! * `construction` holds one entry per fabric: `topology_seconds` is the
+//!   random-irregular generation time, `construct_seconds` the DOWN/UP
+//!   routing construction time (Phases 1–3: spanning tree, prefix
+//!   restrictions, release pass), each the fastest of `reps` runs, and
+//!   `construct_micros_per_switch` = `construct_seconds / switches` in µs —
+//!   the normalized metric regression runs track across sizes.
 //! * `results` holds one entry per `(fabric, load, core)`; `wall_seconds`
 //!   is the fastest of `reps` identical runs (same seed, so identical
 //!   work), which filters scheduler noise.
@@ -59,10 +76,15 @@
 //!   measurement window (`sum(channel_flits)`).
 //! * `speedups` pairs the two cores per `(fabric, load)`:
 //!   `speedup = active_cycles_per_sec / dense_cycles_per_sec`.
+//!
+//! Schema v2 is a superset of v1: it adds the `construction` array, so v1
+//! consumers that only read `results`/`speedups` keep working.
 
 use irnet_bench::fixtures;
 use irnet_bench::parse_args;
+use irnet_core::DownUp;
 use irnet_sim::{EngineCore, SimConfig, SimStats, Simulator};
+use irnet_topology::gen;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -70,6 +92,7 @@ const USAGE: &str = "perf — simulator-core performance harness (BENCH_sim.json
 
 options:
   --quick        32-switch fabric only (CI-sized)
+  --sizes LIST   comma-separated switch counts (overrides --quick/default)
   --out PATH     output path (default BENCH_sim.json)
   --seed N       topology + simulation seed (default 7)
   --reps N       timed repetitions per point, fastest wins (default 2)
@@ -106,6 +129,18 @@ struct Speedup {
     speedup: f64,
 }
 
+/// Construction cost of one fabric (topology generation and DOWN/UP
+/// routing construction timed separately; fastest of `reps` runs).
+#[derive(Serialize)]
+struct ConstructionResult {
+    switches: u32,
+    ports: u32,
+    channels: u32,
+    topology_seconds: f64,
+    construct_seconds: f64,
+    construct_micros_per_switch: f64,
+}
+
 /// The whole `BENCH_sim.json` document.
 #[derive(Serialize)]
 struct BenchReport {
@@ -115,6 +150,7 @@ struct BenchReport {
     packet_len: u32,
     seed: u64,
     reps: u32,
+    construction: Vec<ConstructionResult>,
     results: Vec<CoreResult>,
     speedups: Vec<Speedup>,
 }
@@ -136,8 +172,49 @@ fn measure_cycles(switches: u32) -> u32 {
     match switches {
         0..=63 => 16_000,
         64..=255 => 8_000,
-        _ => 4_000,
+        256..=1023 => 4_000,
+        _ => 2_000,
     }
+}
+
+/// Builds the fabric for `switches`, timing topology generation and
+/// DOWN/UP construction separately (fastest of `reps` attempts each).
+fn build_fabric(
+    switches: u32,
+    ports: u32,
+    seed: u64,
+    reps: u32,
+) -> (fixtures::Fabric, ConstructionResult) {
+    let params = gen::IrregularParams::paper(switches, ports);
+    let mut topo_best = f64::INFINITY;
+    let mut topo = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let t = gen::random_irregular(params, seed).expect("topology generation failed");
+        topo_best = topo_best.min(start.elapsed().as_secs_f64());
+        topo = Some(t);
+    }
+    let topo = topo.expect("at least one rep");
+    let mut construct_best = f64::INFINITY;
+    let mut routing = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = DownUp::new()
+            .construct(&topo)
+            .expect("routing construction failed");
+        construct_best = construct_best.min(start.elapsed().as_secs_f64());
+        routing = Some(r);
+    }
+    let routing = routing.expect("at least one rep");
+    let stats = ConstructionResult {
+        switches,
+        ports,
+        channels: routing.comm_graph().num_channels(),
+        topology_seconds: topo_best,
+        construct_seconds: construct_best,
+        construct_micros_per_switch: construct_best * 1e6 / f64::from(switches),
+    };
+    (fixtures::Fabric { topo, routing }, stats)
 }
 
 fn time_run(fabric: &fixtures::Fabric, cfg: SimConfig, seed: u64, reps: u32) -> (f64, SimStats) {
@@ -165,17 +242,41 @@ fn main() {
     let seed: u64 = cli.opt_parse("seed", 7);
     let reps: u32 = cli.opt_parse("reps", 2);
 
-    let sizes: &[(u32, u32)] = if quick {
-        &[(32, 8)]
+    const PORTS: u32 = 8;
+    let sizes: Vec<(u32, u32)> = if let Some(list) = cli.opt("sizes") {
+        list.split(',')
+            .map(|s| {
+                let n = s
+                    .trim()
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| panic!("--sizes: `{s}` is not a switch count"));
+                (n, PORTS)
+            })
+            .collect()
+    } else if quick {
+        vec![(32, PORTS)]
     } else {
-        &[(32, 8), (128, 8), (512, 8)]
+        vec![
+            (32, PORTS),
+            (128, PORTS),
+            (512, PORTS),
+            (1024, PORTS),
+            (2048, PORTS),
+            (4096, PORTS),
+        ]
     };
 
+    let mut construction = Vec::new();
     let mut results = Vec::new();
     let mut speedups = Vec::new();
-    for &(switches, ports) in sizes {
+    for &(switches, ports) in &sizes {
         eprintln!("building {switches}-switch/{ports}-port fabric...");
-        let fabric = fixtures::downup_fabric(switches, ports, seed);
+        let (fabric, built) = build_fabric(switches, ports, seed, reps);
+        eprintln!(
+            "  topology {:>9.4}s  construct {:>9.4}s  ({:.1} us/switch)",
+            built.topology_seconds, built.construct_seconds, built.construct_micros_per_switch,
+        );
+        construction.push(built);
         for (load, rate) in LOADS {
             let cfg = SimConfig {
                 packet_len: PACKET_LEN,
@@ -193,7 +294,7 @@ fn main() {
                     engine_core: core,
                     ..cfg
                 };
-                let (wall, stats) = time_run(fabric, run_cfg, seed, reps);
+                let (wall, stats) = time_run(&fabric, run_cfg, seed, reps);
                 let total_cycles = cfg.total_cycles() as u64;
                 let flit_hops: u64 = stats.channel_flits.iter().sum();
                 let cycles_per_sec = total_cycles as f64 / wall;
@@ -234,6 +335,12 @@ fn main() {
         }
     }
 
+    for c in &construction {
+        println!(
+            "{:>4} switches  construct {:>9.4}s  ({:.1} us/switch)",
+            c.switches, c.construct_seconds, c.construct_micros_per_switch
+        );
+    }
     for s in &speedups {
         println!(
             "{:>4} switches  {:>10} load  active/dense speedup: {:.2}x",
@@ -242,12 +349,13 @@ fn main() {
     }
 
     let report = BenchReport {
-        schema_version: 1,
+        schema_version: 2,
         bench: "sim_core".to_string(),
         quick,
         packet_len: PACKET_LEN,
         seed,
         reps,
+        construction,
         results,
         speedups,
     };

@@ -11,6 +11,10 @@
 //! Results are matched by `(switches, ports, load, core)`; for each pair
 //! the relative change in `cycles_per_sec` is printed, and any drop larger
 //! than the threshold (percent, default 20) is called out as a WARNING.
+//! When both reports carry a `construction` array (schema v2), the
+//! construction times are diffed the same way, matched by
+//! `(switches, ports)`; a v1 report (no such array) still compares
+//! cleanly against a v2 one — the construction diff is just skipped.
 //!
 //! The comparator is **report-only**: it always exits 0 on a successful
 //! comparison, so noisy CI runners cannot fail the build — the warnings are
@@ -35,7 +39,14 @@ struct Entry {
     deadlocked: bool,
 }
 
-fn load_entries(path: &str) -> Result<Vec<Entry>, String> {
+/// One comparable construction timing (schema v2+), keyed by
+/// `(switches, ports)`.
+struct BuildEntry {
+    key: (u64, u64),
+    construct_seconds: f64,
+}
+
+fn load_entries(path: &str) -> Result<(Vec<Entry>, Vec<BuildEntry>), String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc: Value =
         serde_json::from_str(&raw).map_err(|e| format!("invalid JSON in {path}: {e}"))?;
@@ -57,7 +68,7 @@ fn load_entries(path: &str) -> Result<Vec<Entry>, String> {
             _ => Err(format!("{path}: result entry missing string `{k}`")),
         }
     };
-    results
+    let entries: Vec<Entry> = results
         .iter()
         .map(|r| {
             Ok(Entry {
@@ -71,7 +82,22 @@ fn load_entries(path: &str) -> Result<Vec<Entry>, String> {
                 deadlocked: matches!(r.get("deadlocked"), Some(Value::Bool(true))),
             })
         })
-        .collect()
+        .collect::<Result<_, String>>()?;
+    // Schema v1 reports have no `construction` array; treat it as empty so
+    // old and new reports of different schema versions still compare.
+    let builds: Vec<BuildEntry> = match doc.get("construction").and_then(Value::as_seq) {
+        Some(seq) => seq
+            .iter()
+            .map(|r| {
+                Ok(BuildEntry {
+                    key: (num(r, "switches")? as u64, num(r, "ports")? as u64),
+                    construct_seconds: num(r, "construct_seconds")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        None => Vec::new(),
+    };
+    Ok((entries, builds))
 }
 
 fn run() -> Result<(), String> {
@@ -86,8 +112,8 @@ fn run() -> Result<(), String> {
         .to_string();
     let threshold: f64 = cli.opt_parse("threshold", 20.0);
 
-    let old = load_entries(&old_path)?;
-    let new = load_entries(&new_path)?;
+    let (old, old_builds) = load_entries(&old_path)?;
+    let (new, new_builds) = load_entries(&new_path)?;
 
     let mut compared = 0u32;
     let mut warnings = 0u32;
@@ -131,6 +157,39 @@ fn run() -> Result<(), String> {
     }
     if unmatched > 0 {
         println!("({unmatched} new result(s) had no match in the old report — skipped)");
+    }
+    // Construction-time diff (schema v2+). Slower construction is a
+    // regression, so here the warning fires on *increases*.
+    if !old_builds.is_empty() && !new_builds.is_empty() {
+        println!("switches ports   old construct   new construct   change");
+        for b in &new_builds {
+            let Some(prev) = old_builds.iter().find(|o| o.key == b.key) else {
+                continue;
+            };
+            compared += 1;
+            let change = if prev.construct_seconds > 0.0 {
+                100.0 * (b.construct_seconds - prev.construct_seconds) / prev.construct_seconds
+            } else {
+                0.0
+            };
+            let mark = if change > threshold {
+                "  << WARNING"
+            } else {
+                ""
+            };
+            println!(
+                "{:>8} {:>5} {:>14.4}s {:>14.4}s {:>+7.1}%{mark}",
+                b.key.0, b.key.1, prev.construct_seconds, b.construct_seconds, change
+            );
+            if change > threshold {
+                warnings += 1;
+                eprintln!(
+                    "WARNING: {}sw/{}p: construction time grew {change:.1}% \
+                     ({:.4}s -> {:.4}s, threshold {threshold}%)",
+                    b.key.0, b.key.1, prev.construct_seconds, b.construct_seconds
+                );
+            }
+        }
     }
     println!(
         "perf_compare: {compared} point(s) compared, {warnings} warning(s) \

@@ -1,14 +1,25 @@
 //! The sample × tree-policy × algorithm × load grid runner behind every
 //! reproduction binary.
+//!
+//! Work is sharded at `(cell, sample, load point)` granularity through a
+//! work-stealing pool: a chunked atomic cursor hands task ranges to worker
+//! shards, each shard accumulates results in a private buffer, and the
+//! buffers are merged by task index at the end. Every point derives its
+//! simulation seed purely from `(cell, sample, rate index)`, so the output
+//! is bit-exact regardless of thread count, chunk size, or execution order.
+//! A per-run construction cache builds each topology once per
+//! `(sample, ports)` and each routing instance once per `(cell, sample)`,
+//! shared via `Arc` across that sample's load points (see DESIGN.md §13).
 
 use crate::args::Cli;
 use irnet_metrics::paper::PaperMetrics;
-use irnet_metrics::sweep::{self, SweepCurve};
-use irnet_metrics::Algo;
+use irnet_metrics::sweep::{self, SweepCurve, SweepPoint};
+use irnet_metrics::{Algo, Instance};
 use irnet_sim::SimConfig;
-use irnet_topology::{gen, PreorderPolicy};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use irnet_topology::{gen, PreorderPolicy, Topology};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Full experiment description.
 #[derive(Debug, Clone)]
@@ -34,7 +45,22 @@ pub struct ExperimentConfig {
     /// Base seed for simulation randomness.
     pub sim_seed: u64,
     /// Worker threads for the grid (each simulation stays single-threaded).
+    /// Defaults to every available core ([`default_threads`]); override
+    /// with `--threads N`. The output is bit-exact for any value.
     pub threads: usize,
+    /// Tasks handed to a shard per steal from the shared cursor; `0` picks
+    /// a heuristic from the task count. Any value yields identical output.
+    pub chunk: usize,
+    /// Emit completed/total/elapsed/ETA progress lines to stderr
+    /// (`--progress`).
+    pub progress: bool,
+}
+
+/// The default grid worker count: one per available core, so `--full`
+/// reproduction runs saturate the machine out of the box. Falls back to 1
+/// when the parallelism query fails (e.g. restricted sandboxes).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 impl ExperimentConfig {
@@ -55,7 +81,9 @@ impl ExperimentConfig {
             },
             topo_seed: 1_000,
             sim_seed: 42,
-            threads: 1,
+            threads: default_threads(),
+            chunk: 0,
+            progress: false,
         }
     }
 
@@ -72,7 +100,9 @@ impl ExperimentConfig {
             sim: SimConfig::default(),
             topo_seed: 1_000,
             sim_seed: 42,
-            threads: 1,
+            threads: default_threads(),
+            chunk: 0,
+            progress: false,
         }
     }
 
@@ -80,7 +110,8 @@ impl ExperimentConfig {
     /// preset (default is `--quick`), and individual values can be
     /// overridden with `--switches`, `--ports 4,8`, `--samples`,
     /// `--rates 0.01,0.05`, `--packet-len`, `--warmup`, `--measure`,
-    /// `--threads`, `--seed`.
+    /// `--threads` (default: all cores), `--chunk`, `--seed`; `--progress`
+    /// streams completion/ETA lines to stderr.
     pub fn from_cli(cli: &Cli) -> ExperimentConfig {
         let mut cfg = if cli.flag("full") {
             ExperimentConfig::full()
@@ -98,6 +129,8 @@ impl ExperimentConfig {
         cfg.sim.virtual_channels = cli.opt_parse("vcs", cfg.sim.virtual_channels);
         cfg.topo_seed = cli.opt_parse("seed", cfg.topo_seed);
         cfg.threads = cli.opt_parse("threads", cfg.threads).max(1);
+        cfg.chunk = cli.opt_parse("chunk", cfg.chunk);
+        cfg.progress = cfg.progress || cli.flag("progress");
         if let Some(raw) = cli.opt("policies") {
             cfg.policies = raw
                 .split(',')
@@ -179,14 +212,189 @@ impl GridResults {
     }
 }
 
-/// Runs the whole grid, distributing (cell × sample) sweeps over
-/// `cfg.threads` workers. Deterministic regardless of thread count.
-pub fn run_grid(cfg: &ExperimentConfig) -> GridResults {
-    struct Task {
-        cell: usize,
+/// A grid run that could not be aggregated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// A `(cell, sample)` pair never produced a complete sweep curve — some
+    /// of its load points were never reported by any shard (e.g. a worker
+    /// thread died before merging its buffer).
+    MissingCurve {
+        /// The grid cell the incomplete curve belongs to.
         key: CellKey,
+        /// The topology sample index that never completed.
         sample: u32,
+        /// Load points of this curve that were completed before the loss.
+        completed_points: usize,
+        /// Load points the curve needs in total.
+        expected_points: usize,
+    },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::MissingCurve {
+                key,
+                sample,
+                completed_points,
+                expected_points,
+            } => write!(
+                f,
+                "grid cell (ports={}, policy={:?}, algo={}) sample {sample} never produced a \
+                 complete sweep curve ({completed_points}/{expected_points} load points \
+                 reported) — a worker shard likely died before merging its results",
+                key.ports, key.policy, key.algo
+            ),
+        }
     }
+}
+
+impl std::error::Error for GridError {}
+
+/// Counters from one grid run, for observability and cache tests.
+#[derive(Debug, Clone, Copy)]
+pub struct GridStats {
+    /// Load points simulated (`cells × samples × rates`).
+    pub points_run: usize,
+    /// Topologies generated — exactly one per `(sample, ports)` pair.
+    pub topologies_built: usize,
+    /// Routing instances constructed — exactly one per `(cell, sample)`.
+    pub instances_built: usize,
+    /// Wall-clock duration of the whole grid.
+    pub wall_seconds: f64,
+}
+
+/// Per-run construction cache: one topology per `(sample, ports)` and one
+/// routing [`Instance`] per `(cell, sample)`, each built exactly once on
+/// first use (`OnceLock` serializes racing shards) and shared via `Arc`
+/// across every load point of that sample.
+struct ConstructionCache<'a> {
+    cfg: &'a ExperimentConfig,
+    keys: &'a [CellKey],
+    /// Distinct port counts, sorted; indexes the topology table.
+    unique_ports: Vec<u32>,
+    /// `topos[ports_index * samples + sample]`.
+    topos: Vec<OnceLock<Arc<Topology>>>,
+    /// `insts[cell * samples + sample]`.
+    insts: Vec<OnceLock<Arc<Instance>>>,
+    topo_builds: AtomicUsize,
+    inst_builds: AtomicUsize,
+}
+
+impl<'a> ConstructionCache<'a> {
+    fn new(cfg: &'a ExperimentConfig, keys: &'a [CellKey]) -> ConstructionCache<'a> {
+        let mut unique_ports = cfg.ports.clone();
+        unique_ports.sort_unstable();
+        unique_ports.dedup();
+        let samples = cfg.samples as usize;
+        ConstructionCache {
+            cfg,
+            keys,
+            topos: (0..unique_ports.len() * samples)
+                .map(|_| OnceLock::new())
+                .collect(),
+            insts: (0..keys.len() * samples).map(|_| OnceLock::new()).collect(),
+            unique_ports,
+            topo_builds: AtomicUsize::new(0),
+            inst_builds: AtomicUsize::new(0),
+        }
+    }
+
+    fn topology(&self, ports: u32, sample: u32) -> Arc<Topology> {
+        let pi = self
+            .unique_ports
+            .iter()
+            .position(|&p| p == ports)
+            .expect("ports not in configuration");
+        let slot = &self.topos[pi * self.cfg.samples as usize + sample as usize];
+        Arc::clone(slot.get_or_init(|| {
+            self.topo_builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(
+                gen::random_irregular(
+                    gen::IrregularParams::paper(self.cfg.num_switches, ports),
+                    self.cfg.topo_seed + sample as u64,
+                )
+                .expect("topology generation failed"),
+            )
+        }))
+    }
+
+    fn instance(&self, cell: usize, sample: u32) -> Arc<Instance> {
+        let slot = &self.insts[cell * self.cfg.samples as usize + sample as usize];
+        Arc::clone(slot.get_or_init(|| {
+            let key = self.keys[cell];
+            let topo = self.topology(key.ports, sample);
+            self.inst_builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(
+                key.algo
+                    .construct(&topo, key.policy, self.cfg.topo_seed + sample as u64)
+                    .expect("routing construction failed"),
+            )
+        }))
+    }
+}
+
+/// The per-`(cell, sample)` base seed each sweep curve derives its points
+/// from — unchanged from the original per-sample runner so every golden pin
+/// survives the resharding.
+fn curve_seed(cfg: &ExperimentConfig, cell: usize, sample: u32) -> u64 {
+    cfg.sim_seed
+        .wrapping_add(sample as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cell as u64)
+}
+
+/// Throttled progress line: completed/total, elapsed, ETA. At most one line
+/// per half second (races between shards resolve via compare-exchange so
+/// only one prints), plus a final line when the last point lands.
+fn print_progress(done: usize, total: usize, start: Instant, last_print_ms: &AtomicU64) {
+    let elapsed = start.elapsed();
+    let now_ms = elapsed.as_millis() as u64;
+    let prev = last_print_ms.load(Ordering::Relaxed);
+    if done < total && now_ms.saturating_sub(prev) < 500 {
+        return;
+    }
+    if last_print_ms
+        .compare_exchange(prev, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+        .is_err()
+    {
+        return;
+    }
+    let secs = elapsed.as_secs_f64();
+    let eta = if done == 0 {
+        f64::INFINITY
+    } else {
+        secs / done as f64 * (total - done) as f64
+    };
+    eprintln!(
+        "grid: {done}/{total} points ({:.1} %), elapsed {secs:.1}s, eta {eta:.1}s",
+        100.0 * done as f64 / total as f64
+    );
+}
+
+/// Runs the whole grid, distributing `(cell × sample × load point)` tasks
+/// over `cfg.threads` work-stealing shards. Bit-exact regardless of thread
+/// count and chunk size.
+///
+/// # Panics
+///
+/// Panics with the [`GridError`] message if a worker shard failed to report
+/// its points; use [`try_run_grid`] to handle that case as a `Result`.
+pub fn run_grid(cfg: &ExperimentConfig) -> GridResults {
+    match try_run_grid(cfg) {
+        Ok(results) => results,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_grid`], reporting incomplete cells as an error instead of
+/// panicking.
+pub fn try_run_grid(cfg: &ExperimentConfig) -> Result<GridResults, GridError> {
+    run_grid_with_stats(cfg).map(|(results, _)| results)
+}
+
+/// [`try_run_grid`], also returning construction-cache and timing counters.
+pub fn run_grid_with_stats(cfg: &ExperimentConfig) -> Result<(GridResults, GridStats), GridError> {
     let mut keys = Vec::new();
     for &ports in &cfg.ports {
         for &policy in &cfg.policies {
@@ -199,74 +407,102 @@ pub fn run_grid(cfg: &ExperimentConfig) -> GridResults {
             }
         }
     }
-    let mut tasks = Vec::new();
-    for (ci, &key) in keys.iter().enumerate() {
-        for s in 0..cfg.samples {
-            tasks.push(Task {
-                cell: ci,
-                key,
-                sample: s,
-            });
-        }
-    }
-
-    // curves[cell][sample]
-    let curves: Vec<Mutex<Vec<Option<SweepCurve>>>> = keys
-        .iter()
-        .map(|_| Mutex::new(vec![None; cfg.samples as usize]))
-        .collect();
-    let next = AtomicUsize::new(0);
-    let run_task = |t: &Task| {
-        let topo = gen::random_irregular(
-            gen::IrregularParams::paper(cfg.num_switches, t.key.ports),
-            cfg.topo_seed + t.sample as u64,
-        )
-        .expect("topology generation failed");
-        let inst = t
-            .key
-            .algo
-            .construct(&topo, t.key.policy, cfg.topo_seed + t.sample as u64)
-            .expect("routing construction failed");
-        let seed = cfg
-            .sim_seed
-            .wrapping_add(t.sample as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(t.cell as u64);
-        let curve = sweep::sweep(&inst, &cfg.sim, &cfg.rates, seed);
-        curves[t.cell].lock().unwrap()[t.sample as usize] = Some(curve);
+    let samples = cfg.samples as usize;
+    let n_rates = cfg.rates.len();
+    let total = keys.len() * samples * n_rates;
+    let threads = cfg.threads.max(1);
+    // Auto chunk: ~8 steals per shard balances cursor contention against
+    // tail latency; any choice is output-invariant.
+    let chunk = if cfg.chunk > 0 {
+        cfg.chunk
+    } else {
+        (total / (threads * 8)).clamp(1, 64)
     };
-    if cfg.threads <= 1 {
-        for t in &tasks {
-            run_task(t);
+
+    let cache = ConstructionCache::new(cfg, &keys);
+    let merged: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::with_capacity(total));
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let last_print_ms = AtomicU64::new(0);
+    let start = Instant::now();
+
+    // One shard: steal a chunk of task indices, run each load point into a
+    // private buffer, merge the buffer once at the end.
+    let run_shard = || {
+        let mut local: Vec<(usize, SweepPoint)> = Vec::new();
+        loop {
+            let begin = next.fetch_add(chunk, Ordering::Relaxed);
+            if begin >= total {
+                break;
+            }
+            let end = (begin + chunk).min(total);
+            for t in begin..end {
+                let rate_idx = t % n_rates;
+                let rest = t / n_rates;
+                let sample = (rest % samples) as u32;
+                let cell = rest / samples;
+                let inst = cache.instance(cell, sample);
+                let seed = sweep::point_seed(curve_seed(cfg, cell, sample), rate_idx);
+                let point = sweep::run_point(&inst, &cfg.sim, cfg.rates[rate_idx], seed);
+                local.push((t, point));
+            }
+            let finished = done.fetch_add(end - begin, Ordering::Relaxed) + (end - begin);
+            if cfg.progress {
+                print_progress(finished, total, start, &last_print_ms);
+            }
         }
+        merged.lock().unwrap().append(&mut local);
+    };
+    if threads <= 1 {
+        run_shard();
     } else {
         std::thread::scope(|scope| {
-            for _ in 0..cfg.threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        break;
-                    }
-                    run_task(&tasks[i]);
-                });
+            for _ in 0..threads {
+                scope.spawn(run_shard);
             }
         });
     }
 
-    let cells = keys
-        .iter()
-        .enumerate()
-        .map(|(ci, &key)| {
-            let sample_curves: Vec<SweepCurve> = curves[ci]
-                .lock()
-                .unwrap()
-                .iter()
-                .map(|c| c.clone().expect("missing sample"))
-                .collect();
-            aggregate_cell(key, &sample_curves, &cfg.rates)
-        })
-        .collect();
-    GridResults { cells }
+    // Scatter the merged shard buffers back into task order; order of
+    // arrival is irrelevant because indices are disjoint.
+    let mut flat: Vec<Option<SweepPoint>> = vec![None; total];
+    for (t, point) in merged.into_inner().unwrap() {
+        flat[t] = Some(point);
+    }
+    let mut cells = Vec::with_capacity(keys.len());
+    for (ci, &key) in keys.iter().enumerate() {
+        let mut sample_curves = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let curve_base = (ci * samples + s) * n_rates;
+            let mut points = Vec::with_capacity(n_rates);
+            for r in 0..n_rates {
+                match flat[curve_base + r].take() {
+                    Some(p) => points.push(p),
+                    None => {
+                        return Err(GridError::MissingCurve {
+                            key,
+                            sample: s as u32,
+                            completed_points: points.len()
+                                + flat[curve_base + r..curve_base + n_rates]
+                                    .iter()
+                                    .filter(|p| p.is_some())
+                                    .count(),
+                            expected_points: n_rates,
+                        })
+                    }
+                }
+            }
+            sample_curves.push(SweepCurve { points });
+        }
+        cells.push(aggregate_cell(key, &sample_curves, &cfg.rates));
+    }
+    let stats = GridStats {
+        points_run: total,
+        topologies_built: cache.topo_builds.load(Ordering::Relaxed),
+        instances_built: cache.inst_builds.load(Ordering::Relaxed),
+        wall_seconds: start.elapsed().as_secs_f64(),
+    };
+    Ok((GridResults { cells }, stats))
 }
 
 /// Averages one cell's sample curves point-wise and at saturation.
@@ -335,6 +571,8 @@ mod tests {
             topo_seed: 7,
             sim_seed: 9,
             threads: 1,
+            chunk: 0,
+            progress: false,
         }
     }
 
@@ -360,6 +598,7 @@ mod tests {
         let mut cfg = tiny();
         let single = run_grid(&cfg);
         cfg.threads = 3;
+        cfg.chunk = 1; // maximal interleaving across shards
         let multi = run_grid(&cfg);
         for (a, b) in single.cells.iter().zip(&multi.cells) {
             assert_eq!(a.key, b.key);
@@ -371,6 +610,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn construction_cache_builds_each_world_exactly_once() {
+        // chunk=1 with more shards than tasks per construction maximizes
+        // contention on the OnceLock slots; the counters must still show
+        // one topology per (sample, ports) and one instance per
+        // (cell, sample).
+        let mut cfg = tiny();
+        cfg.threads = 4;
+        cfg.chunk = 1;
+        let (results, stats) = run_grid_with_stats(&cfg).unwrap();
+        assert_eq!(results.cells.len(), 2);
+        assert_eq!(stats.points_run, 2 * 2 * 2); // cells × samples × rates
+        assert_eq!(stats.topologies_built, 2); // 1 port count × 2 samples
+        assert_eq!(stats.instances_built, 4); // 2 cells × 2 samples
+                                              // Duplicate port entries must not double-build topologies.
+        let mut dup = tiny();
+        dup.ports = vec![4, 4];
+        dup.threads = 3;
+        let (_, dup_stats) = run_grid_with_stats(&dup).unwrap();
+        assert_eq!(dup_stats.topologies_built, 2);
+        assert_eq!(dup_stats.instances_built, 8); // 4 cells × 2 samples
     }
 
     #[test]

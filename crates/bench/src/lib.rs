@@ -25,4 +25,7 @@ pub mod grid;
 
 pub use args::{parse_args, Cli};
 pub use fixtures::{downup_fabric, topology_pool, Fabric};
-pub use grid::{run_grid, AvgPoint, CellKey, CellResult, ExperimentConfig, GridResults};
+pub use grid::{
+    default_threads, run_grid, run_grid_with_stats, try_run_grid, AvgPoint, CellKey, CellResult,
+    ExperimentConfig, GridError, GridResults, GridStats,
+};

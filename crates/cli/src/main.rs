@@ -67,6 +67,7 @@ simulate options:
 
 sweep options (in addition to the simulate options):
   --rates r1,r2,...   offered-load ladder (default an 8-step ramp)
+  --progress          per-point progress (done/total, elapsed, ETA) on stderr
 
 export options:
   --out FILE          write the forwarding tables (irnet-fwd v1) to FILE
@@ -97,7 +98,7 @@ fn fail(msg: &str) -> ! {
 }
 
 /// Options that are flags: present/absent, no value.
-const BOOL_FLAGS: &[&str] = &["quick", "full", "json"];
+const BOOL_FLAGS: &[&str] = &["quick", "full", "json", "progress"];
 
 struct Opts {
     kv: BTreeMap<String, String>,
@@ -551,7 +552,29 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
             .collect(),
         None => sweep::default_rates(8),
     };
-    let curve = sweep::sweep(&inst, &base, &rates, o.parse("sim-seed", 7u64));
+    // Run point by point (seeded exactly as `sweep::sweep` would) so
+    // `--progress` can report between operating points.
+    let seed: u64 = o.parse("sim-seed", 7u64);
+    let progress = o.flag("progress");
+    let start = std::time::Instant::now();
+    let points: Vec<_> = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let p = sweep::run_point(&inst, &base, rate, sweep::point_seed(seed, i));
+            if progress {
+                let done = i + 1;
+                let elapsed = start.elapsed().as_secs_f64();
+                let eta = elapsed / done as f64 * (rates.len() - done) as f64;
+                eprintln!(
+                    "sweep: {done}/{} points, elapsed {elapsed:.1}s, eta {eta:.1}s",
+                    rates.len()
+                );
+            }
+            p
+        })
+        .collect();
+    let curve = sweep::SweepCurve { points };
     println!("offered,accepted,latency,node_util,hot_spot_pct,deadlocked");
     for p in &curve.points {
         println!(

@@ -43,7 +43,11 @@ pub struct ReleasedTurn {
 /// Only `T(LU_CROSS → RD_TREE)` and `T(RU_CROSS → RD_TREE)` are candidates
 /// (paper §4.3). Complexity: `O(k · |E⃗|)` where `k` is the number of
 /// candidate pairs — each test is one DFS over the channel dependency
-/// graph, matching the paper's `O(d · |V|²)` bound.
+/// graph, matching the paper's `O(d · |V|²)` bound. The graph is built
+/// once; each committed release layers a single edge onto an incremental
+/// [`irnet_turns::PathOracle`] instead of triggering a rebuild, and the
+/// DFS reuses a visit-stamp buffer, so the pass allocates nothing per
+/// candidate (the Phase-3 fast path for 1024+-switch fabrics).
 pub fn cycle_detection(cg: &CommGraph, table: &mut TurnTable) -> Vec<ReleasedTurn> {
     let released = release_redundant_turns(cg, table, |in_ch, out_ch| {
         matches!(cg.direction(in_ch), Direction::LuCross | Direction::RuCross)

@@ -28,7 +28,7 @@ mod turn_table;
 mod verify;
 
 pub use adaptivity::{adaptivity, AdaptivityStats};
-pub use cdg::{ChannelCycle, ChannelDepGraph};
+pub use cdg::{ChannelCycle, ChannelDepGraph, PathOracle};
 pub use dirgraph::{DirGraph, Movement};
 pub use export::{export_tables, parse_exported, ExportedTables};
 pub use release::release_redundant_turns;
