@@ -50,6 +50,7 @@ fn main() {
                 cg,
                 table: tbl,
                 tables,
+                spans: None,
             };
             let curve = sweep::sweep(&inst, &cfg.sim, &cfg.rates, cfg.sim_seed + s as u64);
             sat.push(curve.saturation().metrics);

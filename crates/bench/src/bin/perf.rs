@@ -21,11 +21,11 @@
 //! comma-separated list of switch counts. Timing is reported, never
 //! asserted — CI fails only on panic or invalid JSON.
 //!
-//! ## `BENCH_sim.json` schema (`schema_version` 2)
+//! ## `BENCH_sim.json` schema (`schema_version` 3)
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "bench": "sim_core",
 //!   "quick": false,
 //!   "packet_len": 32,
@@ -36,7 +36,11 @@
 //!       "switches": 128, "ports": 8, "channels": 1004,
 //!       "topology_seconds": 0.0008,
 //!       "construct_seconds": 0.0231,
-//!       "construct_micros_per_switch": 180.5
+//!       "construct_micros_per_switch": 180.5,
+//!       "phase1_seconds": 0.0009,
+//!       "phase2_seconds": 0.0004,
+//!       "phase3_seconds": 0.0122,
+//!       "tables_seconds": 0.0096
 //!     }
 //!   ],
 //!   "results": [
@@ -68,7 +72,10 @@
 //!   routing construction time (Phases 1–3: spanning tree, prefix
 //!   restrictions, release pass), each the fastest of `reps` runs, and
 //!   `construct_micros_per_switch` = `construct_seconds / switches` in µs —
-//!   the normalized metric regression runs track across sizes.
+//!   the normalized metric regression runs track across sizes. The
+//!   `phase*_seconds`/`tables_seconds` spans break the fastest
+//!   construction run down by pipeline stage (tree + comm graph, turn
+//!   prohibition, release pass, routing-table build).
 //! * `results` holds one entry per `(fabric, load, core)`; `wall_seconds`
 //!   is the fastest of `reps` identical runs (same seed, so identical
 //!   work), which filters scheduler noise.
@@ -78,7 +85,9 @@
 //!   `speedup = active_cycles_per_sec / dense_cycles_per_sec`.
 //!
 //! Schema v2 is a superset of v1: it adds the `construction` array, so v1
-//! consumers that only read `results`/`speedups` keep working.
+//! consumers that only read `results`/`speedups` keep working. Schema v3
+//! adds the per-phase span fields to each `construction` entry (again a
+//! pure superset).
 
 use irnet_bench::fixtures;
 use irnet_bench::parse_args;
@@ -139,6 +148,10 @@ struct ConstructionResult {
     topology_seconds: f64,
     construct_seconds: f64,
     construct_micros_per_switch: f64,
+    phase1_seconds: f64,
+    phase2_seconds: f64,
+    phase3_seconds: f64,
+    tables_seconds: f64,
 }
 
 /// The whole `BENCH_sim.json` document.
@@ -196,16 +209,22 @@ fn build_fabric(
     }
     let topo = topo.expect("at least one rep");
     let mut construct_best = f64::INFINITY;
+    let mut best_spans = None;
     let mut routing = None;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
-        let r = DownUp::new()
-            .construct(&topo)
+        let (r, spans) = DownUp::new()
+            .construct_timed(&topo)
             .expect("routing construction failed");
-        construct_best = construct_best.min(start.elapsed().as_secs_f64());
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < construct_best {
+            construct_best = elapsed;
+            best_spans = Some(spans);
+        }
         routing = Some(r);
     }
     let routing = routing.expect("at least one rep");
+    let spans = best_spans.expect("at least one rep");
     let stats = ConstructionResult {
         switches,
         ports,
@@ -213,6 +232,10 @@ fn build_fabric(
         topology_seconds: topo_best,
         construct_seconds: construct_best,
         construct_micros_per_switch: construct_best * 1e6 / f64::from(switches),
+        phase1_seconds: spans.phase1_seconds,
+        phase2_seconds: spans.phase2_seconds,
+        phase3_seconds: spans.phase3_seconds,
+        tables_seconds: spans.tables_seconds,
     };
     (fixtures::Fabric { topo, routing }, stats)
 }
@@ -275,6 +298,10 @@ fn main() {
         eprintln!(
             "  topology {:>9.4}s  construct {:>9.4}s  ({:.1} us/switch)",
             built.topology_seconds, built.construct_seconds, built.construct_micros_per_switch,
+        );
+        eprintln!(
+            "  spans: phase1 {:>9.4}s  phase2 {:>9.4}s  phase3 {:>9.4}s  tables {:>9.4}s",
+            built.phase1_seconds, built.phase2_seconds, built.phase3_seconds, built.tables_seconds,
         );
         construction.push(built);
         for (load, rate) in LOADS {
@@ -349,7 +376,7 @@ fn main() {
     }
 
     let report = BenchReport {
-        schema_version: 2,
+        schema_version: 3,
         bench: "sim_core".to_string(),
         quick,
         packet_len: PACKET_LEN,

@@ -117,11 +117,11 @@ fn run() -> Result<(), String> {
 
     let mut compared = 0u32;
     let mut warnings = 0u32;
-    let mut unmatched = 0u32;
+    let mut only_new: Vec<&Entry> = Vec::new();
     println!("switches ports       load            core      old c/s      new c/s   change");
     for e in &new {
         let Some(prev) = old.iter().find(|o| o.key == e.key) else {
-            unmatched += 1;
+            only_new.push(e);
             continue;
         };
         compared += 1;
@@ -155,15 +155,34 @@ fn run() -> Result<(), String> {
             );
         }
     }
-    if unmatched > 0 {
-        println!("({unmatched} new result(s) had no match in the old report — skipped)");
+    // A key present in only one report is never silently dropped: each
+    // missing point is listed by its full (switches, ports, load, core)
+    // key, in both directions, so a truncated run (e.g. --quick against a
+    // full sweep) is visible in the log instead of shrinking the diff.
+    if !only_new.is_empty() {
+        println!("result(s) only in {new_path} (no old baseline):");
+        for e in &only_new {
+            println!("  {}sw/{}p {} {}", e.key.0, e.key.1, e.key.2, e.key.3);
+        }
+    }
+    let only_old: Vec<&Entry> = old
+        .iter()
+        .filter(|o| !new.iter().any(|e| e.key == o.key))
+        .collect();
+    if !only_old.is_empty() {
+        println!("result(s) only in {old_path} (dropped from the new report):");
+        for e in &only_old {
+            println!("  {}sw/{}p {} {}", e.key.0, e.key.1, e.key.2, e.key.3);
+        }
     }
     // Construction-time diff (schema v2+). Slower construction is a
     // regression, so here the warning fires on *increases*.
+    let mut only_new_builds: Vec<&BuildEntry> = Vec::new();
     if !old_builds.is_empty() && !new_builds.is_empty() {
         println!("switches ports   old construct   new construct   change");
         for b in &new_builds {
             let Some(prev) = old_builds.iter().find(|o| o.key == b.key) else {
+                only_new_builds.push(b);
                 continue;
             };
             compared += 1;
@@ -188,6 +207,22 @@ fn run() -> Result<(), String> {
                      ({:.4}s -> {:.4}s, threshold {threshold}%)",
                     b.key.0, b.key.1, prev.construct_seconds, b.construct_seconds
                 );
+            }
+        }
+        if !only_new_builds.is_empty() {
+            println!("construction entr(ies) only in {new_path} (no old baseline):");
+            for b in &only_new_builds {
+                println!("  {}sw/{}p", b.key.0, b.key.1);
+            }
+        }
+        let only_old_builds: Vec<&BuildEntry> = old_builds
+            .iter()
+            .filter(|o| !new_builds.iter().any(|b| b.key == o.key))
+            .collect();
+        if !only_old_builds.is_empty() {
+            println!("construction entr(ies) only in {old_path} (dropped from the new report):");
+            for b in &only_old_builds {
+                println!("  {}sw/{}p", b.key.0, b.key.1);
             }
         }
     }

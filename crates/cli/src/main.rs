@@ -11,6 +11,10 @@
 //! * `simulate` — run one wormhole simulation and print the paper metrics
 //! * `faults`   — degrade the network with a fault plan, repair it epoch by
 //!   epoch, certify every transition, and simulate through the failures
+//! * `trace`    — run a simulation with the flight recorder attached and
+//!   export the structured event recording as JSONL (optionally with an
+//!   interval-sampled time series and deadlock forensics)
+//! * `top`      — run one simulation and print its busiest channels/nodes
 //!
 //! Examples:
 //!
@@ -38,8 +42,8 @@ use irnet_verify::{LintReport, Severity, Verdict};
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 
-const USAGE: &str =
-    "irnet <gen|analyze|verify|lint|routes|simulate|sweep|export|render|replay|faults> [options]
+const USAGE: &str = "irnet <gen|analyze|verify|lint|routes|simulate|sweep|export|render|replay|\
+faults|trace|top> [options]
 
 common options:
   --topology FILE     read a topology JSON (otherwise --switches/--ports/--seed generate one)
@@ -77,12 +81,31 @@ render options (in addition to the simulate options):
                       layout, switches colored by measured utilization
 
 replay options:
-  --trace FILE        CSV trace (time,src,dst) to replay; without it a
+  --trace FILE        trace to replay: CSV (time,src,dst) or JSONL
+                      ({\"time\":..,\"src\":..,\"dst\":..} per line, picked by a
+                      .jsonl extension or a leading '{'); without it a
                       synthetic uniform trace is generated
   --trace-packets N   synthetic trace size (default 500)
   --trace-span N      synthetic trace injection window in clocks (default 4000)
 
+trace options (in addition to the simulate options):
+  --events N          flight-recorder ring capacity, events kept (default 65536)
+  --out FILE          write the JSONL recording to FILE (default stdout)
+  --sample-every N    also sample live counters every N cycles (default off)
+  --series FILE       write the sampled time series as CSV to FILE
+  --scenario FILE     inject a fault plan (same format as `faults`; DOWN/UP only)
+  --no-repair         apply the fault epochs without repairing the routing
+                      tables, then drain: wedges worms on the dead resources
+                      so the watchdog and forensics fire deterministically
+  --incident FILE     write the deadlock-forensics JSON to FILE when the
+                      watchdog fires (default: summary on stderr only)
+
+top options (in addition to the simulate options):
+  --k N               rows per table (default 10)
+
 faults options (in addition to the simulate options; DOWN/UP only):
+  --incident FILE     write deadlock-forensics JSON to FILE if the watchdog
+                      aborts the simulation
   --scenario FILE     fault-plan JSON: {\"events\":[{\"cycle\":N,\"link\":[a,b]},
                       {\"cycle\":N,\"switch\":v}, ...]}
   --random-links N    without --scenario: draw N random link faults (default 1)
@@ -98,7 +121,7 @@ fn fail(msg: &str) -> ! {
 }
 
 /// Options that are flags: present/absent, no value.
-const BOOL_FLAGS: &[&str] = &["quick", "full", "json", "progress"];
+const BOOL_FLAGS: &[&str] = &["quick", "full", "json", "progress", "no-repair"];
 
 struct Opts {
     kv: BTreeMap<String, String>,
@@ -652,8 +675,16 @@ fn cmd_replay(o: &Opts) -> Result<(), String> {
         Some(path) => {
             let raw =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            Trace::from_csv(&raw, topo.num_nodes())
-                .map_err(|e| format!("invalid trace in {path}: {e}"))?
+            // JSONL traces are recognised by extension or by shape (every
+            // JSONL record opens with '{'; CSV never does).
+            let jsonl = path.ends_with(".jsonl") || raw.trim_start().starts_with('{');
+            if jsonl {
+                Trace::from_jsonl(&raw, topo.num_nodes())
+                    .map_err(|e| format!("invalid trace in {path}: {e}"))?
+            } else {
+                Trace::from_csv(&raw, topo.num_nodes())
+                    .map_err(|e| format!("invalid trace in {path}: {e}"))?
+            }
         }
         None => Trace::synthetic_uniform(
             topo.num_nodes(),
@@ -762,7 +793,9 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
             tables: &e.tables,
         });
     }
-    let stats = sim.run();
+    let stalled = sim.run_in_place();
+    let incident = stalled.then(|| irnet_obs::deadlock_incident(&sim));
+    let stats = sim.finish_with(stalled);
     let all_certified = certs
         .iter()
         .all(irnet_verify::EpochCertificates::is_deadlock_free);
@@ -865,6 +898,9 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
         );
     }
     if stats.deadlocked {
+        if let Some(incident) = &incident {
+            write_incident(o, incident)?;
+        }
         return Err(format!(
             "simulation aborted by the deadlock watchdog: no progress since \
              cycle {} ({} flits stranded in the network)",
@@ -877,6 +913,165 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
                 .to_string(),
         );
     }
+    Ok(())
+}
+
+/// Writes a deadlock-forensics incident to `--incident FILE`, or summarises
+/// it on stderr when no file was requested.
+fn write_incident(o: &Opts, incident: &irnet_obs::Incident) -> Result<(), String> {
+    eprintln!(
+        "deadlock forensics: {} blocked worm(s), {} waits-for edge(s), {}",
+        incident.worms.len(),
+        incident.edges.len(),
+        if incident.is_circular_wait() {
+            "circular wait (witness cycle in report)"
+        } else {
+            "acyclic stall (waiting on dead or held resources)"
+        }
+    );
+    if let Some(path) = o.get("incident") {
+        std::fs::write(path, incident.to_json() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote incident report to {path}");
+    }
+    Ok(())
+}
+
+/// Flight-recorder capture: run one simulation (optionally through a fault
+/// scenario) with the recorder and interval sampler attached, then export
+/// the recording as JSONL.
+fn cmd_trace(o: &Opts) -> Result<(), String> {
+    use irnet_core::{plan_epochs, DownUp};
+    use irnet_obs::{deadlock_incident, FlightRecorder, IntervalSampler};
+    use irnet_sim::FaultEpoch;
+    use irnet_topology::FaultPlan;
+
+    let topo = load_topology(o)?;
+    let cfg = sim_config(o);
+    let sim_seed = o.parse("sim-seed", 7u64);
+    let no_repair = o.flag("no-repair");
+    let sample_every = o.parse("sample-every", 0u32);
+    let mut recorder = FlightRecorder::new(o.parse("events", 65_536usize));
+    let mut sampler = (sample_every > 0).then(|| IntervalSampler::new(sample_every));
+
+    // With a fault scenario the run mirrors `faults` (DOWN/UP repair per
+    // epoch); `--no-repair` keeps the original tables across the fault so
+    // worms wedge on the dead channels and the watchdog demonstrably fires.
+    let scenario = match o.get("scenario") {
+        Some(path) => {
+            if matches!(o.get("algo"), Some(a) if a != "downup") {
+                return Err("`trace --scenario` repairs with DOWN/UP; \
+                     other --algo values are not supported"
+                    .to_string());
+            }
+            let raw =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(FaultPlan::from_json(&raw).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let builder = DownUp::new()
+        .policy(parse_policy(o))
+        .seed(o.parse("seed", 1u64));
+    let inst = build_instance(o, &topo)?;
+    let epochs = match &scenario {
+        Some(plan) => plan_epochs(&topo, &inst.cg, &inst.table, plan, builder)
+            .map_err(|e| format!("fault repair failed: {e}"))?,
+        None => Vec::new(),
+    };
+    let last_fault = epochs.iter().map(|e| e.cycle).max();
+
+    let mut sim = Simulator::new(&inst.cg, &inst.tables, cfg, sim_seed);
+    for e in &epochs {
+        sim.schedule_reconfig(FaultEpoch {
+            cycle: e.cycle,
+            dead_channels: e.dead_channels.clone(),
+            dead_nodes: e.dead_nodes.clone(),
+            // Unrepaired mode observes the failure, it does not survive it.
+            tables: if no_repair { &inst.tables } else { &e.tables },
+        });
+    }
+    sim.attach_recorder(&mut recorder);
+
+    let total = cfg.total_cycles();
+    // In unrepaired mode, cut injection after the last fault and run past
+    // the horizon until the network drains or the watchdog fires: wedged
+    // worms are then the only live packets, so the stall is deterministic.
+    let horizon = if no_repair {
+        total.saturating_add(200_000)
+    } else {
+        total
+    };
+    let mut injecting = true;
+    let mut stalled = false;
+    while sim.now() < horizon {
+        sim.tick();
+        if let Some(s) = sampler.as_mut() {
+            s.maybe_sample(&sim);
+        }
+        if no_repair && injecting && last_fault.is_some_and(|c| sim.now() > c) {
+            sim.set_injection_rate(0.0);
+            injecting = false;
+        }
+        if sim.stalled() {
+            stalled = true;
+            break;
+        }
+        if no_repair && sim.now() >= total && sim.live_packet_count() == 0 {
+            break;
+        }
+    }
+    if let Some(s) = sampler.as_mut() {
+        s.force_sample(&sim);
+    }
+
+    let incident = stalled.then(|| deadlock_incident(&sim));
+    let stats = sim.finish_with(stalled);
+
+    if let Some(incident) = &incident {
+        write_incident(o, incident)?;
+    }
+    if let (Some(s), Some(path)) = (&sampler, o.get("series")) {
+        std::fs::write(path, s.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {} sample(s) to {path}", s.samples().len());
+    }
+    let jsonl = recorder.export_jsonl();
+    match o.get("out") {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "wrote {} event(s) to {path} ({} recorded, {} evicted from the ring)",
+                recorder.len(),
+                recorder.total_recorded(),
+                recorder.evicted()
+            );
+        }
+        None => print!("{jsonl}"),
+    }
+    eprintln!(
+        "trace: {} cycles, {} packet(s) delivered, {} event(s) recorded{}",
+        stats.cycles,
+        stats.packets_delivered,
+        recorder.total_recorded(),
+        if stats.deadlocked {
+            " — DEADLOCK (watchdog fired)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+/// One-shot busiest-channels / busiest-nodes view of a simulation.
+fn cmd_top(o: &Opts) -> Result<(), String> {
+    let topo = load_topology(o)?;
+    let inst = build_instance(o, &topo)?;
+    let cfg = sim_config(o);
+    let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64)).run();
+    print!(
+        "{}",
+        irnet_obs::render_top(&stats, &inst.cg, o.parse("k", 10usize))
+    );
     Ok(())
 }
 
@@ -918,6 +1113,8 @@ fn main() {
         "render" => cmd_render(&opts),
         "replay" => cmd_replay(&opts),
         "faults" => cmd_faults(&opts),
+        "trace" => cmd_trace(&opts),
+        "top" => cmd_top(&opts),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

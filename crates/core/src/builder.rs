@@ -93,27 +93,76 @@ impl DownUp {
 
     /// Runs the three construction phases on `topo`.
     pub fn construct(self, topo: &Topology) -> Result<DownUpRouting, ConstructError> {
+        self.construct_timed(topo).map(|(routing, _)| routing)
+    }
+
+    /// Like [`DownUp::construct`], but also returns per-phase wall-clock
+    /// spans — the observability hook behind the `BENCH_sim.json`
+    /// `construction` array and the CLI's `--progress` output.
+    pub fn construct_timed(
+        self,
+        topo: &Topology,
+    ) -> Result<(DownUpRouting, PhaseSpans), ConstructError> {
         // Phase 1: coordinated tree + communication graph.
+        let start = std::time::Instant::now();
         let root = self.root.pick(topo);
         let tree = CoordinatedTree::build_rooted(topo, root, self.policy, self.seed)?;
         let cg = CommGraph::build(topo, &tree);
+        let phase1_seconds = start.elapsed().as_secs_f64();
         // Phase 2: apply the 18 globally prohibited turns.
+        let start = std::time::Instant::now();
         let mut table = TurnTable::from_direction_rule(&cg, phase2::turn_allowed);
+        let phase2_seconds = start.elapsed().as_secs_f64();
         // Phase 3: release redundant per-node prohibitions.
+        let start = std::time::Instant::now();
         let released = if self.release {
             phase3::cycle_detection(&cg, &mut table)
         } else {
             Vec::new()
         };
+        let phase3_seconds = start.elapsed().as_secs_f64();
         // Shortest legal paths; also proves connectivity (Theorem 1).
+        let start = std::time::Instant::now();
         let tables = RoutingTables::build(&cg, &table)?;
-        Ok(DownUpRouting {
-            tree,
-            cg,
-            table,
-            tables,
-            released,
-        })
+        let tables_seconds = start.elapsed().as_secs_f64();
+        Ok((
+            DownUpRouting {
+                tree,
+                cg,
+                table,
+                tables,
+                released,
+            },
+            PhaseSpans {
+                phase1_seconds,
+                phase2_seconds,
+                phase3_seconds,
+                tables_seconds,
+            },
+        ))
+    }
+}
+
+/// Wall-clock spans of the construction pipeline, one per stage: the
+/// coordinated tree + communication graph (Phase 1), the global turn
+/// prohibition (Phase 2), the release pass (Phase 3), and the shortest
+/// legal-path routing-table build that follows them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpans {
+    /// Coordinated tree + communication graph construction.
+    pub phase1_seconds: f64,
+    /// Turn-prohibition table construction.
+    pub phase2_seconds: f64,
+    /// `cycle_detection` release pass (zero when release is disabled).
+    pub phase3_seconds: f64,
+    /// Shortest-legal-path routing-table build.
+    pub tables_seconds: f64,
+}
+
+impl PhaseSpans {
+    /// Total construction time across all spans.
+    pub fn total_seconds(&self) -> f64 {
+        self.phase1_seconds + self.phase2_seconds + self.phase3_seconds + self.tables_seconds
     }
 }
 

@@ -33,5 +33,5 @@ pub mod phase2;
 pub mod phase3;
 pub mod repair;
 
-pub use builder::{ConstructError, DownUp, DownUpRouting};
+pub use builder::{ConstructError, DownUp, DownUpRouting, PhaseSpans};
 pub use repair::{plan_epochs, repair_epoch, ReconfigEpoch, RepairError};

@@ -17,7 +17,7 @@ pub mod report;
 pub mod sweep;
 
 use irnet_baselines::{lturn, updown, BaselineError};
-use irnet_core::{ConstructError, DownUp};
+use irnet_core::{ConstructError, DownUp, PhaseSpans};
 use irnet_topology::{CommGraph, CoordinatedTree, PreorderPolicy, Topology};
 use irnet_turns::{RoutingTables, TurnTable};
 
@@ -72,17 +72,18 @@ impl Algo {
     ) -> Result<Instance, AlgoError> {
         match self {
             Algo::DownUp { release } => {
-                let r = DownUp::new()
+                let (r, spans) = DownUp::new()
                     .policy(policy)
                     .seed(seed)
                     .release(release)
-                    .construct(topo)?;
+                    .construct_timed(topo)?;
                 let (tree, cg, table, tables) = r.into_parts();
                 Ok(Instance {
                     tree,
                     cg,
                     table,
                     tables,
+                    spans: Some(spans),
                 })
             }
             Algo::LTurn { release } => {
@@ -100,6 +101,7 @@ impl Algo {
                     cg,
                     table,
                     tables,
+                    spans: None,
                 })
             }
             Algo::UpDownBfs => {
@@ -109,6 +111,7 @@ impl Algo {
                     cg,
                     table,
                     tables,
+                    spans: None,
                 })
             }
             Algo::UpDownDfs => {
@@ -118,6 +121,7 @@ impl Algo {
                     cg,
                     table,
                     tables,
+                    spans: None,
                 })
             }
         }
@@ -173,6 +177,9 @@ pub struct Instance {
     pub table: TurnTable,
     /// Shortest-legal-path routing tables.
     pub tables: RoutingTables,
+    /// Per-phase construction wall-clock spans, when the constructor
+    /// reports them (currently DOWN/UP only).
+    pub spans: Option<PhaseSpans>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Observability for the irnet simulator and construction pipeline
+//! (DESIGN.md §14).
+//!
+//! Three layers, all strictly non-perturbing — attaching any of them to a
+//! run leaves its statistics and RNG stream bit-exact:
+//!
+//! * [`FlightRecorder`] — a bounded ring buffer of structured
+//!   [`SimEvent`](irnet_sim::SimEvent)s (the last *N* events of a run, not
+//!   the first *N*), exportable as JSONL for offline analysis.
+//! * [`IntervalSampler`] — a pull-based time series: every *N* cycles it
+//!   snapshots per-channel occupancy, per-channel/per-node flit deltas,
+//!   active-worm and live-packet counts.
+//! * [`deadlock_incident`] — forensics for a fired stall watchdog: captures
+//!   the waits-for graph of every blocked worm (worm → held channels →
+//!   wanted channels), runs the certifier's cycle minimizer over it, and
+//!   packages a self-contained JSON incident report distinguishing a true
+//!   circular wait from an acyclic stall on dead resources.
+//!
+//! [`render_top`] is the presentation layer behind `irnet top`: a one-shot
+//! busiest-channels / busiest-nodes view of a finished run.
+
+mod forensics;
+mod recorder;
+mod sampler;
+mod top;
+
+pub use forensics::{deadlock_incident, Incident};
+pub use recorder::{event_jsonl_line, FlightRecorder};
+pub use sampler::{IntervalSampler, Sample};
+pub use top::render_top;

@@ -1,0 +1,251 @@
+//! The bounded-ring-buffer flight recorder and its JSONL export.
+
+use irnet_sim::{Recorder, SimEvent};
+use std::fmt::Write as _;
+
+/// A [`Recorder`] that keeps the **last** `capacity` events of a run in a
+/// fixed-size ring buffer.
+///
+/// The ring never reallocates once full, so attaching a recorder adds a
+/// bounded, allocation-free cost per recorded event and cannot perturb the
+/// simulation (events are copied in; the engine's state and RNG are never
+/// touched). Keeping the tail rather than the head is deliberate: the
+/// interesting window of a wedged or misbehaving run is the part right
+/// before the watchdog fires.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<SimEvent>,
+    capacity: usize,
+    /// Next write position once the ring is saturated.
+    next: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events (`capacity > 0`).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            buf: Vec::new(),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring size this recorder was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events seen over the recorder's lifetime, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events that fell out of the ring (`total_recorded - len`).
+    pub fn evicted(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The retained events in arrival order (oldest first).
+    pub fn events(&self) -> Vec<SimEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() == self.capacity {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        } else {
+            out.extend_from_slice(&self.buf);
+        }
+        out
+    }
+
+    /// Empties the ring (capacity and lifetime counters are kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+    }
+
+    /// Exports the retained events as JSON Lines, one event per line in
+    /// arrival order (schema in DESIGN.md §14).
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events() {
+            out.push_str(&event_jsonl_line(&event));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record(&mut self, event: &SimEvent) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(*event);
+        } else {
+            self.buf[self.next] = *event;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+}
+
+/// Renders one [`SimEvent`] as its canonical single-line JSON form (no
+/// trailing newline). Key order is fixed — `cycle`, `event`, then the
+/// kind-specific fields — so exports are byte-stable and diffable.
+pub fn event_jsonl_line(event: &SimEvent) -> String {
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"cycle\":{},\"event\":\"{}\"",
+        event.cycle(),
+        event.kind()
+    );
+    match *event {
+        SimEvent::Inject {
+            pkt, src, dst, len, ..
+        } => {
+            let _ = write!(
+                line,
+                ",\"pkt\":{pkt},\"src\":{src},\"dst\":{dst},\"len\":{len}"
+            );
+        }
+        SimEvent::HeaderAdvance {
+            pkt, channel, vc, ..
+        }
+        | SimEvent::VcAlloc {
+            pkt, channel, vc, ..
+        } => {
+            let _ = write!(line, ",\"pkt\":{pkt},\"channel\":{channel},\"vc\":{vc}");
+        }
+        SimEvent::Block {
+            pkt, node, waited, ..
+        } => {
+            let _ = write!(line, ",\"pkt\":{pkt},\"node\":{node},\"waited\":{waited}");
+        }
+        SimEvent::Eject {
+            pkt, node, latency, ..
+        } => {
+            let _ = write!(line, ",\"pkt\":{pkt},\"node\":{node},\"latency\":{latency}");
+        }
+        SimEvent::Drop {
+            pkt, flits_lost, ..
+        } => {
+            let _ = write!(line, ",\"pkt\":{pkt},\"flits_lost\":{flits_lost}");
+        }
+        SimEvent::EpochSwap {
+            epoch,
+            dead_channels,
+            dead_nodes,
+            ..
+        } => {
+            let _ = write!(
+                line,
+                ",\"epoch\":{epoch},\"dead_channels\":{dead_channels},\"dead_nodes\":{dead_nodes}"
+            );
+        }
+    }
+    line.push('}');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u32) -> SimEvent {
+        SimEvent::Block {
+            cycle,
+            pkt: cycle,
+            node: 0,
+            waited: 1,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_in_order() {
+        let mut rec = FlightRecorder::new(3);
+        assert!(rec.is_empty());
+        for c in 0..5 {
+            rec.record(&ev(c));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.total_recorded(), 5);
+        assert_eq!(rec.evicted(), 2);
+        let cycles: Vec<u32> = rec.events().iter().map(SimEvent::cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        rec.clear();
+        assert!(rec.is_empty());
+        rec.record(&ev(9));
+        assert_eq!(rec.events().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json_for_every_kind() {
+        let events = [
+            SimEvent::Inject {
+                cycle: 1,
+                pkt: 0,
+                src: 2,
+                dst: 3,
+                len: 32,
+            },
+            SimEvent::HeaderAdvance {
+                cycle: 2,
+                pkt: 0,
+                channel: 7,
+                vc: 0,
+            },
+            SimEvent::VcAlloc {
+                cycle: 2,
+                pkt: 0,
+                channel: 8,
+                vc: 1,
+            },
+            SimEvent::Block {
+                cycle: 3,
+                pkt: 0,
+                node: 4,
+                waited: 2,
+            },
+            SimEvent::Eject {
+                cycle: 9,
+                pkt: 0,
+                node: 3,
+                latency: 8,
+            },
+            SimEvent::Drop {
+                cycle: 5,
+                pkt: 1,
+                flits_lost: 12,
+            },
+            SimEvent::EpochSwap {
+                cycle: 6,
+                epoch: 1,
+                dead_channels: 2,
+                dead_nodes: 0,
+            },
+        ];
+        for event in &events {
+            let line = event_jsonl_line(event);
+            let value: serde::Value = serde_json::from_str(&line).expect("line parses as JSON");
+            assert!(value.as_map().is_some(), "line is not an object: {line}");
+            assert!(value.get("event").is_some(), "missing event tag in {line}");
+            assert!(value.get("cycle").is_some(), "missing cycle in {line}");
+        }
+        assert_eq!(
+            event_jsonl_line(&events[0]),
+            "{\"cycle\":1,\"event\":\"inject\",\"pkt\":0,\"src\":2,\"dst\":3,\"len\":32}"
+        );
+    }
+}

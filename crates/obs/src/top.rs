@@ -1,0 +1,129 @@
+//! The one-shot "busiest resources" view behind `irnet top`.
+
+use irnet_sim::SimStats;
+use irnet_topology::CommGraph;
+use std::fmt::Write as _;
+
+/// Renders a `top`-style summary of a finished run: the `k` busiest
+/// physical channels (with their endpoints and utilisation) and the `k`
+/// busiest nodes by delivered flits.
+///
+/// Utilisation is flits moved divided by measured cycles — a channel moves
+/// at most one flit per clock, so 1.000 is saturation.
+pub fn render_top(stats: &SimStats, cg: &CommGraph, k: usize) -> String {
+    let cycles = stats.cycles.max(1) as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cycles {}  packets {}/{}  flits {}  deadlocked {}",
+        stats.cycles,
+        stats.packets_delivered,
+        stats.packets_generated,
+        stats.flits_delivered,
+        stats.deadlocked
+    );
+
+    let mut channels: Vec<(u32, u64)> = stats
+        .channel_flits
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(c, &f)| (c as u32, f))
+        .collect();
+    channels.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    channels.truncate(k);
+    let _ = writeln!(
+        out,
+        "\nbusiest channels (of {}):",
+        stats.channel_flits.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>6} {:>6} {:>10} {:>7}",
+        "channel", "from", "to", "flits", "util"
+    );
+    if channels.is_empty() {
+        let _ = writeln!(out, "  (no channel moved a flit)");
+    }
+    for (c, flits) in channels {
+        let ch = cg.channels();
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6} {:>6} {:>10} {:>7.3}",
+            c,
+            ch.start(c),
+            ch.sink(c),
+            flits,
+            flits as f64 / cycles
+        );
+    }
+
+    let mut nodes: Vec<(u32, u64)> = stats
+        .node_flits_delivered
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(v, &f)| (v as u32, f))
+        .collect();
+    nodes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    nodes.truncate(k);
+    let _ = writeln!(out, "\nbusiest nodes (of {}):", stats.num_nodes);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>7}",
+        "node", "flits_in", "pkts_out", "util"
+    );
+    if nodes.is_empty() {
+        let _ = writeln!(out, "  (no node delivered a flit)");
+    }
+    for (v, flits) in nodes {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>12} {:>7.3}",
+            v,
+            flits,
+            stats
+                .node_packets_generated
+                .get(v as usize)
+                .copied()
+                .unwrap_or(0),
+            flits as f64 / cycles
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnet_core::DownUp;
+    use irnet_sim::{SimConfig, Simulator};
+    use irnet_topology::gen;
+
+    #[test]
+    fn top_lists_busiest_resources() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 2).unwrap();
+        let routing = DownUp::new().construct(&topo).unwrap();
+        let cfg = SimConfig {
+            packet_len: 8,
+            injection_rate: 0.05,
+            warmup_cycles: 100,
+            measure_cycles: 1_000,
+            ..SimConfig::default()
+        };
+        let stats = Simulator::new(routing.comm_graph(), routing.routing_tables(), cfg, 3).run();
+        let text = render_top(&stats, routing.comm_graph(), 5);
+        assert!(text.contains("busiest channels"));
+        assert!(text.contains("busiest nodes"));
+        // At 5% load something must have moved.
+        assert!(!text.contains("no channel moved a flit"));
+        // k bounds the listing: header + ≤5 channel rows before the blank line.
+        let channel_rows = text
+            .lines()
+            .skip_while(|l| !l.starts_with("busiest channels"))
+            .skip(2)
+            .take_while(|l| !l.is_empty())
+            .count();
+        assert!(channel_rows <= 5, "{channel_rows} rows");
+    }
+}

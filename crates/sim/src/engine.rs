@@ -1,6 +1,7 @@
 use crate::active::ActiveSet;
 use crate::config::{EngineCore, InjectionSampling, RouteChoice, SimConfig};
 use crate::hist::Histogram;
+use crate::record::{BlockedWorm, Recorder, SimEvent};
 use crate::stats::SimStats;
 use irnet_topology::{ChannelId, CommGraph, NodeId};
 use irnet_turns::{RoutingTables, INJECTION_SLOT};
@@ -149,6 +150,12 @@ pub struct Simulator<'a> {
     /// used by [`InjectionSampling::Geometric`].
     next_arrival: BinaryHeap<Reverse<(u32, NodeId)>>,
 
+    /// Attached structured-event sink ([`Simulator::attach_recorder`]);
+    /// `None` by default, so the hot path pays one branch per hook when
+    /// recording is disabled. Observation is read-only: hooks fire after
+    /// the engine's own bookkeeping and never touch the RNG.
+    recorder: Option<&'a mut (dyn Recorder + 'a)>,
+
     /// Scheduled reconfiguration epochs, sorted by activation cycle;
     /// `next_reconfig` indexes the first not yet applied.
     reconfigs: Vec<FaultEpoch<'a>>,
@@ -237,6 +244,7 @@ impl<'a> Simulator<'a> {
             eject_active: ActiveSet::new(n),
             scratch: Vec::with_capacity(64),
             next_arrival: BinaryHeap::new(),
+            recorder: None,
             reconfigs: Vec::new(),
             next_reconfig: 0,
             dead_channel: vec![false; nch],
@@ -265,17 +273,37 @@ impl<'a> Simulator<'a> {
 
     /// Runs warm-up plus measurement and returns the collected statistics.
     pub fn run(mut self) -> SimStats {
+        let deadlocked = self.run_in_place();
+        self.into_stats(deadlocked)
+    }
+
+    /// The watchdog loop behind [`Simulator::run`], usable without
+    /// consuming the simulator: steps until the configured horizon and
+    /// returns `true` if the stall watchdog fired first. The caller can
+    /// then inspect the wedged state (e.g. [`Simulator::blocked_worms`])
+    /// before finalizing with [`Simulator::finish_with`].
+    pub fn run_in_place(&mut self) -> bool {
         let total = self.cfg.total_cycles();
-        let mut deadlocked = false;
         while self.now < total {
             self.step();
-            if self.live_packets > 0 && self.now - self.last_progress > self.cfg.deadlock_threshold
-            {
-                deadlocked = true;
-                break;
+            if self.stalled() {
+                return true;
             }
         }
-        self.into_stats(deadlocked)
+        false
+    }
+
+    /// The watchdog predicate: live packets exist but nothing has moved
+    /// for more than `deadlock_threshold` cycles.
+    pub fn stalled(&self) -> bool {
+        self.live_packets > 0 && self.now - self.last_progress > self.cfg.deadlock_threshold
+    }
+
+    /// Attaches a structured-event recorder. Recording is strictly
+    /// observational — the run's statistics and RNG stream are bit-exact
+    /// with and without a recorder (see `tests/observability.rs`).
+    pub fn attach_recorder(&mut self, recorder: &'a mut (dyn Recorder + 'a)) {
+        self.recorder = Some(recorder);
     }
 
     /// Manually enqueues one packet at `src` for `dst` (generated at the
@@ -299,6 +327,16 @@ impl<'a> Simulator<'a> {
         if self.measuring() {
             self.packets_generated += 1;
             self.node_packets_generated[src as usize] += 1;
+        }
+        let (cycle, len) = (self.now, self.cfg.packet_len);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(&SimEvent::Inject {
+                cycle,
+                pkt: id,
+                src,
+                dst,
+                len,
+            });
         }
         id
     }
@@ -368,6 +406,183 @@ impl<'a> Simulator<'a> {
     /// Finalizes the run and returns the statistics collected so far.
     pub fn finish(self) -> SimStats {
         self.into_stats(false)
+    }
+
+    /// Like [`Simulator::finish`], but records whether the watchdog
+    /// aborted the run (pairs with [`Simulator::run_in_place`]).
+    pub fn finish_with(self, deadlocked: bool) -> SimStats {
+        self.into_stats(deadlocked)
+    }
+
+    /// The simulator's configuration (kept current by
+    /// [`Simulator::set_injection_rate`]).
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Clock of the last flit movement — the watchdog's anchor.
+    pub fn last_progress_cycle(&self) -> u32 {
+        self.last_progress
+    }
+
+    /// Physical channels of the simulated communication graph.
+    pub fn num_physical_channels(&self) -> u32 {
+        self.cg.num_channels()
+    }
+
+    /// Flits currently buffered in FIFOs and staging registers.
+    pub fn buffered_flit_count(&self) -> u64 {
+        self.buffered_flits
+    }
+
+    /// Worms currently holding a claimed route (headers that won
+    /// arbitration and have not yet streamed their tail past it).
+    pub fn active_worm_count(&self) -> u32 {
+        self.route.iter().filter(|&&r| r != ROUTE_NONE).count() as u32
+    }
+
+    /// Writes the current per-channel buffer occupancy (flits in input
+    /// FIFOs plus staging registers, summed over virtual channels) into
+    /// `out`, resized to the channel count. Read-only snapshot for
+    /// interval samplers.
+    pub fn channel_occupancy(&self, out: &mut Vec<u32>) {
+        let nch = self.cg.num_channels() as usize;
+        out.clear();
+        out.resize(nch, 0);
+        let vcs = self.vcs as usize;
+        for idx in 0..self.num_invc {
+            let c = idx / vcs;
+            out[c] += self.fifo_len[idx];
+            if self.staged[idx].is_some() {
+                out[c] += 1;
+            }
+        }
+    }
+
+    /// Cumulative link traversals per channel within the measurement
+    /// window so far (all zeros during warm-up).
+    pub fn channel_flits_so_far(&self) -> &[u64] {
+        &self.channel_flits
+    }
+
+    /// Cumulative flits delivered per node within the measurement window
+    /// so far (all zeros during warm-up).
+    pub fn node_flits_so_far(&self) -> &[u64] {
+        &self.node_flits_delivered
+    }
+
+    /// Channels killed by applied reconfiguration epochs.
+    pub fn dead_channel_ids(&self) -> Vec<ChannelId> {
+        self.dead_channel
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(c, _)| c as ChannelId)
+            .collect()
+    }
+
+    /// Captures every worm that cannot advance right now — the raw
+    /// material of the deadlock forensics report (`irnet-obs`).
+    ///
+    /// A worm is blocked when its head is stuck in arbitration
+    /// (`blocked >= 1`) or when its claimed output's staging register is
+    /// occupied (downstream backpressure). `holds` is every physical
+    /// channel occupied by the worm's flits or claimed by its
+    /// reservations; `wants` the channels its head could legally claim
+    /// next (for backpressured worms, the claimed channel it needs space
+    /// on). Read-only and allocation-heavy — call it after the watchdog
+    /// fires, not per cycle.
+    pub fn blocked_worms(&self) -> Vec<BlockedWorm> {
+        use std::collections::BTreeMap;
+        let vcs = self.vcs as usize;
+        let ch = self.cg.channels();
+        // Channels each live packet currently occupies: flits buffered in
+        // an input FIFO or staged on the channel, plus claimed routes.
+        let mut holds: BTreeMap<u32, Vec<ChannelId>> = BTreeMap::new();
+        for idx in 0..self.num_invc {
+            let c = (idx / vcs) as ChannelId;
+            let base = idx * self.depth;
+            let head = self.fifo_head[idx] as usize;
+            for k in 0..self.fifo_len[idx] as usize {
+                let pkt = self.fifo[base + (head + k) % self.depth].pkt;
+                holds.entry(pkt).or_default().push(c);
+            }
+            if let Some(f) = self.staged[idx] {
+                holds.entry(f.pkt).or_default().push(c);
+            }
+        }
+        for i in 0..self.num_inputs {
+            let r = self.route[i];
+            if r != ROUTE_NONE && r != ROUTE_EJECT {
+                holds
+                    .entry(self.route_pkt[i])
+                    .or_default()
+                    .push(r / vcs as u32);
+            }
+        }
+        for hs in holds.values_mut() {
+            hs.sort_unstable();
+            hs.dedup();
+        }
+        let mut out = Vec::new();
+        for i in 0..self.num_inputs {
+            let Some(flit) = self.peek_head(i) else {
+                continue;
+            };
+            let pkt = self.packets[flit.pkt as usize];
+            let v = self.input_node(i);
+            let r = self.route[i];
+            let mut wants: Vec<ChannelId> = Vec::new();
+            let mut wants_ejection = false;
+            if r == ROUTE_EJECT {
+                // The ejection register drains unconditionally every
+                // clock; a head routed to ejection can never wedge.
+                continue;
+            } else if r != ROUTE_NONE {
+                // Claimed route, but the staging register is occupied:
+                // waiting for space on the channel it already owns.
+                if self.staged[r as usize].is_none() {
+                    continue;
+                }
+                wants.push(r / vcs as u32);
+            } else {
+                // Header mid-arbitration. Only count it once it has
+                // actually waited a full arbitration attempt.
+                if flit.seq != 0 || self.blocked[i] == 0 {
+                    continue;
+                }
+                if v == pkt.dst {
+                    wants_ejection = true;
+                } else {
+                    let slot = if i < self.num_invc {
+                        ch.in_port((i / vcs) as u32) as usize + 1
+                    } else {
+                        INJECTION_SLOT
+                    };
+                    let mut mask = self.tables.candidates(pkt.dst, v, slot);
+                    if mask == 0 {
+                        mask = self.tables.candidates_any(pkt.dst, v, slot);
+                    }
+                    while mask != 0 {
+                        let p = mask.trailing_zeros() as u8;
+                        mask &= mask - 1;
+                        wants.push(ch.output_at(v, p));
+                    }
+                }
+            }
+            out.push(BlockedWorm {
+                pkt: flit.pkt,
+                src: pkt.src,
+                dst: pkt.dst,
+                node: v,
+                input_channel: (i < self.num_invc).then(|| (i / vcs) as ChannelId),
+                holds: holds.get(&flit.pkt).cloned().unwrap_or_default(),
+                wants,
+                wants_ejection,
+                blocked_cycles: self.blocked[i],
+            });
+        }
+        out
     }
 
     fn into_stats(self, deadlocked: bool) -> SimStats {
@@ -494,6 +709,15 @@ impl<'a> Simulator<'a> {
         // The epoch barrier counts as progress: the repaired network gets a
         // full watchdog window before a stall is declared.
         self.note_progress();
+        let (cycle, applied) = (self.now, self.reconfig_epochs);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(&SimEvent::EpochSwap {
+                cycle,
+                epoch: applied,
+                dead_channels: epoch.dead_channels.len() as u32,
+                dead_nodes: epoch.dead_nodes.len() as u32,
+            });
+        }
     }
 
     /// Removes every trace of packet `pkt` from the network — flits in
@@ -502,6 +726,7 @@ impl<'a> Simulator<'a> {
     /// accounting. Only called on fault paths; a run without faults never
     /// drops.
     fn drop_packet(&mut self, pkt: u32) {
+        let flits_dropped_before = self.dropped_flits;
         let len = self.packets[pkt as usize].len;
         // Input FIFOs: compact each ring that holds flits of the packet
         // (rings can interleave flits of different packets).
@@ -607,6 +832,14 @@ impl<'a> Simulator<'a> {
         }
         self.live_packets -= 1;
         self.dropped_packets += 1;
+        let (cycle, flits_lost) = (self.now, self.dropped_flits - flits_dropped_before);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(&SimEvent::Drop {
+                cycle,
+                pkt,
+                flits_lost: flits_lost as u32,
+            });
+        }
     }
 
     /// Advances the network by one clock.
@@ -703,6 +936,16 @@ impl<'a> Simulator<'a> {
             self.packets_generated += 1;
             self.node_packets_generated[v as usize] += 1;
         }
+        let (cycle, len) = (self.now, self.cfg.packet_len);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(&SimEvent::Inject {
+                cycle,
+                pkt: id,
+                src: v,
+                dst,
+                len,
+            });
+        }
     }
 
     /// Link stage, dense reference: every physical channel, every clock.
@@ -767,6 +1010,17 @@ impl<'a> Simulator<'a> {
                 // released for a new reservation.
                 self.owner[idx] = FREE;
             }
+            if flit.seq == 0 {
+                let cycle = self.now;
+                if let Some(rec) = self.recorder.as_deref_mut() {
+                    rec.record(&SimEvent::HeaderAdvance {
+                        cycle,
+                        pkt: flit.pkt,
+                        channel: c as ChannelId,
+                        vc: vc as u32,
+                    });
+                }
+            }
             self.rr[c] = ((vc + 1) % vcs) as u32;
             break;
         }
@@ -824,6 +1078,15 @@ impl<'a> Simulator<'a> {
                 self.latency_max = self.latency_max.max(lat);
                 self.latency_hist.record(lat);
             }
+            let (cycle, latency) = (self.now, self.now - pkt.gen_time);
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.record(&SimEvent::Eject {
+                    cycle,
+                    pkt: flit.pkt,
+                    node: v as NodeId,
+                    latency,
+                });
+            }
         }
     }
 
@@ -873,6 +1136,17 @@ impl<'a> Simulator<'a> {
                     self.blocked[i] += 1;
                     if self.measuring() {
                         self.header_block_cycles += 1;
+                    }
+                    if self.recorder.is_some() {
+                        let (cycle, node, waited) = (self.now, self.input_node(i), self.blocked[i]);
+                        if let Some(rec) = self.recorder.as_deref_mut() {
+                            rec.record(&SimEvent::Block {
+                                cycle,
+                                pkt: flit.pkt,
+                                node,
+                                waited,
+                            });
+                        }
                     }
                     return;
                 }
@@ -1128,6 +1402,16 @@ impl<'a> Simulator<'a> {
         self.owner[out] = i as u32;
         self.route[i] = out as u32;
         self.route_pkt[i] = pkt;
+        let vcs = self.vcs as usize;
+        let cycle = self.now;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(&SimEvent::VcAlloc {
+                cycle,
+                pkt,
+                channel: (out / vcs) as ChannelId,
+                vc: (out % vcs) as u32,
+            });
+        }
     }
 
     #[inline]

@@ -52,6 +52,7 @@ mod active;
 mod config;
 mod engine;
 mod hist;
+pub mod record;
 mod stats;
 pub mod trace;
 mod traffic;
@@ -59,6 +60,7 @@ mod traffic;
 pub use config::{EngineCore, InjectionSampling, RouteChoice, SimConfig};
 pub use engine::{FaultEpoch, Simulator};
 pub use hist::Histogram;
+pub use record::{BlockedWorm, Recorder, SimEvent};
 pub use stats::SimStats;
 pub use trace::{replay, ReplayResult, Trace, TraceEntry, TraceError};
 pub use traffic::{ArrivalProcess, TrafficPattern};

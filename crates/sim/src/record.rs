@@ -1,0 +1,182 @@
+//! Structured simulator events and the flight-recorder hook.
+//!
+//! The engine emits one [`SimEvent`] per interesting state transition
+//! (injection, header link traversal, virtual-channel allocation, blocked
+//! arbitration, delivery, drop, reconfiguration) to an attached
+//! [`Recorder`]. Recording is strictly *observational*: every hook fires
+//! after the engine's own bookkeeping, passes copies of already-computed
+//! values, and never touches the RNG — a run with a recorder attached is
+//! bit-exact with the same run without one (proptested in
+//! `tests/observability.rs`). With no recorder attached each hook costs a
+//! single `Option` branch.
+//!
+//! The concrete bounded ring-buffer recorder, interval samplers and
+//! deadlock forensics live in the `irnet-obs` crate; this module only
+//! defines the event vocabulary so the simulator does not depend on its
+//! own observers.
+
+use irnet_topology::{ChannelId, NodeId};
+
+/// One structured simulator event, stamped with the clock it occurred on.
+///
+/// `pkt` is the engine's packet id (dense, per-run). `channel` is a
+/// physical channel id of the communication graph; `vc` the virtual
+/// channel within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A packet entered its source queue.
+    Inject {
+        /// Clock of the event.
+        cycle: u32,
+        /// Packet id.
+        pkt: u32,
+        /// Source switch.
+        src: NodeId,
+        /// Destination switch.
+        dst: NodeId,
+        /// Packet length in flits.
+        len: u32,
+    },
+    /// A header flit traversed a physical link (entered the downstream
+    /// input FIFO).
+    HeaderAdvance {
+        /// Clock of the event.
+        cycle: u32,
+        /// Packet id.
+        pkt: u32,
+        /// Physical channel traversed.
+        channel: ChannelId,
+        /// Virtual channel within it.
+        vc: u32,
+    },
+    /// A header claimed an output virtual channel at a switch.
+    VcAlloc {
+        /// Clock of the event.
+        cycle: u32,
+        /// Packet id.
+        pkt: u32,
+        /// Physical channel claimed.
+        channel: ChannelId,
+        /// Virtual channel within it.
+        vc: u32,
+    },
+    /// A header spent this cycle blocked in arbitration at `node`.
+    Block {
+        /// Clock of the event.
+        cycle: u32,
+        /// Packet id.
+        pkt: u32,
+        /// Switch where the header is waiting.
+        node: NodeId,
+        /// Consecutive cycles this header has now been blocked.
+        waited: u32,
+    },
+    /// A tail flit was delivered: the packet left the network.
+    Eject {
+        /// Clock of the event.
+        cycle: u32,
+        /// Packet id.
+        pkt: u32,
+        /// Delivering switch (the packet's destination).
+        node: NodeId,
+        /// Clocks from generation to tail delivery.
+        latency: u32,
+    },
+    /// A packet was destroyed by a fault path (dead destination, stranded
+    /// route, or a reconfiguration cut).
+    Drop {
+        /// Clock of the event.
+        cycle: u32,
+        /// Packet id.
+        pkt: u32,
+        /// Buffered flits of the packet purged from the network.
+        flits_lost: u32,
+    },
+    /// A reconfiguration epoch was applied (resources died, tables
+    /// swapped).
+    EpochSwap {
+        /// Clock of the event.
+        cycle: u32,
+        /// Epochs applied so far, counting this one.
+        epoch: u32,
+        /// Channels killed by this epoch.
+        dead_channels: u32,
+        /// Switches killed by this epoch.
+        dead_nodes: u32,
+    },
+}
+
+impl SimEvent {
+    /// The clock the event occurred on.
+    pub fn cycle(&self) -> u32 {
+        match *self {
+            SimEvent::Inject { cycle, .. }
+            | SimEvent::HeaderAdvance { cycle, .. }
+            | SimEvent::VcAlloc { cycle, .. }
+            | SimEvent::Block { cycle, .. }
+            | SimEvent::Eject { cycle, .. }
+            | SimEvent::Drop { cycle, .. }
+            | SimEvent::EpochSwap { cycle, .. } => cycle,
+        }
+    }
+
+    /// The event kind as the snake_case tag used in JSONL exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::Inject { .. } => "inject",
+            SimEvent::HeaderAdvance { .. } => "header_advance",
+            SimEvent::VcAlloc { .. } => "vc_alloc",
+            SimEvent::Block { .. } => "block",
+            SimEvent::Eject { .. } => "eject",
+            SimEvent::Drop { .. } => "drop",
+            SimEvent::EpochSwap { .. } => "epoch_swap",
+        }
+    }
+}
+
+/// A sink for [`SimEvent`]s, attached with
+/// [`Simulator::attach_recorder`](crate::Simulator::attach_recorder).
+///
+/// Implementations must not assume events arrive in cycle order across
+/// kinds within one clock (the engine's pipeline stages run link → eject →
+/// crossbar), but cycle stamps are monotonically non-decreasing.
+pub trait Recorder {
+    /// Consumes one event.
+    fn record(&mut self, event: &SimEvent);
+}
+
+/// One worm that cannot advance, as captured by
+/// [`Simulator::blocked_worms`](crate::Simulator::blocked_worms) for
+/// deadlock forensics: the channels its flits occupy (`holds`) and the
+/// channels its header is waiting for (`wants`).
+///
+/// The waits-for graph over all blocked worms (edges `held → wanted`) is
+/// the runtime analogue of the static channel dependency graph; a cycle in
+/// it is a genuine circular wait; an acyclic graph with non-empty `wants`
+/// points at a dead or permanently-owned resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedWorm {
+    /// Packet id of the worm.
+    pub pkt: u32,
+    /// Source switch.
+    pub src: NodeId,
+    /// Destination switch.
+    pub dst: NodeId,
+    /// Switch where the head is stuck.
+    pub node: NodeId,
+    /// Input channel the head occupies (`None` for a source injection
+    /// port).
+    pub input_channel: Option<ChannelId>,
+    /// Physical channels currently occupied by this worm's flits or
+    /// claimed by its route reservations.
+    pub holds: Vec<ChannelId>,
+    /// Channels the stuck head could legally claim next (empty when the
+    /// head is waiting for ejection or for space on its claimed channel —
+    /// then `wants` is that claimed channel).
+    pub wants: Vec<ChannelId>,
+    /// True when the head is waiting for the local ejection port.
+    pub wants_ejection: bool,
+    /// Consecutive cycles the head has been blocked in arbitration (zero
+    /// for worms stalled behind their own claimed channel).
+    pub blocked_cycles: u32,
+}

@@ -135,6 +135,53 @@ impl Trace {
         Trace::new(entries, num_nodes)
     }
 
+    /// Serializes as JSONL: one `{"time":..,"src":..,"dst":..}` object per
+    /// line — the interchange format for externally recorded workloads
+    /// (CSV stays available for spreadsheet-style tooling).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{{\"time\":{},\"src\":{},\"dst\":{}}}\n",
+                e.time, e.src, e.dst
+            ));
+        }
+        out
+    }
+
+    /// Parses the JSONL produced by [`Trace::to_jsonl`]. Blank lines and
+    /// `#` comment lines are skipped; unknown keys are ignored so traces
+    /// carrying extra metadata still load.
+    pub fn from_jsonl(text: &str, num_nodes: u32) -> Result<Trace, TraceError> {
+        use serde::Value;
+        let mut entries = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let doc: Value = serde_json::from_str(line)
+                .map_err(|e| TraceError::Parse(format!("line {}: {e}", ln + 1)))?;
+            let field = |name: &str| -> Result<u32, TraceError> {
+                match doc.get(name) {
+                    Some(Value::U64(x)) if *x <= u64::from(u32::MAX) => Ok(*x as u32),
+                    Some(Value::I64(x)) if *x >= 0 && *x <= i64::from(u32::MAX) => Ok(*x as u32),
+                    Some(_) => Err(TraceError::Parse(format!("line {}: bad {name}", ln + 1))),
+                    None => Err(TraceError::Parse(format!(
+                        "line {}: missing {name}",
+                        ln + 1
+                    ))),
+                }
+            };
+            entries.push(TraceEntry {
+                time: field("time")?,
+                src: field("src")?,
+                dst: field("dst")?,
+            });
+        }
+        Trace::new(entries, num_nodes)
+    }
+
     /// A synthetic uniform trace: `packets` packets with uniformly random
     /// sources, destinations and injection times in `0..duration`.
     pub fn synthetic_uniform(num_nodes: u32, packets: u32, duration: u32, seed: u64) -> Trace {
@@ -282,6 +329,21 @@ mod tests {
         assert_eq!(t, back);
         assert!(Trace::from_csv("time,src,dst\n1,2\n", 10).is_err());
         assert!(Trace::from_csv("nonsense\n", 10).is_err());
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = Trace::synthetic_uniform(10, 50, 200, 4);
+        let jsonl = t.to_jsonl();
+        let back = Trace::from_jsonl(&jsonl, 10).unwrap();
+        assert_eq!(t, back);
+        // Unknown keys are tolerated, malformed lines are not.
+        let extra = "{\"time\":1,\"src\":0,\"dst\":2,\"size\":9}\n# comment\n";
+        assert_eq!(Trace::from_jsonl(extra, 10).unwrap().len(), 1);
+        assert!(Trace::from_jsonl("{\"time\":1,\"src\":0}\n", 10).is_err());
+        assert!(Trace::from_jsonl("not json\n", 10).is_err());
+        // CSV and JSONL agree on the same trace.
+        assert_eq!(Trace::from_csv(&t.to_csv(), 10).unwrap(), back);
     }
 
     #[test]

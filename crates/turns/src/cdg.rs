@@ -44,6 +44,43 @@ impl ChannelDepGraph {
         ChannelDepGraph { offsets, succ }
     }
 
+    /// Builds a dependency graph from an explicit edge list over
+    /// `num_channels` channels (duplicates are merged, self-loops kept —
+    /// a worm waiting on a channel it also holds is a genuine cycle).
+    ///
+    /// This is the runtime-forensics entry point: the waits-for graph of
+    /// blocked worms captured at a watchdog stall is certified with the
+    /// same Kahn's-algorithm + shortest-core-cycle minimizer the static
+    /// certifier uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a channel `>= num_channels`.
+    pub fn from_edges(num_channels: u32, edges: &[(ChannelId, ChannelId)]) -> ChannelDepGraph {
+        let n = num_channels as usize;
+        let mut sorted: Vec<(ChannelId, ChannelId)> = edges.to_vec();
+        for &(a, b) in &sorted {
+            assert!(
+                a < num_channels && b < num_channels,
+                "edge ({a}, {b}) outside channel range {num_channels}"
+            );
+        }
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut succ = Vec::with_capacity(sorted.len());
+        let mut k = 0usize;
+        for c in 0..num_channels {
+            while k < sorted.len() && sorted[k].0 == c {
+                succ.push(sorted[k].1);
+                k += 1;
+            }
+            offsets.push(succ.len() as u32);
+        }
+        ChannelDepGraph { offsets, succ }
+    }
+
     /// The edge-wise union of two dependency graphs over the same channel
     /// set — the UPR reconfiguration-safety object: a live transition from
     /// the routing behind `self` to the one behind `other` is deadlock-free
@@ -444,6 +481,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn from_edges_builds_the_listed_graph() {
+        let dep = ChannelDepGraph::from_edges(5, &[(3, 1), (0, 2), (0, 1), (0, 2), (4, 4)]);
+        assert_eq!(dep.num_channels(), 5);
+        assert_eq!(dep.num_edges(), 4); // duplicate (0,2) merged
+        assert_eq!(dep.successors(0), &[1, 2]);
+        assert_eq!(dep.successors(3), &[1]);
+        assert_eq!(dep.successors(4), &[4]); // self-loop kept
+        assert!(dep.successors(1).is_empty());
+        assert!(dep.find_cycle().is_some());
+        assert!(ChannelDepGraph::from_edges(3, &[(0, 1), (1, 2)]).is_acyclic());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`metrics`] — the paper's evaluation metrics and sweep machinery.
 //! * [`verify`] — static analysis: machine-checkable deadlock-freedom
 //!   certificates and the `IRNET-*` routing lint battery.
+//! * [`obs`] — observability: flight-recorder event tracing, interval
+//!   samplers, and watchdog deadlock forensics.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@
 pub use irnet_baselines as baselines;
 pub use irnet_core as downup;
 pub use irnet_metrics as metrics;
+pub use irnet_obs as obs;
 pub use irnet_sim as sim;
 pub use irnet_topology as topology;
 pub use irnet_turns as turns;
@@ -56,9 +59,10 @@ pub mod prelude {
     pub use irnet_metrics::paper::PaperMetrics;
     pub use irnet_metrics::sweep;
     pub use irnet_metrics::{Algo, Instance};
+    pub use irnet_obs::{deadlock_incident, FlightRecorder, Incident, IntervalSampler};
     pub use irnet_sim::{
-        ArrivalProcess, EngineCore, FaultEpoch, InjectionSampling, RouteChoice, SimConfig,
-        SimStats, Simulator, TrafficPattern,
+        ArrivalProcess, EngineCore, FaultEpoch, InjectionSampling, Recorder, RouteChoice,
+        SimConfig, SimEvent, SimStats, Simulator, TrafficPattern,
     };
     pub use irnet_topology::analysis;
     pub use irnet_topology::{
