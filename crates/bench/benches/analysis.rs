@@ -1,0 +1,88 @@
+//! Criterion benches for the static routability analyzer: the feasibility
+//! oracle on intact and degraded fabrics, and the whole-table property
+//! audits (reachability, stretch, minimality, livelock) over certified
+//! routing instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irnet_analyze::{analyze_faulted, analyze_topology, audit};
+use irnet_core::DownUp;
+use irnet_topology::{gen, FaultPlan, Topology};
+use irnet_verify::certify;
+use std::hint::black_box;
+
+fn paper_topo(n: u32, ports: u32) -> Topology {
+    gen::random_irregular(gen::IrregularParams::paper(n, ports), 7).unwrap()
+}
+
+fn bench_feasibility_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("feasibility_oracle");
+    g.sample_size(30);
+    for (n, ports) in [(128u32, 4u32), (256, 8), (1024, 8)] {
+        let topo = paper_topo(n, ports);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}sw_{ports}p")),
+            &topo,
+            |b, topo| {
+                b.iter(|| {
+                    black_box(analyze_topology(topo).is_feasible());
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_feasibility_oracle_faulted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("feasibility_oracle_faulted");
+    g.sample_size(30);
+    for faults in [4u32, 16, 64] {
+        let topo = paper_topo(256, 8);
+        let plan = FaultPlan::random(&topo, faults, 0, (100, 10_000), 11).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{faults}faults")),
+            &(topo, plan),
+            |b, (topo, plan)| {
+                b.iter(|| {
+                    black_box(analyze_faulted(topo, plan).unwrap().is_feasible());
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_table_audits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_audits");
+    g.sample_size(10);
+    for (n, ports) in [(64u32, 4u32), (128, 8)] {
+        let topo = paper_topo(n, ports);
+        let routing = DownUp::new().construct(&topo).unwrap();
+        let cert = certify(routing.comm_graph(), routing.turn_table());
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}sw_{ports}p")),
+            &(routing, cert),
+            |b, (routing, cert)| {
+                b.iter(|| {
+                    black_box(
+                        audit(
+                            routing.comm_graph(),
+                            routing.turn_table(),
+                            routing.routing_tables(),
+                            cert,
+                        )
+                        .passed(),
+                    );
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feasibility_oracle,
+    bench_feasibility_oracle_faulted,
+    bench_table_audits
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! The `irnet` exit-code contract, shared by every subcommand.
+//!
+//! * [`CLEAN`] (0) — the command ran to completion and surfaced nothing:
+//!   no lint errors, no failed audits, no deadlock, no failed epoch.
+//! * [`FINDING`] (1) — the invocation was well-formed and the command ran,
+//!   but it surfaced a finding or a data/runtime error: lint errors, a
+//!   failed audit or certification, an infeasible degradation, a deadlocked
+//!   simulation, unreadable or malformed input files.
+//! * [`USAGE`] (2) — the invocation itself was malformed (unknown
+//!   subcommand, unknown flag, missing or unparsable value). The usage
+//!   text is printed; nothing was analyzed or simulated.
+//!
+//! Scripts can therefore distinguish "the tool disagreed with the input"
+//! (1) from "I called the tool wrong" (2). `irnet lint`, `irnet analyze`,
+//! `irnet verify`, and `irnet faults` all route their exits through here.
+
+/// Ran to completion, nothing surfaced.
+pub const CLEAN: i32 = 0;
+/// Ran, but surfaced a finding or a data/runtime error.
+pub const FINDING: i32 = 1;
+/// The invocation itself was malformed; usage text was printed.
+pub const USAGE: i32 = 2;
+
+/// Terminates with [`FINDING`]. The caller prints the diagnostics first.
+pub fn finding() -> ! {
+    std::process::exit(FINDING)
+}
+
+/// Terminates with [`USAGE`]. The caller prints the usage text first.
+pub fn usage() -> ! {
+    std::process::exit(USAGE)
+}

@@ -3,6 +3,9 @@
 //! Subcommands:
 //!
 //! * `gen`      — generate a random irregular topology (JSON to stdout/file)
+//! * `analyze`  — static routability analysis: fabric statistics, the
+//!   feasibility oracle (optionally through a fault scenario), and the four
+//!   whole-table property audits; `--grid` sweeps the lint seed grids
 //! * `verify`   — construct a routing over a topology and verify deadlock
 //!   freedom + connectivity
 //! * `lint`     — run the static deadlock-freedom certifier and routing
@@ -27,9 +30,10 @@
 //! irnet faults --topology net.json --scenario faults.json --json
 //! ```
 //!
-//! Usage errors (bad flags, malformed values) print the usage text and exit
-//! with status 2; data and runtime errors print one diagnostic line and
-//! exit with status 1.
+//! Exit codes follow the contract in [`exit`]: 0 clean, 1 finding or
+//! data/runtime error, 2 usage error (usage text printed).
+
+mod exit;
 
 use irnet_metrics::paper::PaperMetrics;
 use irnet_metrics::{sweep, Algo, Instance};
@@ -55,6 +59,15 @@ common options:
 
 gen options:
   --out FILE          write the topology JSON to FILE (default stdout)
+
+analyze options:
+  --scenario FILE     run the feasibility oracle on the topology degraded by
+                      this fault plan (same format as `faults`), then audit
+                      the surviving fabric; an infeasible degradation is
+                      reported with a minimized obstruction and exit 1
+  --json              print the analysis report as versioned JSON
+  --grid              sweep the lint seed grids (oracle + audits per cell)
+  --quick / --full    grid size (as for lint)
 
 lint options:
   --json              print the lint report as JSON (single-target mode)
@@ -117,11 +130,11 @@ faults options (in addition to the simulate options; DOWN/UP only):
 
 fn fail(msg: &str) -> ! {
     eprintln!("irnet: {msg}\n\n{USAGE}");
-    std::process::exit(2)
+    exit::usage()
 }
 
 /// Options that are flags: present/absent, no value.
-const BOOL_FLAGS: &[&str] = &["quick", "full", "json", "progress", "no-repair"];
+const BOOL_FLAGS: &[&str] = &["quick", "full", "json", "progress", "no-repair", "grid"];
 
 struct Opts {
     kv: BTreeMap<String, String>,
@@ -264,7 +277,7 @@ fn cmd_verify(o: &Opts) -> Result<(), String> {
         println!("avg / max route len: {avg:.3} / {max}");
     }
     if !report.is_ok() {
-        std::process::exit(1);
+        exit::finding()
     }
     Ok(())
 }
@@ -295,7 +308,7 @@ fn lint_single(o: &Opts) -> Result<(), String> {
         print_lint_report(&report);
     }
     if report.has_errors() {
-        std::process::exit(1);
+        exit::finding()
     }
     Ok(())
 }
@@ -412,7 +425,7 @@ fn lint_grid(o: &Opts) -> Result<(), String> {
         cells - failed.min(cells)
     );
     if failed > 0 {
-        std::process::exit(1);
+        exit::finding()
     }
     Ok(())
 }
@@ -512,12 +525,240 @@ fn cmd_simulate(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Static analysis: fabric statistics, then the feasibility oracle
+/// (optionally through `--scenario`), then the four whole-table audits on
+/// the surviving fabric. Exits 1 when the target is infeasible or an audit
+/// errors; `--grid` sweeps the lint seed grids instead.
 fn cmd_analyze(o: &Opts) -> Result<(), String> {
-    use irnet_topology::analysis;
+    use irnet_analyze::{analyze_faulted, audit, AnalysisReport, Feasibility};
+    use irnet_topology::FaultPlan;
+
+    if o.flag("grid") {
+        return analyze_grid(o);
+    }
     let topo = load_topology(o)?;
-    let deg = analysis::degree_stats(&topo);
-    let dist = analysis::distance_stats(&topo);
-    let cuts = analysis::articulation_points(&topo);
+    let algo = parse_algo(o);
+    let policy = parse_policy(o);
+    let target = match o.get("topology") {
+        Some(path) => format!("topology={path} algo={algo} policy={policy:?}"),
+        None => format!(
+            "switches={} ports={} seed={} algo={algo} policy={policy:?}",
+            o.parse("switches", 64u32),
+            o.parse("ports", 4u32),
+            o.parse("seed", 1u64)
+        ),
+    };
+    let plan = match o.get("scenario") {
+        Some(path) => {
+            let raw =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            FaultPlan::from_json(&raw).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => FaultPlan::scripted([]),
+    };
+    let feasibility = analyze_faulted(&topo, &plan).map_err(|e| format!("fault plan: {e}"))?;
+    let report = match &feasibility {
+        Feasibility::Infeasible(_) => AnalysisReport {
+            target,
+            feasibility,
+            audit: None,
+        },
+        Feasibility::Feasible(_) => {
+            // Audit the surviving fabric (compacted when faults applied).
+            let degraded;
+            let audit_topo = if plan.is_empty() {
+                &topo
+            } else {
+                degraded = topo
+                    .degrade(&plan)
+                    .map_err(|e| format!("degrade failed after a feasible verdict: {e}"))?;
+                &degraded
+            };
+            let inst = algo
+                .construct(audit_topo, policy, o.parse("seed", 1u64))
+                .map_err(|e| format!("construction failed: {e}"))?;
+            let cert = irnet_verify::certify(&inst.cg, &inst.table);
+            AnalysisReport {
+                target,
+                feasibility,
+                audit: Some(audit(&inst.cg, &inst.table, &inst.tables, &cert)),
+            }
+        }
+    };
+    if o.flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        print_fabric_stats(o, &topo)?;
+        print_analysis(&report);
+    }
+    if !report.passed() {
+        exit::finding()
+    }
+    Ok(())
+}
+
+/// Human-readable half of an [`irnet_analyze::AnalysisReport`].
+fn print_analysis(report: &irnet_analyze::AnalysisReport) {
+    match &report.feasibility {
+        irnet_analyze::Feasibility::Feasible(w) => println!(
+            "feasibility         : feasible (up*/down* numbering over {} \
+             switches / {} channels, root {})",
+            w.alive_nodes, w.alive_channels, w.root
+        ),
+        irnet_analyze::Feasibility::Infeasible(obs) => {
+            println!("feasibility         : INFEASIBLE — {obs}");
+        }
+    }
+    let Some(a) = &report.audit else { return };
+    println!(
+        "audits              : {} ({} finding(s))",
+        if a.passed() { "passed" } else { "FAILED" },
+        a.findings.len()
+    );
+    for f in &a.findings {
+        println!("  {}: {}", f.code, f.message);
+    }
+    println!(
+        "stretch             : max {:.2}x, mean {:.3}x over {} pairs",
+        a.stretch.max, a.stretch.mean, a.stretch.pairs
+    );
+    println!(
+        "prohibited turns    : {} total, {} redundant (releasable)",
+        a.prohibited_turns, a.redundant_prohibitions
+    );
+}
+
+/// Oracle + audits over the same seed grids as `lint --quick` / `--full`.
+fn analyze_grid(o: &Opts) -> Result<(), String> {
+    use irnet_analyze::{analyze_topology, audit, Feasibility, SCHEMA};
+
+    let topos: &[(u32, u32, u64)] = if o.flag("full") {
+        &[
+            (32, 4, 1),
+            (32, 4, 2),
+            (32, 4, 3),
+            (32, 8, 1),
+            (32, 8, 2),
+            (48, 4, 1),
+            (48, 8, 1),
+            (64, 4, 1),
+        ]
+    } else {
+        &[(16, 4, 1), (16, 4, 2), (24, 4, 1), (24, 8, 1)]
+    };
+    let all_policy_algos = [
+        Algo::DownUp { release: true },
+        Algo::DownUp { release: false },
+        Algo::LTurn { release: true },
+        Algo::LTurn { release: false },
+    ];
+    let m1_only_algos = [Algo::UpDownBfs, Algo::UpDownDfs];
+
+    let mut cells = 0u32;
+    let mut failed = 0u32;
+    let mut oracle_failed = 0u32;
+    let mut warning_findings = 0usize;
+    let mut results: Vec<Value> = Vec::new();
+    let json = o.flag("json");
+    {
+        let mut run_cell = |topo: &Topology,
+                            label: &str,
+                            policy: PreorderPolicy,
+                            algo: Algo|
+         -> Result<(), String> {
+            cells += 1;
+            let target = format!("{label} policy={policy:?} algo={algo}");
+            let inst = algo
+                .construct(topo, policy, 0)
+                .map_err(|e| format!("construction failed for {target}: {e}"))?;
+            let cert = irnet_verify::certify(&inst.cg, &inst.table);
+            let report = audit(&inst.cg, &inst.table, &inst.tables, &cert);
+            let warnings = report
+                .findings
+                .iter()
+                .filter(|f| f.severity == Severity::Warning)
+                .count();
+            warning_findings += warnings;
+            if report.passed() {
+                if !json {
+                    println!("ok   {target} warnings={warnings}");
+                }
+            } else {
+                failed += 1;
+                println!("FAIL {target}");
+                for f in &report.findings {
+                    if f.severity == Severity::Error {
+                        println!("  {}: {}", f.code, f.message);
+                    }
+                }
+            }
+            results.push(Value::Map(vec![
+                ("target".to_string(), Value::Str(target)),
+                ("passed".to_string(), Value::Bool(report.passed())),
+                ("warnings".to_string(), Value::U64(warnings as u64)),
+            ]));
+            Ok(())
+        };
+        for &(n, ports, seed) in topos {
+            let topo = gen::random_irregular(gen::IrregularParams::paper(n, ports), seed)
+                .map_err(|e| format!("generation failed: {e}"))?;
+            let label = format!("switches={n} ports={ports} seed={seed}");
+            match analyze_topology(&topo) {
+                Feasibility::Feasible(w) => {
+                    if !json {
+                        println!(
+                            "oracle {label}: feasible ({} switches / {} channels)",
+                            w.alive_nodes, w.alive_channels
+                        );
+                    }
+                }
+                Feasibility::Infeasible(obs) => {
+                    oracle_failed += 1;
+                    println!("FAIL oracle {label}: {obs}");
+                }
+            }
+            for policy in PreorderPolicy::ALL {
+                for &algo in &all_policy_algos {
+                    run_cell(&topo, &label, policy, algo)?;
+                }
+            }
+            for &algo in &m1_only_algos {
+                run_cell(&topo, &label, PreorderPolicy::M1, algo)?;
+            }
+        }
+    }
+    failed += oracle_failed;
+    if json {
+        let grid = Value::Map(vec![
+            ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+            ("cells".to_string(), Value::U64(u64::from(cells))),
+            ("failed".to_string(), Value::U64(u64::from(failed))),
+            ("results".to_string(), Value::Seq(results)),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&grid).unwrap_or_default()
+        );
+    } else {
+        println!(
+            "analyze grid: {cells} cells, {} clean, {failed} failed, \
+             {warning_findings} warning finding(s)",
+            cells - failed.min(cells)
+        );
+    }
+    if failed > 0 {
+        exit::finding()
+    }
+    Ok(())
+}
+
+/// The original `analyze` fabric statistics (kept verbatim: scripts parse
+/// these lines).
+fn print_fabric_stats(o: &Opts, topo: &Topology) -> Result<(), String> {
+    use irnet_topology::analysis;
+    let deg = analysis::degree_stats(topo);
+    let dist = analysis::distance_stats(topo);
+    let cuts = analysis::articulation_points(topo);
     println!(
         "switches / links    : {} / {}",
         topo.num_nodes(),
@@ -538,9 +779,9 @@ fn cmd_analyze(o: &Opts) -> Result<(), String> {
             format!("{cuts:?}")
         }
     );
-    let tree = irnet_topology::CoordinatedTree::build(&topo, parse_policy(o), o.parse("seed", 1))
+    let tree = irnet_topology::CoordinatedTree::build(topo, parse_policy(o), o.parse("seed", 1))
         .map_err(|e| format!("tree construction failed: {e}"))?;
-    let lvl = analysis::level_profile(&topo, &tree);
+    let lvl = analysis::level_profile(topo, &tree);
     println!(
         "tree levels         : {:?} switches per level",
         lvl.population
@@ -769,6 +1010,36 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
     };
     if plan.is_empty() {
         return Err("the fault plan contains no events".to_string());
+    }
+    // Feasibility-first gate: faults are cumulative, so probe each epoch's
+    // cumulative plan and stop at the first provably-unroutable one. The
+    // oracle answers in milliseconds, so a hopeless scenario is reported
+    // here before any repair or simulation work is spent.
+    for cycle in plan.activation_cycles() {
+        let verdict = irnet_analyze::analyze_faulted(&topo, &plan.up_to(cycle))
+            .map_err(|e| format!("fault plan: {e}"))?;
+        if let irnet_analyze::Feasibility::Infeasible(obstruction) = verdict {
+            if o.flag("json") {
+                let report = Value::Map(vec![
+                    ("plan".to_string(), plan.to_value()),
+                    ("feasible".to_string(), Value::Bool(false)),
+                    (
+                        "infeasible_at_cycle".to_string(),
+                        Value::U64(u64::from(cycle)),
+                    ),
+                    ("obstruction".to_string(), obstruction.to_value()),
+                ]);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).unwrap_or_default()
+                );
+            }
+            return Err(format!(
+                "feasibility gate: the network degraded at cycle {cycle} is \
+                 provably unroutable ({obstruction}); skipping repair and \
+                 simulation"
+            ));
+        }
     }
     let cg = routing.comm_graph();
     let epochs = plan_epochs(&topo, cg, routing.turn_table(), &plan, builder)
@@ -1123,6 +1394,7 @@ fn main() {
     };
     if let Err(msg) = result {
         eprintln!("irnet: {msg}");
-        std::process::exit(1);
+        exit::finding()
     }
+    std::process::exit(exit::CLEAN)
 }

@@ -4,6 +4,11 @@
 //! A fault plan partitions simulated time into epochs at its activation
 //! cycles. For each epoch boundary the repair:
 //!
+//! 0. runs the *feasibility-first gate* (`irnet-analyze`): a one-BFS
+//!    oracle that decides whether any deadlock-free connected routing can
+//!    exist on the survivors at all. Hopeless degradations surface as
+//!    [`RepairError::Infeasible`] with a minimized obstruction in
+//!    milliseconds, before any rebuild work is spent;
 //! 1. degrades the original topology by every fault activated so far
 //!    (compact surviving graph + id maps, from `irnet-topology`);
 //! 2. re-runs the paper's Phases 1–3 on the surviving graph — a fresh
@@ -18,6 +23,7 @@
 //!    old∪new union check (in `irnet-verify`) is not vacuous.
 
 use crate::builder::{ConstructError, DownUp};
+use irnet_analyze::{analyze_faulted, Feasibility, Obstruction};
 use irnet_topology::{ChannelId, CommGraph, FaultError, FaultPlan, LinkId, NodeId, Topology};
 use irnet_turns::{RoutingTables, TurnTable};
 
@@ -51,8 +57,11 @@ pub struct ReconfigEpoch {
 /// Why an epoch could not be repaired.
 #[derive(Debug)]
 pub enum RepairError {
-    /// The degraded graph is unusable (partitioned, no survivors, or the
-    /// plan names unknown elements).
+    /// The feasibility oracle proved that no deadlock-free connected
+    /// routing exists on the survivors — rebuilding cannot help. Carries
+    /// the minimized obstruction (reported before any rebuild is run).
+    Infeasible(Obstruction),
+    /// The plan names unknown links or switches.
     Fault(FaultError),
     /// DOWN/UP construction failed on the surviving graph.
     Construct(ConstructError),
@@ -61,6 +70,9 @@ pub enum RepairError {
 impl std::fmt::Display for RepairError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RepairError::Infeasible(o) => {
+                write!(f, "degraded network is unroutable: {o}")
+            }
             RepairError::Fault(e) => write!(f, "{e}"),
             RepairError::Construct(e) => write!(f, "repair construction failed: {e}"),
         }
@@ -114,6 +126,15 @@ pub fn repair_epoch(
     cycle: u32,
     builder: DownUp,
 ) -> Result<ReconfigEpoch, RepairError> {
+    // Feasibility-first gate: prove the survivors routable before paying
+    // for the rebuild. Faults are cumulative, so an infeasible epoch also
+    // dooms every later one.
+    match analyze_faulted(topo, cumulative)? {
+        Feasibility::Feasible(_) => {}
+        Feasibility::Infeasible(obstruction) => {
+            return Err(RepairError::Infeasible(obstruction));
+        }
+    }
     let deg = topo.degrade_detailed(cumulative)?;
     let repaired = builder.construct(&deg.topology)?;
     let new_cg = repaired.comm_graph();
@@ -296,16 +317,39 @@ mod tests {
     }
 
     #[test]
-    fn partition_surfaces_as_fault_error() {
-        // A path topology: every link is a bridge.
+    fn partition_is_rejected_by_the_feasibility_gate() {
+        // A path topology: every link is a bridge, so losing one makes the
+        // degradation provably unroutable. The gate catches it with a
+        // minimized obstruction before any rebuild is attempted.
         let topo = Topology::new(4, 4, [(0, 1), (1, 2), (2, 3)]).unwrap();
         let routing = DownUp::new().construct(&topo).unwrap();
         let (_, cg, table, _) = routing.into_parts();
         let plan = FaultPlan::scripted([link_fault(10, 1, 2)]);
         let err = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap_err();
+        match err {
+            RepairError::Infeasible(Obstruction::Partitioned {
+                component,
+                witness_pair,
+                ..
+            }) => {
+                assert_eq!(component, vec![0, 1]);
+                assert_eq!(witness_pair, (0, 2));
+            }
+            other => panic!("expected the gate's obstruction, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_faults_still_surface_as_fault_errors() {
+        let (topo, cg, table) = base(2);
+        let plan = FaultPlan::scripted([link_fault(10, 0, topo.num_nodes() - 1)]);
+        if topo.link_between(0, topo.num_nodes() - 1).is_some() {
+            return; // the random graph happens to have this link; skip
+        }
+        let err = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap_err();
         assert!(matches!(
             err,
-            RepairError::Fault(FaultError::Partitioned { .. })
+            RepairError::Fault(FaultError::UnknownLink { .. })
         ));
     }
 

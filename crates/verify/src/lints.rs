@@ -19,6 +19,17 @@
 //! | `IRNET-E005` | error | cycle-closing non-monotone descent |
 //! | `IRNET-W001` | warning | allowed turn used by no minimal route |
 //! | `IRNET-W002` | warning | channel used by no minimal route |
+//! | `IRNET-E006` | error | reachable in-transit state with no escape (black hole) |
+//! | `IRNET-E007` | error | no deadlock-free connected routing exists (infeasible) |
+//! | `IRNET-E008` | error | minimal turn-legal route longer than the switch count |
+//! | `IRNET-E009` | error | misroute escape edge does not climb the certificate rank |
+//! | `IRNET-W003` | warning | route stretch over BFS exceeds the audit threshold |
+//! | `IRNET-W004` | warning | prohibited turn is not load-bearing (releasable) |
+//!
+//! Codes `E001`–`E005` and `W001`/`W002` are produced by [`lint`] in this
+//! crate; `E006`–`E009` and `W003`/`W004` are produced by the whole-table
+//! property auditor in `irnet-analyze`, which reuses the [`Finding`] /
+//! [`LintReport`] plumbing and JSON export defined here.
 
 use crate::certificate::{certify_dep, Certificate, Verdict};
 use irnet_topology::{ChannelId, CommGraph, Direction, NodeId};
@@ -46,6 +57,24 @@ pub enum LintCode {
     DeadTurn,
     /// `IRNET-W002`: a channel lies on no minimal route.
     UnreachableChannel,
+    /// `IRNET-E006`: a state reachable under the misroute escape masks has
+    /// no escape toward its destination (a silent black hole).
+    BlackHole,
+    /// `IRNET-E007`: the feasibility oracle proved that no deadlock-free
+    /// connected routing exists on the (degraded) topology.
+    Infeasible,
+    /// `IRNET-E008`: a minimal turn-legal route is longer than the switch
+    /// count — it revisits a switch, which tree-based routing never needs.
+    RouteOverlong,
+    /// `IRNET-E009`: a misroute escape edge fails to climb the certificate
+    /// numbering, so misrouting admits a static livelock cycle.
+    RankViolation,
+    /// `IRNET-W003`: the worst route stretch over BFS shortest paths
+    /// exceeds the audit threshold.
+    ExcessStretch,
+    /// `IRNET-W004`: a prohibited turn is not load-bearing — releasing it
+    /// alone would keep the dependency graph acyclic.
+    RedundantProhibition,
 }
 
 /// Finding severity.
@@ -68,6 +97,12 @@ impl LintCode {
             LintCode::NonMonotoneDescent => "IRNET-E005",
             LintCode::DeadTurn => "IRNET-W001",
             LintCode::UnreachableChannel => "IRNET-W002",
+            LintCode::BlackHole => "IRNET-E006",
+            LintCode::Infeasible => "IRNET-E007",
+            LintCode::RouteOverlong => "IRNET-E008",
+            LintCode::RankViolation => "IRNET-E009",
+            LintCode::ExcessStretch => "IRNET-W003",
+            LintCode::RedundantProhibition => "IRNET-W004",
         }
     }
 
@@ -81,13 +116,22 @@ impl LintCode {
             LintCode::NonMonotoneDescent => "non-monotone-descent",
             LintCode::DeadTurn => "dead-turn",
             LintCode::UnreachableChannel => "unreachable-channel",
+            LintCode::BlackHole => "black-hole",
+            LintCode::Infeasible => "infeasible",
+            LintCode::RouteOverlong => "route-overlong",
+            LintCode::RankViolation => "misroute-rank-violation",
+            LintCode::ExcessStretch => "excess-stretch",
+            LintCode::RedundantProhibition => "redundant-prohibition",
         }
     }
 
     /// Severity class of this code.
     pub fn severity(self) -> Severity {
         match self {
-            LintCode::DeadTurn | LintCode::UnreachableChannel => Severity::Warning,
+            LintCode::DeadTurn
+            | LintCode::UnreachableChannel
+            | LintCode::ExcessStretch
+            | LintCode::RedundantProhibition => Severity::Warning,
             _ => Severity::Error,
         }
     }

@@ -17,6 +17,9 @@
 //! * [`metrics`] — the paper's evaluation metrics and sweep machinery.
 //! * [`verify`] — static analysis: machine-checkable deadlock-freedom
 //!   certificates and the `IRNET-*` routing lint battery.
+//! * [`analyze`] — the static routability analyzer: a feasibility oracle
+//!   with constructive witnesses / minimized obstructions, and whole-table
+//!   property audits (reachability, stretch, minimality, livelock).
 //! * [`obs`] — observability: flight-recorder event tracing, interval
 //!   samplers, and watchdog deadlock forensics.
 //!
@@ -43,6 +46,7 @@
 //! assert!(stats.accepted_traffic() > 0.0);
 //! ```
 
+pub use irnet_analyze as analyze;
 pub use irnet_baselines as baselines;
 pub use irnet_core as downup;
 pub use irnet_metrics as metrics;
@@ -54,6 +58,10 @@ pub use irnet_verify as verify;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use irnet_analyze::{
+        analyze_faulted, analyze_topology, audit, AnalysisReport, AuditReport, Feasibility,
+        Obstruction, Witness,
+    };
     pub use irnet_baselines::{lturn, updown, BaselineRouting};
     pub use irnet_core::{plan_epochs, repair_epoch, DownUp, DownUpRouting, ReconfigEpoch};
     pub use irnet_metrics::paper::PaperMetrics;

@@ -1,0 +1,134 @@
+//! The static routability analyzer, cross-checked from the outside: on
+//! random irregular topologies a certifier-accepted routing implies the
+//! feasibility oracle must answer `Feasible` with an independently
+//! checkable witness, and the shipped infeasible scenario fixture is
+//! pinned — the full plan is provably unroutable while the same plan
+//! without its final event is still feasible.
+
+use irnet::prelude::*;
+use proptest::prelude::*;
+
+fn build(n: u32, ports: u32, seed: u64) -> Topology {
+    gen::random_irregular(gen::IrregularParams::paper(n, ports), seed).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Certifier-acyclic implies feasible: whenever any constructor yields
+    /// a routing the certifier accepts as deadlock-free, the feasibility
+    /// oracle must agree the topology is routable — and its constructive
+    /// witness must pass its own verifier.
+    #[test]
+    fn certified_routings_imply_a_feasible_verdict(
+        (n, ports, seed) in (8u32..48, 3u32..9, 0u64..10_000)
+    ) {
+        let topo = build(n, ports, seed);
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M1, seed)
+            .unwrap();
+        let cert = certify(&inst.cg, &inst.table);
+        prop_assert!(cert.is_deadlock_free(), "constructions must certify");
+
+        match analyze_topology(&topo) {
+            Feasibility::Feasible(witness) => {
+                prop_assert!(
+                    witness.check(&topo).is_ok(),
+                    "witness rejected by its own verifier"
+                );
+            }
+            Feasibility::Infeasible(o) => {
+                prop_assert!(false, "certified topology judged infeasible: {o}");
+            }
+        }
+    }
+
+    /// The oracle agrees with `Topology::degrade` on random fault plans:
+    /// degrade succeeds and stays connected iff the oracle says feasible.
+    #[test]
+    fn oracle_matches_degrade_on_random_plans(
+        (n, ports, seed, faults) in (8u32..32, 3u32..7, 0u64..10_000, 1u32..10)
+    ) {
+        let topo = build(n, ports, seed);
+        let links = faults.min(topo.num_links());
+        let plan = FaultPlan::random(&topo, links, 0, (100, 500), seed ^ 0xa5a5).unwrap();
+        let verdict = analyze_faulted(&topo, &plan).unwrap();
+        match topo.degrade(&plan) {
+            Ok(degraded) => {
+                // `degrade` succeeding means the survivors stay connected,
+                // which is exactly the oracle's feasibility condition.
+                prop_assert!(
+                    verdict.is_feasible(),
+                    "degrade succeeded but oracle says {:?}",
+                    verdict.obstruction()
+                );
+                let routed = Algo::DownUp { release: true }
+                    .construct(&degraded, PreorderPolicy::M1, seed)
+                    .unwrap();
+                prop_assert!(certify(&routed.cg, &routed.table).is_deadlock_free());
+            }
+            Err(_) => {
+                prop_assert!(!verdict.is_feasible(), "degrade failed but oracle says feasible");
+            }
+        }
+    }
+}
+
+/// The whole-table audits hold on random certified instances: no black
+/// holes, no livelock-rank violations, and full all-pairs stretch
+/// coverage.
+#[test]
+fn audits_pass_on_random_certified_instances() {
+    for seed in [3u64, 17, 91] {
+        let topo = build(28, 5, seed);
+        let inst = Algo::DownUp { release: true }
+            .construct(&topo, PreorderPolicy::M3, seed)
+            .unwrap();
+        let cert = certify(&inst.cg, &inst.table);
+        let report = audit(&inst.cg, &inst.table, &inst.tables, &cert);
+        assert!(report.passed(), "audit failed at seed {seed}: {report:?}");
+        assert_eq!(report.black_hole_states, 0);
+        let n = u64::from(topo.num_nodes());
+        assert_eq!(report.stretch.pairs, n * (n - 1));
+    }
+}
+
+/// Pins the shipped `scenarios/infeasible_128.json` fixture: the full plan
+/// is provably unroutable on the 128-switch reference topology, the
+/// obstruction is a partition with a concrete witness pair, and dropping
+/// only the final event restores feasibility (the scenario is minimal at
+/// its tail by construction).
+#[test]
+fn infeasible_fixture_is_minimal_at_its_tail() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/infeasible_128.json"
+    ))
+    .expect("fixture must ship with the repo");
+    let plan = FaultPlan::from_json(&text).expect("fixture must parse");
+    let topo = build(128, 4, 1);
+
+    let full = analyze_faulted(&topo, &plan).unwrap();
+    let Feasibility::Infeasible(obstruction) = &full else {
+        panic!("the full fixture plan must be infeasible");
+    };
+    match obstruction {
+        Obstruction::Partitioned {
+            witness_pair: (a, b),
+            ..
+        } => {
+            assert_ne!(a, b, "witness pair must name two distinct switches");
+        }
+        other => panic!("expected a partition obstruction, got {other}"),
+    }
+
+    let events = plan.events();
+    assert!(!events.is_empty());
+    let truncated = FaultPlan::scripted(events[..events.len() - 1].iter().copied());
+    let verdict = analyze_faulted(&topo, &truncated).unwrap();
+    assert!(
+        verdict.is_feasible(),
+        "dropping the final event must restore feasibility, got {:?}",
+        verdict.obstruction()
+    );
+}
