@@ -33,7 +33,7 @@
 //! witnesses are minimized (smallest partition component, shortest forced
 //! cycle) before they are reported.
 
-use irnet_topology::{ChannelId, FaultError, FaultKind, FaultPlan, NodeId, Topology};
+use irnet_topology::{ChannelId, DegradedTopology, FaultError, FaultPlan, NodeId, Topology};
 use irnet_turns::ChannelDepGraph;
 use serde::{Serialize, Value};
 use std::fmt;
@@ -316,33 +316,55 @@ pub fn analyze_topology(topo: &Topology) -> Feasibility {
 /// milliseconds even at thousands of switches — which is what lets the
 /// repair path reject hopeless degradations before rebuilding anything.
 pub fn analyze_faulted(topo: &Topology, plan: &FaultPlan) -> Result<Feasibility, FaultError> {
-    let n = topo.num_nodes() as usize;
-    let m = topo.num_links() as usize;
-    let mut node_dead = vec![false; n];
-    let mut link_dead = vec![false; m];
-    for ev in plan.events() {
-        match ev.kind {
-            FaultKind::Link { a, b } => {
-                let l = topo
-                    .link_between(a.min(b), a.max(b))
-                    .ok_or(FaultError::UnknownLink { a, b })?;
-                link_dead[l as usize] = true;
-            }
-            FaultKind::Switch { node } => {
-                if node >= topo.num_nodes() {
-                    return Err(FaultError::UnknownSwitch {
-                        node,
-                        num_nodes: topo.num_nodes(),
-                    });
-                }
-                node_dead[node as usize] = true;
-                for &(_, l) in topo.neighbors(node) {
-                    link_dead[l as usize] = true;
-                }
-            }
+    let (node_dead, link_dead) = topo.fault_masks(plan)?;
+    Ok(analyze_survivors(topo, &node_dead, &link_dead))
+}
+
+/// The oracle verdict together with the degradation it was computed from.
+///
+/// Historically `repair_epoch` ran [`analyze_faulted`]'s BFS as a gate and
+/// then [`Topology::degrade_detailed`] re-resolved the same plan into the
+/// same survivor masks a second time. This entry point resolves the plan
+/// once: a feasible verdict hands back both the constructive witness and
+/// the compact [`DegradedTopology`] the rebuild needs.
+#[derive(Debug, Clone)]
+pub enum AnalyzedDegrade {
+    /// The survivors admit a deadlock-free connected routing; carries the
+    /// oracle's witness and the compacted surviving graph with its id maps.
+    Feasible {
+        /// The constructive up\*/down\* numbering certifying feasibility.
+        witness: Witness,
+        /// The compact surviving topology plus original↔compact id maps
+        /// (boxed: it dwarfs the [`Obstruction`] variant).
+        degraded: Box<DegradedTopology>,
+    },
+    /// Provably unroutable, with the minimized obstruction.
+    Infeasible(Obstruction),
+}
+
+/// Runs the oracle on `topo` degraded by `plan` and, when feasible, also
+/// compacts the survivors — resolving the fault plan exactly once for both
+/// answers (see [`AnalyzedDegrade`]).
+///
+/// # Errors
+///
+/// Only plans naming unknown links or switches fail; partitioned or empty
+/// survivor sets are an [`AnalyzedDegrade::Infeasible`] verdict.
+pub fn analyze_and_degrade(
+    topo: &Topology,
+    plan: &FaultPlan,
+) -> Result<AnalyzedDegrade, FaultError> {
+    let (node_dead, link_dead) = topo.fault_masks(plan)?;
+    match analyze_survivors(topo, &node_dead, &link_dead) {
+        Feasibility::Infeasible(o) => Ok(AnalyzedDegrade::Infeasible(o)),
+        Feasibility::Feasible(witness) => {
+            // The oracle just proved the survivors connected and non-empty,
+            // so compaction cannot fail; propagate rather than panic to
+            // keep the contract honest.
+            let degraded = Box::new(topo.degrade_from_masks(&node_dead, &link_dead)?);
+            Ok(AnalyzedDegrade::Feasible { witness, degraded })
         }
     }
-    Ok(analyze_survivors(topo, &node_dead, &link_dead))
 }
 
 /// The oracle core over explicit survivor masks.
@@ -709,7 +731,7 @@ fn shortest_cycle(n: u32, edges: &[(u32, u32)]) -> Option<Vec<u32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use irnet_topology::{gen, FaultEvent};
+    use irnet_topology::{gen, FaultEvent, FaultKind};
 
     fn link(cycle: u32, a: NodeId, b: NodeId) -> FaultEvent {
         FaultEvent {

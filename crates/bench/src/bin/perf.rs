@@ -21,7 +21,7 @@
 //! comma-separated list of switch counts. Timing is reported, never
 //! asserted — CI fails only on panic or invalid JSON.
 //!
-//! ## `BENCH_sim.json` schema (`schema_version` 3)
+//! ## `BENCH_sim.json` schema (`schema_version` 4)
 //!
 //! ```json
 //! {
@@ -63,6 +63,16 @@
 //!       "dense_cycles_per_sec": 301003.3,
 //!       "speedup": 7.12
 //!     }
+//!   ],
+//!   "repair": [
+//!     {
+//!       "switches": 128, "ports": 8, "strategy": "incremental",
+//!       "classify_seconds": 0.00002, "phases_seconds": 0.0011,
+//!       "patch_seconds": 0.0006, "recertify_seconds": 0.0001,
+//!       "total_seconds": 0.0018,
+//!       "touched_switches": 9, "touched_rows": 1204,
+//!       "patched_in_place": true
+//!     }
 //!   ]
 //! }
 //! ```
@@ -87,7 +97,12 @@
 //! Schema v2 is a superset of v1: it adds the `construction` array, so v1
 //! consumers that only read `results`/`speedups` keep working. Schema v3
 //! adds the per-phase span fields to each `construction` entry (again a
-//! pure superset).
+//! pure superset). Schema v4 adds the `repair` array: per fabric, the cost
+//! of repairing one cross-link failure (the first non-tree link — never a
+//! bridge, since the coordinated tree survives without it) under both the
+//! `full` rebuild and the `incremental` patching strategy, each the
+//! fastest of `reps` runs, broken down into the four repair-stage spans
+//! (see `irnet_core::RepairSpans`).
 
 use irnet_bench::fixtures;
 use irnet_bench::parse_args;
@@ -154,6 +169,23 @@ struct ConstructionResult {
     tables_seconds: f64,
 }
 
+/// Cost of repairing one cross-link failure on a fabric under one
+/// [`RepairStrategy`](irnet_core::RepairStrategy) (fastest of `reps` runs).
+#[derive(Serialize)]
+struct RepairResult {
+    switches: u32,
+    ports: u32,
+    strategy: String,
+    classify_seconds: f64,
+    phases_seconds: f64,
+    patch_seconds: f64,
+    recertify_seconds: f64,
+    total_seconds: f64,
+    touched_switches: u32,
+    touched_rows: u64,
+    patched_in_place: bool,
+}
+
 /// The whole `BENCH_sim.json` document.
 #[derive(Serialize)]
 struct BenchReport {
@@ -166,6 +198,7 @@ struct BenchReport {
     construction: Vec<ConstructionResult>,
     results: Vec<CoreResult>,
     speedups: Vec<Speedup>,
+    repair: Vec<RepairResult>,
 }
 
 /// Offered-load operating points (label, flits/node/clock).
@@ -240,6 +273,86 @@ fn build_fabric(
     (fixtures::Fabric { topo, routing }, stats)
 }
 
+/// Times the repair of a single cross-link failure (the first non-tree
+/// link — never a bridge, because the coordinated tree spans the graph
+/// without it) under both repair strategies, fastest of `reps` runs each.
+/// Returns an empty vector on the degenerate all-tree fabric.
+fn bench_repair(
+    fabric: &fixtures::Fabric,
+    switches: u32,
+    ports: u32,
+    reps: u32,
+) -> Vec<RepairResult> {
+    use irnet_core::{plan_epochs_with, RepairSpans, RepairStrategy};
+    use irnet_topology::{FaultEvent, FaultKind, FaultPlan};
+
+    let tree = fabric.routing.tree();
+    let mut cross = None;
+    for (l, &(a, b)) in fabric.topo.links().iter().enumerate() {
+        if !tree.is_tree_link(u32::try_from(l).expect("link count fits u32")) {
+            cross = Some((a, b));
+            break;
+        }
+    }
+    let Some((a, b)) = cross else {
+        return Vec::new();
+    };
+    let plan = FaultPlan::scripted([FaultEvent {
+        cycle: 1_000,
+        kind: FaultKind::Link { a, b },
+    }]);
+    let mut out = Vec::new();
+    for strategy in [RepairStrategy::Full, RepairStrategy::Incremental] {
+        let mut best: Option<RepairSpans> = None;
+        let mut best_total = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let epochs = plan_epochs_with(
+                &fabric.topo,
+                fabric.routing.comm_graph(),
+                fabric.routing.turn_table(),
+                fabric.routing.routing_tables(),
+                &plan,
+                DownUp::new(),
+                strategy,
+            )
+            .expect("cross-link repair failed");
+            let spans = epochs.into_iter().next().expect("one repair epoch").spans;
+            let total = spans.total_seconds();
+            if total < best_total {
+                best_total = total;
+                best = Some(spans);
+            }
+        }
+        let s = best.expect("at least one rep");
+        eprintln!(
+            "  repair {:>12}: {:>9.4}s  (classify {:.4} + phases {:.4} + \
+             patch {:.4} + recertify {:.4}), {} switch(es) / {} row(s)",
+            strategy.name(),
+            s.total_seconds(),
+            s.classify_seconds,
+            s.phases_seconds,
+            s.patch_seconds,
+            s.recertify_seconds,
+            s.touched_switches,
+            s.touched_rows,
+        );
+        out.push(RepairResult {
+            switches,
+            ports,
+            strategy: strategy.name().to_string(),
+            classify_seconds: s.classify_seconds,
+            phases_seconds: s.phases_seconds,
+            patch_seconds: s.patch_seconds,
+            recertify_seconds: s.recertify_seconds,
+            total_seconds: s.total_seconds(),
+            touched_switches: s.touched_switches,
+            touched_rows: s.touched_rows,
+            patched_in_place: s.patched_in_place,
+        });
+    }
+    out
+}
+
 fn time_run(fabric: &fixtures::Fabric, cfg: SimConfig, seed: u64, reps: u32) -> (f64, SimStats) {
     let cg = fabric.routing.comm_graph();
     let rt = fabric.routing.routing_tables();
@@ -292,6 +405,7 @@ fn main() {
     let mut construction = Vec::new();
     let mut results = Vec::new();
     let mut speedups = Vec::new();
+    let mut repair = Vec::new();
     for &(switches, ports) in &sizes {
         eprintln!("building {switches}-switch/{ports}-port fabric...");
         let (fabric, built) = build_fabric(switches, ports, seed, reps);
@@ -304,6 +418,7 @@ fn main() {
             built.phase1_seconds, built.phase2_seconds, built.phase3_seconds, built.tables_seconds,
         );
         construction.push(built);
+        repair.extend(bench_repair(&fabric, switches, ports, reps));
         for (load, rate) in LOADS {
             let cfg = SimConfig {
                 packet_len: PACKET_LEN,
@@ -374,9 +489,21 @@ fn main() {
             s.switches, s.load, s.speedup
         );
     }
+    for pair in repair.chunks(2) {
+        if let [full, incr] = pair {
+            println!(
+                "{:>4} switches  cross-link repair  full {:>9.4}s  \
+                 incremental {:>9.4}s  ({:.1}x faster)",
+                full.switches,
+                full.total_seconds,
+                incr.total_seconds,
+                full.total_seconds / incr.total_seconds
+            );
+        }
+    }
 
     let report = BenchReport {
-        schema_version: 3,
+        schema_version: 4,
         bench: "sim_core".to_string(),
         quick,
         packet_len: PACKET_LEN,
@@ -385,6 +512,7 @@ fn main() {
         construction,
         results,
         speedups,
+        repair,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialization failed");
     std::fs::write(&out_path, json + "\n").expect("failed to write report");

@@ -15,6 +15,9 @@
 //! construction times are diffed the same way, matched by
 //! `(switches, ports)`; a v1 report (no such array) still compares
 //! cleanly against a v2 one — the construction diff is just skipped.
+//! Likewise the `repair` array (schema v4) is matched by
+//! `(switches, ports, strategy)` on `total_seconds`, warning on
+//! *increases*, and is skipped when either report predates it.
 //!
 //! The comparator is **report-only**: it always exits 0 on a successful
 //! comparison, so noisy CI runners cannot fail the build — the warnings are
@@ -46,7 +49,17 @@ struct BuildEntry {
     construct_seconds: f64,
 }
 
-fn load_entries(path: &str) -> Result<(Vec<Entry>, Vec<BuildEntry>), String> {
+/// One comparable single-fault repair timing (schema v4+), keyed by
+/// `(switches, ports, strategy)`.
+struct RepairEntry {
+    key: (u64, u64, String),
+    total_seconds: f64,
+}
+
+/// Everything one report contributes to the diff.
+type Loaded = (Vec<Entry>, Vec<BuildEntry>, Vec<RepairEntry>);
+
+fn load_entries(path: &str) -> Result<Loaded, String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc: Value =
         serde_json::from_str(&raw).map_err(|e| format!("invalid JSON in {path}: {e}"))?;
@@ -97,7 +110,24 @@ fn load_entries(path: &str) -> Result<(Vec<Entry>, Vec<BuildEntry>), String> {
             .collect::<Result<_, String>>()?,
         None => Vec::new(),
     };
-    Ok((entries, builds))
+    // Same leniency for the schema v4 `repair` array.
+    let repairs: Vec<RepairEntry> = match doc.get("repair").and_then(Value::as_seq) {
+        Some(seq) => seq
+            .iter()
+            .map(|r| {
+                Ok(RepairEntry {
+                    key: (
+                        num(r, "switches")? as u64,
+                        num(r, "ports")? as u64,
+                        text(r, "strategy")?,
+                    ),
+                    total_seconds: num(r, "total_seconds")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        None => Vec::new(),
+    };
+    Ok((entries, builds, repairs))
 }
 
 fn run() -> Result<(), String> {
@@ -112,8 +142,8 @@ fn run() -> Result<(), String> {
         .to_string();
     let threshold: f64 = cli.opt_parse("threshold", 20.0);
 
-    let (old, old_builds) = load_entries(&old_path)?;
-    let (new, new_builds) = load_entries(&new_path)?;
+    let (old, old_builds, old_repairs) = load_entries(&old_path)?;
+    let (new, new_builds, new_repairs) = load_entries(&new_path)?;
 
     let mut compared = 0u32;
     let mut warnings = 0u32;
@@ -223,6 +253,53 @@ fn run() -> Result<(), String> {
             println!("construction entr(ies) only in {old_path} (dropped from the new report):");
             for b in &only_old_builds {
                 println!("  {}sw/{}p", b.key.0, b.key.1);
+            }
+        }
+    }
+    // Single-fault repair diff (schema v4+). As with construction, slower
+    // repair is the regression, so the warning fires on *increases*.
+    if !old_repairs.is_empty() && !new_repairs.is_empty() {
+        println!("switches ports     strategy      old repair      new repair   change");
+        for r in &new_repairs {
+            let Some(prev) = old_repairs.iter().find(|o| o.key == r.key) else {
+                println!(
+                    "  {}sw/{}p {} only in {new_path} (no old baseline)",
+                    r.key.0, r.key.1, r.key.2
+                );
+                continue;
+            };
+            compared += 1;
+            let change = if prev.total_seconds > 0.0 {
+                100.0 * (r.total_seconds - prev.total_seconds) / prev.total_seconds
+            } else {
+                0.0
+            };
+            let mark = if change > threshold {
+                "  << WARNING"
+            } else {
+                ""
+            };
+            println!(
+                "{:>8} {:>5} {:>12} {:>14.4}s {:>14.4}s {:>+7.1}%{mark}",
+                r.key.0, r.key.1, r.key.2, prev.total_seconds, r.total_seconds, change
+            );
+            if change > threshold {
+                warnings += 1;
+                eprintln!(
+                    "WARNING: {}sw/{}p {}: repair time grew {change:.1}% \
+                     ({:.4}s -> {:.4}s, threshold {threshold}%)",
+                    r.key.0, r.key.1, r.key.2, prev.total_seconds, r.total_seconds
+                );
+            }
+        }
+        let only_old_repairs: Vec<&RepairEntry> = old_repairs
+            .iter()
+            .filter(|o| !new_repairs.iter().any(|r| r.key == o.key))
+            .collect();
+        if !only_old_repairs.is_empty() {
+            println!("repair entr(ies) only in {old_path} (dropped from the new report):");
+            for r in &only_old_repairs {
+                println!("  {}sw/{}p {}", r.key.0, r.key.1, r.key.2);
             }
         }
     }

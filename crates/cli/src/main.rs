@@ -126,6 +126,9 @@ faults options (in addition to the simulate options; DOWN/UP only):
   --fault-window N    random activations fall in [warmup, warmup+N]
                       (default measure/2)
   --fault-seed N      fault-plan randomization seed (default 13)
+  --repair STRAT      repair strategy: `full` rebuilds the routing tables
+                      each epoch; `incremental` patches the previous
+                      epoch's tables in place (default full)
   --json              print the epoch/certificate report as JSON";
 
 fn fail(msg: &str) -> ! {
@@ -966,11 +969,19 @@ fn cmd_replay(o: &Opts) -> Result<(), String> {
 
 /// Degrade → repair → certify → simulate: the robustness pipeline.
 fn cmd_faults(o: &Opts) -> Result<(), String> {
-    use irnet_core::{plan_epochs, DownUp};
+    use irnet_core::{plan_epochs_with, DownUp, RepairStrategy};
     use irnet_sim::FaultEpoch;
     use irnet_topology::{FaultKind, FaultPlan};
     use irnet_verify::certify_transition;
 
+    let strategy = match o.get("repair") {
+        None => RepairStrategy::Full,
+        Some(raw) => RepairStrategy::parse(raw).unwrap_or_else(|| {
+            fail(&format!(
+                "invalid --repair value {raw:?} (full|incremental)"
+            ))
+        }),
+    };
     if let Some(algo) = o.get("algo") {
         if algo != "downup" {
             return Err(format!(
@@ -1042,26 +1053,34 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
         }
     }
     let cg = routing.comm_graph();
-    let epochs = plan_epochs(&topo, cg, routing.turn_table(), &plan, builder)
-        .map_err(|e| format!("fault repair failed: {e}"))?;
+    let epochs = plan_epochs_with(
+        &topo,
+        cg,
+        routing.turn_table(),
+        routing.routing_tables(),
+        &plan,
+        builder,
+        strategy,
+    )
+    .map_err(|e| format!("fault repair failed: {e}"))?;
     let nch = cg.num_channels() as usize;
     let certs: Vec<_> = epochs
         .iter()
         .map(|e| {
             let mut dead = vec![false; nch];
-            for &c in &e.dead_channels {
+            for &c in &e.epoch.dead_channels {
                 dead[c as usize] = true;
             }
-            certify_transition(cg, &e.old_table, &e.new_table, &dead)
+            certify_transition(cg, &e.epoch.old_table, &e.epoch.new_table, &dead)
         })
         .collect();
     let mut sim = Simulator::new(cg, routing.routing_tables(), cfg, o.parse("sim-seed", 7u64));
     for e in &epochs {
         sim.schedule_reconfig(FaultEpoch {
-            cycle: e.cycle,
-            dead_channels: e.dead_channels.clone(),
-            dead_nodes: e.dead_nodes.clone(),
-            tables: &e.tables,
+            cycle: e.epoch.cycle,
+            dead_channels: e.epoch.dead_channels.clone(),
+            dead_nodes: e.epoch.dead_nodes.clone(),
+            tables: &e.epoch.tables,
         });
     }
     let stalled = sim.run_in_place();
@@ -1076,12 +1095,63 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
             .iter()
             .zip(&certs)
             .map(|(e, c)| {
+                let s = &e.spans;
+                let repair = Value::Map(vec![
+                    (
+                        "strategy".to_string(),
+                        Value::Str(strategy.name().to_string()),
+                    ),
+                    (
+                        "classify_seconds".to_string(),
+                        Value::F64(s.classify_seconds),
+                    ),
+                    ("phases_seconds".to_string(), Value::F64(s.phases_seconds)),
+                    ("patch_seconds".to_string(), Value::F64(s.patch_seconds)),
+                    (
+                        "recertify_seconds".to_string(),
+                        Value::F64(s.recertify_seconds),
+                    ),
+                    ("total_seconds".to_string(), Value::F64(s.total_seconds())),
+                    (
+                        "touched_switches".to_string(),
+                        Value::U64(u64::from(s.touched_switches)),
+                    ),
+                    ("touched_rows".to_string(), Value::U64(s.touched_rows)),
+                    (
+                        "tree_link_faults".to_string(),
+                        Value::U64(u64::from(s.tree_link_faults)),
+                    ),
+                    (
+                        "cross_link_faults".to_string(),
+                        Value::U64(u64::from(s.cross_link_faults)),
+                    ),
+                    (
+                        "leaf_switch_faults".to_string(),
+                        Value::U64(u64::from(s.leaf_switch_faults)),
+                    ),
+                    (
+                        "internal_switch_faults".to_string(),
+                        Value::U64(u64::from(s.internal_switch_faults)),
+                    ),
+                    (
+                        "patched_in_place".to_string(),
+                        Value::Bool(s.patched_in_place),
+                    ),
+                    (
+                        "recertified".to_string(),
+                        s.recertified.map_or(Value::Null, Value::Bool),
+                    ),
+                ]);
                 Value::Map(vec![
-                    ("cycle".to_string(), Value::U64(u64::from(e.cycle))),
-                    ("dead_links".to_string(), ids(&e.dead_links)),
-                    ("dead_switches".to_string(), ids(&e.dead_nodes)),
-                    ("dead_channels".to_string(), ids(&e.dead_channels)),
-                    ("flipped_channels".to_string(), ids(&e.flipped_channels)),
+                    ("cycle".to_string(), Value::U64(u64::from(e.epoch.cycle))),
+                    ("dead_links".to_string(), ids(&e.epoch.dead_links)),
+                    ("dead_switches".to_string(), ids(&e.epoch.dead_nodes)),
+                    ("dead_channels".to_string(), ids(&e.epoch.dead_channels)),
+                    (
+                        "flipped_channels".to_string(),
+                        ids(&e.epoch.flipped_channels),
+                    ),
+                    ("repair".to_string(), repair),
                     ("certificates".to_string(), c.to_value()),
                     ("certified".to_string(), Value::Bool(c.is_deadlock_free())),
                 ])
@@ -1089,6 +1159,10 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
             .collect();
         let report = Value::Map(vec![
             ("plan".to_string(), plan.to_value()),
+            (
+                "repair_strategy".to_string(),
+                Value::Str(strategy.name().to_string()),
+            ),
             ("epochs".to_string(), Value::Seq(epoch_values)),
             (
                 "simulation".to_string(),
@@ -1145,14 +1219,32 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
                 }
             }
         }
+        println!("repair strategy  : {}", strategy.name());
         for (e, c) in epochs.iter().zip(&certs) {
             println!(
                 "epoch @{:<8}: {} dead link(s), {} dead switch(es), \
                  {} flipped channel(s)",
-                e.cycle,
-                e.dead_links.len(),
-                e.dead_nodes.len(),
-                e.flipped_channels.len()
+                e.epoch.cycle,
+                e.epoch.dead_links.len(),
+                e.epoch.dead_nodes.len(),
+                e.epoch.flipped_channels.len()
+            );
+            let s = &e.spans;
+            println!(
+                "  repair         : {:.3} ms (classify {:.3} + phases {:.3} + \
+                 patch {:.3} + recertify {:.3}), {} switch(es) / {} row(s) touched, {}",
+                s.total_seconds() * 1e3,
+                s.classify_seconds * 1e3,
+                s.phases_seconds * 1e3,
+                s.patch_seconds * 1e3,
+                s.recertify_seconds * 1e3,
+                s.touched_switches,
+                s.touched_rows,
+                if s.patched_in_place {
+                    "patched in place"
+                } else {
+                    "rebuilt"
+                }
             );
             println!("  degraded table : {}", verdict_line(&c.degraded));
             println!("  old∪new union  : {}", verdict_line(&c.union));

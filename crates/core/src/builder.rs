@@ -96,6 +96,35 @@ impl DownUp {
         self.construct_timed(topo).map(|(routing, _)| routing)
     }
 
+    /// Builds just the Phase-1 coordinated tree of `topo` under this
+    /// builder's root/preorder configuration — the baseline incremental
+    /// repair classifies the first epoch's faults against.
+    pub(crate) fn build_tree(self, topo: &Topology) -> Result<CoordinatedTree, TopologyError> {
+        let root = self.root.pick(topo);
+        CoordinatedTree::build_rooted(topo, root, self.policy, self.seed)
+    }
+
+    /// Runs Phases 1–3 only — tree, communication graph, and turn table —
+    /// *without* the shortest-legal-path routing-table build, which
+    /// dominates construction cost at scale. Incremental repair
+    /// (`crates/core/src/incremental.rs`) uses this to recompute the
+    /// prohibition set cheaply and then patch the previous epoch's routing
+    /// tables in place instead of rebuilding them.
+    pub fn construct_phases(
+        self,
+        topo: &Topology,
+    ) -> Result<(CoordinatedTree, CommGraph, TurnTable, Vec<ReleasedTurn>), ConstructError> {
+        let tree = self.build_tree(topo)?;
+        let cg = CommGraph::build(topo, &tree);
+        let mut table = TurnTable::from_direction_rule(&cg, phase2::turn_allowed);
+        let released = if self.release {
+            phase3::cycle_detection(&cg, &mut table)
+        } else {
+            Vec::new()
+        };
+        Ok((tree, cg, table, released))
+    }
+
     /// Like [`DownUp::construct`], but also returns per-phase wall-clock
     /// spans — the observability hook behind the `BENCH_sim.json`
     /// `construction` array and the CLI's `--progress` output.

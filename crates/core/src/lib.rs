@@ -29,9 +29,11 @@
 //! ```
 
 mod builder;
+pub mod incremental;
 pub mod phase2;
 pub mod phase3;
 pub mod repair;
 
 pub use builder::{ConstructError, DownUp, DownUpRouting, PhaseSpans};
+pub use incremental::{plan_epochs_with, EpochRepair, RepairSpans, RepairStrategy};
 pub use repair::{plan_epochs, repair_epoch, ReconfigEpoch, RepairError};

@@ -23,8 +23,10 @@
 //!    old∪new union check (in `irnet-verify`) is not vacuous.
 
 use crate::builder::{ConstructError, DownUp};
-use irnet_analyze::{analyze_faulted, Feasibility, Obstruction};
-use irnet_topology::{ChannelId, CommGraph, FaultError, FaultPlan, LinkId, NodeId, Topology};
+use irnet_analyze::{analyze_and_degrade, AnalyzedDegrade, Obstruction};
+use irnet_topology::{
+    ChannelId, CommGraph, DegradedTopology, FaultError, FaultPlan, LinkId, NodeId, Topology,
+};
 use irnet_turns::{RoutingTables, TurnTable};
 
 /// One reconfiguration epoch: everything a live fabric needs to switch
@@ -105,11 +107,12 @@ pub fn plan_epochs(
     plan: &FaultPlan,
     builder: DownUp,
 ) -> Result<Vec<ReconfigEpoch>, RepairError> {
-    let mut epochs = Vec::new();
-    let mut prev = base_table.clone();
+    let mut epochs: Vec<ReconfigEpoch> = Vec::new();
     for cycle in plan.activation_cycles() {
-        let epoch = repair_epoch(topo, cg, &prev, &plan.up_to(cycle), cycle, builder)?;
-        prev = epoch.new_table.clone();
+        // Epoch k's old table is epoch k−1's new table — borrowed from the
+        // epoch just pushed, so the chain never clones a turn table.
+        let prev = epochs.last().map_or(base_table, |e| &e.new_table);
+        let epoch = repair_epoch(topo, cg, prev, &plan.up_to(cycle), cycle, builder)?;
         epochs.push(epoch);
     }
     Ok(epochs)
@@ -128,21 +131,70 @@ pub fn repair_epoch(
 ) -> Result<ReconfigEpoch, RepairError> {
     // Feasibility-first gate: prove the survivors routable before paying
     // for the rebuild. Faults are cumulative, so an infeasible epoch also
-    // dooms every later one.
-    match analyze_faulted(topo, cumulative)? {
-        Feasibility::Feasible(_) => {}
-        Feasibility::Infeasible(obstruction) => {
+    // dooms every later one. The gate and the degradation resolve the
+    // fault plan once, sharing the dead-node/dead-link masks.
+    let deg = match analyze_and_degrade(topo, cumulative)? {
+        AnalyzedDegrade::Feasible { degraded, .. } => *degraded,
+        AnalyzedDegrade::Infeasible(obstruction) => {
             return Err(RepairError::Infeasible(obstruction));
         }
-    }
-    let deg = topo.degrade_detailed(cumulative)?;
-    let repaired = builder.construct(&deg.topology)?;
-    let new_cg = repaired.comm_graph();
-    let compact_table = repaired.turn_table();
+    };
+    // Phases 1–3 only: the compact routing tables a full `construct` would
+    // also build are never consumed here — the masked tables below are
+    // rebuilt in the original channel space instead.
+    let (_, new_cg, compact_table, _) = builder.construct_phases(&deg.topology)?;
+    let lifted = lift_repair(cg, &deg, &new_cg, &compact_table);
 
-    // Original channel `2l + d` maps to compact channel `2·link_map[l] + d`:
-    // the compact renumbering is monotone, so every surviving link keeps
-    // its `a < b` endpoint orientation and the direction bit is preserved.
+    let tables = RoutingTables::build_masked(
+        cg,
+        &lifted.new_table,
+        &lifted.dead_channel,
+        &lifted.alive_node,
+    )
+    .map_err(|e| RepairError::Construct(ConstructError::Routing(e)))?;
+
+    Ok(ReconfigEpoch {
+        cycle,
+        dead_nodes: deg.dead_nodes,
+        dead_channels: deg
+            .dead_links
+            .iter()
+            .flat_map(|&l| [2 * l, 2 * l + 1])
+            .collect(),
+        dead_links: deg.dead_links,
+        old_table: old_table.clone(),
+        new_table: lifted.new_table,
+        flipped_channels: lifted.flipped_channels,
+        tables,
+    })
+}
+
+/// A compact repaired turn table lifted back into the original channel
+/// space, plus the alive/dead masks the lift derived on the way.
+pub(crate) struct Lifted {
+    /// Per original channel: does it map to no surviving compact channel?
+    pub dead_channel: Vec<bool>,
+    /// Per original node: does it survive the degradation?
+    pub alive_node: Vec<bool>,
+    /// The repaired turn table in the original channel space; every pair
+    /// touching a dead channel is prohibited.
+    pub new_table: TurnTable,
+    /// Surviving channels whose coordinated-tree direction changed.
+    pub flipped_channels: Vec<ChannelId>,
+}
+
+/// Lifts `compact_table` (built on the degraded topology's communication
+/// graph `new_cg`) back into the original channel space of `cg`.
+///
+/// Original channel `2l + d` maps to compact channel `2·link_map[l] + d`:
+/// the compact renumbering is monotone, so every surviving link keeps its
+/// `a < b` endpoint orientation and the direction bit is preserved.
+pub(crate) fn lift_repair(
+    cg: &CommGraph,
+    deg: &DegradedTopology,
+    new_cg: &CommGraph,
+    compact_table: &TurnTable,
+) -> Lifted {
     let nch = cg.num_channels();
     let map_ch = |c: ChannelId| -> Option<ChannelId> {
         deg.link_map[(c / 2) as usize].map(|nl| 2 * nl + (c & 1))
@@ -159,23 +211,12 @@ pub fn repair_epoch(
         .filter(|&c| map_ch(c).is_some_and(|nc| cg.direction(c) != new_cg.direction(nc)))
         .collect();
 
-    let tables = RoutingTables::build_masked(cg, &new_table, &dead_channel, &alive_node)
-        .map_err(|e| RepairError::Construct(ConstructError::Routing(e)))?;
-
-    Ok(ReconfigEpoch {
-        cycle,
-        dead_nodes: deg.dead_nodes,
-        dead_channels: deg
-            .dead_links
-            .iter()
-            .flat_map(|&l| [2 * l, 2 * l + 1])
-            .collect(),
-        dead_links: deg.dead_links,
-        old_table: old_table.clone(),
+    Lifted {
+        dead_channel,
+        alive_node,
         new_table,
         flipped_channels,
-        tables,
-    })
+    }
 }
 
 #[cfg(test)]

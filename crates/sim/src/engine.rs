@@ -2158,6 +2158,61 @@ mod tests {
     }
 
     #[test]
+    fn incremental_and_full_repair_swap_identically_mid_run() {
+        use irnet_core::{plan_epochs_with, RepairStrategy};
+        use irnet_topology::{FaultEvent, FaultKind, FaultPlan};
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 11).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let plan = (0..topo.num_links())
+            .find_map(|l| {
+                let (a, b) = topo.link(l);
+                let plan = FaultPlan::scripted([FaultEvent {
+                    cycle: 500,
+                    kind: FaultKind::Link { a, b },
+                }]);
+                topo.degrade(&plan).ok().map(|_| plan)
+            })
+            .expect("every link is a bridge");
+        let run = |strategy| {
+            let epochs = plan_epochs_with(
+                &topo,
+                r.comm_graph(),
+                r.turn_table(),
+                r.routing_tables(),
+                &plan,
+                DownUp::new(),
+                strategy,
+            )
+            .unwrap();
+            let cfg = SimConfig {
+                packet_len: 8,
+                injection_rate: 0.4,
+                warmup_cycles: 0,
+                measure_cycles: 3_000,
+                deadlock_threshold: 2_000,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 3);
+            for e in &epochs {
+                sim.schedule_reconfig(FaultEpoch {
+                    cycle: e.epoch.cycle,
+                    dead_channels: e.epoch.dead_channels.clone(),
+                    dead_nodes: e.epoch.dead_nodes.clone(),
+                    tables: &e.epoch.tables,
+                });
+            }
+            sim.run()
+        };
+        let full = run(RepairStrategy::Full);
+        let incremental = run(RepairStrategy::Incremental);
+        assert_eq!(
+            full, incremental,
+            "strategies handed the simulator different tables"
+        );
+        assert_eq!(full.reconfig_epochs, 1);
+    }
+
+    #[test]
     fn switch_fault_kills_node_and_its_traffic() {
         use irnet_topology::{FaultEvent, FaultKind, FaultPlan};
         let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();

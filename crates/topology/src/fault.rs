@@ -302,10 +302,23 @@ impl Topology {
     /// the repair layer needs to lift routing structures between the
     /// original and surviving id spaces.
     pub fn degrade_detailed(&self, plan: &FaultPlan) -> Result<DegradedTopology, FaultError> {
-        let n = self.num_nodes() as usize;
-        let m = self.num_links() as usize;
-        let mut node_dead = vec![false; n];
-        let mut link_dead = vec![false; m];
+        let (node_dead, link_dead) = self.fault_masks(plan)?;
+        self.degrade_from_masks(&node_dead, &link_dead)
+    }
+
+    /// Resolves every event of `plan` into `(node_dead, link_dead)` masks
+    /// (a switch fault also kills every incident link) without building the
+    /// compact survivor graph. This is the shared first half of both
+    /// [`Topology::degrade_detailed`] and the feasibility oracle, exposed
+    /// so callers that need both answers resolve the plan exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::UnknownLink`] / [`FaultError::UnknownSwitch`] when the
+    /// plan names elements this topology does not have.
+    pub fn fault_masks(&self, plan: &FaultPlan) -> Result<(Vec<bool>, Vec<bool>), FaultError> {
+        let mut node_dead = vec![false; self.num_nodes() as usize];
+        let mut link_dead = vec![false; self.num_links() as usize];
         for ev in plan.events() {
             match ev.kind {
                 FaultKind::Link { a, b } => {
@@ -328,6 +341,30 @@ impl Topology {
                 }
             }
         }
+        Ok((node_dead, link_dead))
+    }
+
+    /// The second half of [`Topology::degrade_detailed`]: compacts the
+    /// survivors described by pre-resolved masks (as returned by
+    /// [`Topology::fault_masks`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::NoSurvivors`] / [`FaultError::Partitioned`] when
+    /// nothing routable survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask lengths disagree with this topology.
+    pub fn degrade_from_masks(
+        &self,
+        node_dead: &[bool],
+        link_dead: &[bool],
+    ) -> Result<DegradedTopology, FaultError> {
+        let n = self.num_nodes() as usize;
+        let m = self.num_links() as usize;
+        assert_eq!(node_dead.len(), n);
+        assert_eq!(link_dead.len(), m);
 
         // Compact monotone renumbering of the survivors.
         let mut node_map = vec![None; n];

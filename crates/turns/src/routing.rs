@@ -1,7 +1,8 @@
 use crate::cdg::ChannelDepGraph;
 use crate::turn_table::TurnTable;
 use irnet_topology::{ChannelId, CommGraph, NodeId};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Input-slot index used for freshly injected packets (no input channel).
 /// Input port `q` maps to slot `q + 1`.
@@ -32,6 +33,52 @@ impl std::fmt::Display for RoutingError {
 
 impl std::error::Error for RoutingError {}
 
+/// Touched-region accounting of one [`RoutingTables::patch_masked`] call —
+/// the evidence that an incremental repair really was O(affected region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchStats {
+    /// Channel-dependency edges the turn-table delta removed.
+    pub removed_edges: usize,
+    /// Channel-dependency edges the turn-table delta added.
+    pub added_edges: usize,
+    /// Per-destination cost entries that changed value, summed over all
+    /// destinations.
+    pub changed_costs: u64,
+    /// `(destination, switch)` candidate-mask rows recomputed.
+    pub touched_rows: u64,
+    /// Destinations with at least one cost or mask change.
+    pub touched_destinations: u32,
+    /// Distinct switches whose candidate rows were recomputed for at least
+    /// one destination.
+    pub touched_switches: u32,
+}
+
+/// CSR transpose (predecessor lists) of a dependency graph, for reverse
+/// BFS/Dijkstra propagation: returns `(offsets, preds)` with the
+/// predecessors of channel `c` at `preds[offsets[c]..offsets[c + 1]]`.
+fn transpose(dep: &ChannelDepGraph) -> (Vec<u32>, Vec<u32>) {
+    let nch = dep.num_channels();
+    let mut indeg = vec![0u32; nch as usize];
+    for c in 0..nch {
+        for &s in dep.successors(c) {
+            indeg[s as usize] += 1;
+        }
+    }
+    let mut toff = vec![0u32; nch as usize + 1];
+    for i in 0..nch as usize {
+        toff[i + 1] = toff[i] + indeg[i];
+    }
+    let mut cursor = toff[..nch as usize].to_vec();
+    let mut pred = vec![0u32; dep.num_edges()];
+    for c in 0..nch {
+        for &s in dep.successors(c) {
+            pred[cursor[s as usize] as usize] = c;
+            cursor[s as usize] += 1;
+        }
+    }
+    (toff, pred)
+}
+
 /// Turn-constrained shortest-path routing tables.
 ///
 /// For every destination `t` the table stores, per channel `c`, the minimal
@@ -41,7 +88,7 @@ impl std::error::Error for RoutingError {}
 /// the paper's simulation uses). At each hop the simulator picks among that
 /// mask — randomly or adaptively — which keeps the route set inside the
 /// deadlock-free turn set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTables {
     num_nodes: u32,
     num_channels: u32,
@@ -93,24 +140,7 @@ impl RoutingTables {
         let dep = ChannelDepGraph::build(cg, table);
 
         // Transpose of the dependency graph for reverse BFS.
-        let mut indeg = vec![0u32; nch as usize];
-        for c in 0..nch {
-            for &s in dep.successors(c) {
-                indeg[s as usize] += 1;
-            }
-        }
-        let mut toff = vec![0u32; nch as usize + 1];
-        for i in 0..nch as usize {
-            toff[i + 1] = toff[i] + indeg[i];
-        }
-        let mut cursor = toff[..nch as usize].to_vec();
-        let mut pred = vec![0u32; dep.num_edges()];
-        for c in 0..nch {
-            for &s in dep.successors(c) {
-                pred[cursor[s as usize] as usize] = c;
-                cursor[s as usize] += 1;
-            }
-        }
+        let (toff, pred) = transpose(&dep);
 
         let max_ports = (0..n).map(|v| ch.outputs(v).len()).max().unwrap_or(0);
         let slots = max_ports + 1;
@@ -207,6 +237,374 @@ impl RoutingTables {
             port_mask,
             any_mask,
         })
+    }
+
+    /// Patches `self` — previously equal to
+    /// [`RoutingTables::build_masked`]`(cg, old_table, …)` under the
+    /// *previous* fault state — in place, into exactly the tables
+    /// `build_masked(cg, new_table, dead_channel, alive_node)` would
+    /// produce, re-solving only the rows whose shortest paths traverse the
+    /// affected region.
+    ///
+    /// `dead_channel` / `alive_node` describe the *current* (cumulative)
+    /// fault state; `newly_dead_channels` / `newly_dead_nodes` list exactly
+    /// the elements that died since `self` was built. Both turn tables live
+    /// in `cg`'s original channel space, and `new_table` must prohibit
+    /// every pair touching a dead channel (the repair lift guarantees
+    /// this), so every dependency edge into or out of a newly dead channel
+    /// appears in the removed-edge delta.
+    ///
+    /// The update is exact, not heuristic. Per destination:
+    ///
+    /// 1. *invalidate* — channels whose recorded cost was supported through
+    ///    a removed dependency edge or a newly dead channel go unreachable,
+    ///    cascading to dependents that lose their last support;
+    /// 2. *re-settle* — the invalidated set is re-solved with a dirty-set
+    ///    Dijkstra frontier over the new dependency graph (unit weights,
+    ///    surviving costs act as fixed sources);
+    /// 3. *decrease* — added dependency edges (Phase-3 releases that came
+    ///    back) propagate cost improvements;
+    /// 4. only switches with a changed output-channel cost or a changed
+    ///    turn mask get their candidate rows recomputed, with the same
+    ///    connectivity check as the full build.
+    ///
+    /// Total cost is O(destinations × delta) instead of the full build's
+    /// O(destinations × dependency edges).
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError::Disconnected`] if some alive pair loses every
+    /// turn-legal route, exactly as the full build would report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask/table dimensions disagree with `cg` or with the
+    /// tables `self` was built over.
+    // The argument list mirrors `build_masked` plus the three delta inputs;
+    // bundling them into a struct would only move the noise to the caller.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub fn patch_masked(
+        &mut self,
+        cg: &CommGraph,
+        old_table: &TurnTable,
+        new_table: &TurnTable,
+        dead_channel: &[bool],
+        alive_node: &[bool],
+        newly_dead_channels: &[ChannelId],
+        newly_dead_nodes: &[NodeId],
+    ) -> Result<PatchStats, RoutingError> {
+        let n = cg.num_nodes();
+        let nch = cg.num_channels();
+        assert_eq!(self.num_nodes, n);
+        assert_eq!(self.num_channels, nch);
+        assert_eq!(dead_channel.len(), nch as usize);
+        assert_eq!(alive_node.len(), n as usize);
+        let ch = cg.channels();
+        let slots = self.slots;
+
+        // Turn-table delta: removed/added dependency edges, plus the
+        // switches whose candidate masks change even without a cost change
+        // (e.g. a Phase-3 release granted under one tree but not the other).
+        let mut removed: Vec<(ChannelId, ChannelId)> = Vec::new();
+        let mut added: Vec<(ChannelId, ChannelId)> = Vec::new();
+        let mut turn_dirty_nodes: Vec<NodeId> = Vec::new();
+        for v in 0..n {
+            let outs = ch.outputs(v);
+            let mut dirty = false;
+            for (q, &in_ch) in ch.inputs(v).iter().enumerate() {
+                let before = old_table.mask(v, q as u8);
+                let after = new_table.mask(v, q as u8);
+                let mut delta = before ^ after;
+                dirty |= delta != 0;
+                while delta != 0 {
+                    let p = delta.trailing_zeros() as usize;
+                    delta &= delta - 1;
+                    if (before >> p) & 1 == 1 {
+                        removed.push((in_ch, outs[p]));
+                    } else {
+                        added.push((in_ch, outs[p]));
+                    }
+                }
+            }
+            if dirty {
+                turn_dirty_nodes.push(v);
+            }
+        }
+
+        // Dependency graph of the new table (dead channels are isolated in
+        // it) and its transpose, shared across destinations.
+        let dep = ChannelDepGraph::build(cg, new_table);
+        let (toff, pred) = transpose(&dep);
+        let preds = |c: ChannelId| &pred[toff[c as usize] as usize..toff[c as usize + 1] as usize];
+
+        let mut stats = PatchStats {
+            removed_edges: removed.len(),
+            added_edges: added.len(),
+            ..PatchStats::default()
+        };
+        // Per-destination scratch, stamped by `t + 1` so nothing is cleared
+        // between destinations. `saved_*` records each channel's pre-patch
+        // cost the first time it is overwritten; the final changed set is
+        // the records whose value really differs.
+        let mut saved_gen = vec![0u32; nch as usize];
+        let mut saved_val = vec![0u16; nch as usize];
+        let mut saved_list: Vec<ChannelId> = Vec::new();
+        let mut node_gen = vec![0u32; n as usize];
+        let mut dirty_nodes: Vec<NodeId> = Vec::new();
+        let mut switch_touched = vec![false; n as usize];
+        let mut queue: Vec<ChannelId> = Vec::new();
+        let mut invalidated: Vec<ChannelId> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(u16, ChannelId)>> = BinaryHeap::new();
+
+        for t in 0..n {
+            let base = t as usize * nch as usize;
+            if !alive_node[t as usize] {
+                // A newly dead destination surrenders its whole block;
+                // previously dead destinations are already blank.
+                if newly_dead_nodes.contains(&t) {
+                    self.cost[base..base + nch as usize].fill(u16::MAX);
+                    let mb = t as usize * n as usize * slots;
+                    self.port_mask[mb..mb + n as usize * slots].fill(0);
+                    self.any_mask[mb..mb + n as usize * slots].fill(0);
+                }
+                continue;
+            }
+            let gen = t + 1;
+            saved_list.clear();
+            invalidated.clear();
+            queue.clear();
+
+            // Suspect seeds: a removed edge (u, v) only matters where it
+            // carried u's shortest path — evaluated against the *pre-patch*
+            // costs, before newly dead channels are zapped below.
+            for &(u, v) in &removed {
+                if dead_channel[u as usize] {
+                    continue;
+                }
+                let cu = self.cost[base + u as usize];
+                let cv = self.cost[base + v as usize];
+                if cu != u16::MAX && cv != u16::MAX && cu == cv + 1 {
+                    queue.push(u);
+                }
+            }
+            for &d in newly_dead_channels {
+                let idx = base + d as usize;
+                if self.cost[idx] != u16::MAX {
+                    if saved_gen[d as usize] != gen {
+                        saved_gen[d as usize] = gen;
+                        saved_val[d as usize] = self.cost[idx];
+                        saved_list.push(d);
+                    }
+                    self.cost[idx] = u16::MAX;
+                }
+            }
+
+            // Invalidate: a channel keeps its cost only while some
+            // successor still supports it at cost − 1. Invalidating a
+            // supporter re-enqueues its dependents, so the cascade reaches
+            // a fixpoint even when support chains are examined out of
+            // order (support sums of +1 cannot cycle).
+            while let Some(p) = queue.pop() {
+                let cp = self.cost[base + p as usize];
+                if cp == u16::MAX || dead_channel[p as usize] || ch.sink(p) == t {
+                    continue; // settled, dead, or an always-cost-1 seed
+                }
+                let supported = dep.successors(p).iter().any(|&s| {
+                    let cs = self.cost[base + s as usize];
+                    cs != u16::MAX && cs + 1 == cp
+                });
+                if supported {
+                    continue;
+                }
+                if saved_gen[p as usize] != gen {
+                    saved_gen[p as usize] = gen;
+                    saved_val[p as usize] = cp;
+                    saved_list.push(p);
+                }
+                self.cost[base + p as usize] = u16::MAX;
+                invalidated.push(p);
+                for &q in preds(p) {
+                    if self.cost[base + q as usize] == cp + 1 {
+                        queue.push(q);
+                    }
+                }
+            }
+
+            // Re-settle the invalidated region: lazy Dijkstra with unit
+            // weights; surviving finite costs are fixed sources. An entry
+            // is only committed when its key still equals the recomputed
+            // best, so stale heap entries are harmless.
+            heap.clear();
+            for &u in &invalidated {
+                let mut best = u16::MAX;
+                for &s in dep.successors(u) {
+                    let cs = self.cost[base + s as usize];
+                    if cs != u16::MAX {
+                        best = best.min(cs + 1);
+                    }
+                }
+                if best != u16::MAX {
+                    heap.push(Reverse((best, u)));
+                }
+            }
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if self.cost[base + u as usize] != u16::MAX {
+                    continue;
+                }
+                let mut best = u16::MAX;
+                for &s in dep.successors(u) {
+                    let cs = self.cost[base + s as usize];
+                    if cs != u16::MAX {
+                        best = best.min(cs + 1);
+                    }
+                }
+                if best != d {
+                    if best != u16::MAX {
+                        heap.push(Reverse((best, u)));
+                    }
+                    continue;
+                }
+                if saved_gen[u as usize] != gen {
+                    saved_gen[u as usize] = gen;
+                    saved_val[u as usize] = u16::MAX;
+                    saved_list.push(u);
+                }
+                self.cost[base + u as usize] = d;
+                for &q in preds(u) {
+                    if self.cost[base + q as usize] == u16::MAX && !dead_channel[q as usize] {
+                        heap.push(Reverse((d + 1, q)));
+                    }
+                }
+            }
+
+            // Decrease: cost improvements originate either at an added
+            // dependency edge directly, or at a channel the re-settle left
+            // *below* its pre-patch value (possible only via added edges —
+            // e.g. an invalidated channel whose new best support is an
+            // added successor, or a previously unreachable channel the
+            // re-settle reached). The latter's never-invalidated
+            // predecessors still hold stale finite costs, so seed their
+            // relaxation too; then propagate to closure.
+            heap.clear();
+            for &(u, v) in &added {
+                let cv = self.cost[base + v as usize];
+                if cv != u16::MAX && cv + 1 < self.cost[base + u as usize] {
+                    heap.push(Reverse((cv + 1, u)));
+                }
+            }
+            for &u in &saved_list {
+                let cu = self.cost[base + u as usize];
+                if cu != u16::MAX && cu < saved_val[u as usize] {
+                    for &q in preds(u) {
+                        if cu + 1 < self.cost[base + q as usize] {
+                            heap.push(Reverse((cu + 1, q)));
+                        }
+                    }
+                }
+            }
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d >= self.cost[base + u as usize] {
+                    continue;
+                }
+                if saved_gen[u as usize] != gen {
+                    saved_gen[u as usize] = gen;
+                    saved_val[u as usize] = self.cost[base + u as usize];
+                    saved_list.push(u);
+                }
+                self.cost[base + u as usize] = d;
+                for &q in preds(u) {
+                    if d + 1 < self.cost[base + q as usize] {
+                        heap.push(Reverse((d + 1, q)));
+                    }
+                }
+            }
+
+            // Dirty switches: a changed output-channel cost or a changed
+            // turn mask invalidates the candidate rows; nothing else can.
+            dirty_nodes.clear();
+            let mut changed_any = false;
+            for &c in &saved_list {
+                if self.cost[base + c as usize] != saved_val[c as usize] {
+                    changed_any = true;
+                    stats.changed_costs += 1;
+                    let v = ch.start(c);
+                    if alive_node[v as usize] && v != t && node_gen[v as usize] != gen {
+                        node_gen[v as usize] = gen;
+                        dirty_nodes.push(v);
+                    }
+                }
+            }
+            for &v in &turn_dirty_nodes {
+                if alive_node[v as usize] && v != t && node_gen[v as usize] != gen {
+                    node_gen[v as usize] = gen;
+                    dirty_nodes.push(v);
+                }
+            }
+            for &w in newly_dead_nodes {
+                let mb = (t as usize * n as usize + w as usize) * slots;
+                self.port_mask[mb..mb + slots].fill(0);
+                self.any_mask[mb..mb + slots].fill(0);
+            }
+            if changed_any || !dirty_nodes.is_empty() {
+                stats.touched_destinations += 1;
+            }
+
+            // Recompute the dirty rows exactly as the full build does.
+            for &v in &dirty_nodes {
+                stats.touched_rows += 1;
+                if !switch_touched[v as usize] {
+                    switch_touched[v as usize] = true;
+                    stats.touched_switches += 1;
+                }
+                let outs = ch.outputs(v);
+                let mbase = (t as usize * n as usize + v as usize) * slots;
+                let mut best = u16::MAX;
+                for &c in outs {
+                    best = best.min(self.cost[base + c as usize]);
+                }
+                if best == u16::MAX {
+                    return Err(RoutingError::Disconnected { src: v, dst: t });
+                }
+                let mut mask = 0u16;
+                let mut any = 0u16;
+                for (p, &c) in outs.iter().enumerate() {
+                    if self.cost[base + c as usize] == best {
+                        mask |= 1 << p;
+                    }
+                    if self.cost[base + c as usize] != u16::MAX {
+                        any |= 1 << p;
+                    }
+                }
+                self.port_mask[mbase + INJECTION_SLOT] = mask;
+                self.any_mask[mbase + INJECTION_SLOT] = any;
+                for (q, &_in_ch) in ch.inputs(v).iter().enumerate() {
+                    let allowed = new_table.mask(v, q as u8);
+                    let mut best = u16::MAX;
+                    for (p, &c) in outs.iter().enumerate() {
+                        if (allowed >> p) & 1 == 1 {
+                            best = best.min(self.cost[base + c as usize]);
+                        }
+                    }
+                    let mut mask = 0u16;
+                    let mut any = 0u16;
+                    if best != u16::MAX {
+                        for (p, &c) in outs.iter().enumerate() {
+                            if (allowed >> p) & 1 == 1 {
+                                if self.cost[base + c as usize] == best {
+                                    mask |= 1 << p;
+                                }
+                                if self.cost[base + c as usize] != u16::MAX {
+                                    any |= 1 << p;
+                                }
+                            }
+                        }
+                    }
+                    self.port_mask[mbase + 1 + q] = mask;
+                    self.any_mask[mbase + 1 + q] = any;
+                }
+            }
+        }
+        Ok(stats)
     }
 
     /// Number of switches.
@@ -536,6 +934,211 @@ mod tests {
             strictly_larger_somewhere,
             "non-minimal options never exist?"
         );
+    }
+
+    /// Element-wise equality of two tables over every public surface.
+    fn assert_tables_equal(a: &RoutingTables, b: &RoutingTables, ctx: &str) {
+        assert_eq!(a.num_nodes, b.num_nodes, "{ctx}: num_nodes");
+        assert_eq!(a.num_channels, b.num_channels, "{ctx}: num_channels");
+        assert_eq!(a.slots, b.slots, "{ctx}: slots");
+        assert_eq!(a.cost, b.cost, "{ctx}: cost");
+        assert_eq!(a.port_mask, b.port_mask, "{ctx}: port_mask");
+        assert_eq!(a.any_mask, b.any_mask, "{ctx}: any_mask");
+    }
+
+    /// `rule` restricted to pairs of channels that are both alive — the
+    /// same lift the repair layer produces.
+    fn lifted(cg: &CommGraph, rule: &TurnTable, dead: &[bool]) -> TurnTable {
+        TurnTable::from_channel_rule(cg, |i, o| {
+            !dead[i as usize] && !dead[o as usize] && rule.is_allowed(cg, i, o)
+        })
+    }
+
+    #[test]
+    fn patch_masked_matches_rebuild_over_cumulative_link_deaths() {
+        for seed in 0..4u64 {
+            let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), seed).unwrap();
+            let cg = cg_of(&topo);
+            let rule = TurnTable::all_allowed(&cg);
+            let nch = cg.num_channels() as usize;
+            let mut dead = vec![false; nch];
+            let alive = vec![true; cg.num_nodes() as usize];
+            let mut old_table = lifted(&cg, &rule, &dead);
+            let mut patched = RoutingTables::build_masked(&cg, &old_table, &dead, &alive).unwrap();
+            // Kill links one at a time (skipping those that would
+            // disconnect the graph) and patch after each death.
+            let mut killed = 0;
+            for l in 0..topo.num_links() {
+                let mut next_dead = dead.clone();
+                next_dead[2 * l as usize] = true;
+                next_dead[2 * l as usize + 1] = true;
+                let new_table = lifted(&cg, &rule, &next_dead);
+                let fresh = match RoutingTables::build_masked(&cg, &new_table, &next_dead, &alive) {
+                    Ok(t) => t,
+                    Err(RoutingError::Disconnected { .. }) => continue,
+                };
+                let newly = [2 * l, 2 * l + 1];
+                let stats = patched
+                    .patch_masked(&cg, &old_table, &new_table, &next_dead, &alive, &newly, &[])
+                    .unwrap();
+                assert!(stats.removed_edges > 0, "seed {seed} link {l}: no delta");
+                assert_tables_equal(&patched, &fresh, &format!("seed {seed} link {l}"));
+                dead = next_dead;
+                old_table = new_table;
+                killed += 1;
+                if killed == 4 {
+                    break;
+                }
+            }
+            assert!(killed > 0, "seed {seed}: no killable link");
+        }
+    }
+
+    #[test]
+    fn patch_masked_applies_pure_turn_deltas_both_ways() {
+        // No deaths at all: the delta is purely prohibitions (removed
+        // edges) one way and releases (added edges) the other.
+        let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), 9).unwrap();
+        let cg = cg_of(&topo);
+        let open = TurnTable::all_allowed(&cg);
+        let restricted =
+            TurnTable::from_direction_rule(&cg, |din, dout| !(din.goes_down() && dout.goes_up()));
+        let dead = vec![false; cg.num_channels() as usize];
+        let alive = vec![true; cg.num_nodes() as usize];
+
+        // open -> restricted: removals only.
+        let mut rt = RoutingTables::build_masked(&cg, &open, &dead, &alive).unwrap();
+        let fresh = RoutingTables::build_masked(&cg, &restricted, &dead, &alive).unwrap();
+        let stats = rt
+            .patch_masked(&cg, &open, &restricted, &dead, &alive, &[], &[])
+            .unwrap();
+        assert!(stats.removed_edges > 0 && stats.added_edges == 0);
+        assert_tables_equal(&rt, &fresh, "open -> restricted");
+
+        // restricted -> open: additions only (cost decreases).
+        let fresh_open = RoutingTables::build_masked(&cg, &open, &dead, &alive).unwrap();
+        let stats = rt
+            .patch_masked(&cg, &restricted, &open, &dead, &alive, &[], &[])
+            .unwrap();
+        assert!(stats.added_edges > 0 && stats.removed_edges == 0);
+        assert_tables_equal(&rt, &fresh_open, "restricted -> open");
+    }
+
+    #[test]
+    fn patch_masked_handles_simultaneous_deaths_and_releases() {
+        // The regression shape real repairs produce: a link dies (removed
+        // edges) while the replacement table also *releases* turns (added
+        // edges) in the same delta. An invalidated channel can then
+        // re-settle below its pre-patch cost via an added edge, and that
+        // decrease must still reach its never-invalidated predecessors.
+        for seed in 0..6u64 {
+            let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), seed).unwrap();
+            let cg = cg_of(&topo);
+            let restricted = TurnTable::from_direction_rule(&cg, |din, dout| {
+                !(din.goes_down() && dout.goes_up())
+            });
+            let open = TurnTable::all_allowed(&cg);
+            let nch = cg.num_channels() as usize;
+            let no_dead = vec![false; nch];
+            let alive = vec![true; cg.num_nodes() as usize];
+            let old_table = lifted(&cg, &restricted, &no_dead);
+            let before = RoutingTables::build_masked(&cg, &old_table, &no_dead, &alive).unwrap();
+            let mut tested = 0;
+            for l in 0..topo.num_links() {
+                let mut dead = no_dead.clone();
+                dead[2 * l as usize] = true;
+                dead[2 * l as usize + 1] = true;
+                // Widen the rule while the link dies: removals + additions.
+                let new_table = lifted(&cg, &open, &dead);
+                let fresh = match RoutingTables::build_masked(&cg, &new_table, &dead, &alive) {
+                    Ok(t) => t,
+                    Err(RoutingError::Disconnected { .. }) => continue,
+                };
+                let mut patched = before.clone();
+                let stats = patched
+                    .patch_masked(
+                        &cg,
+                        &old_table,
+                        &new_table,
+                        &dead,
+                        &alive,
+                        &[2 * l, 2 * l + 1],
+                        &[],
+                    )
+                    .unwrap();
+                assert!(stats.removed_edges > 0 && stats.added_edges > 0);
+                assert_tables_equal(&patched, &fresh, &format!("seed {seed} link {l}"));
+                tested += 1;
+                if tested == 3 {
+                    break;
+                }
+            }
+            assert!(tested > 0, "seed {seed}: no killable link");
+        }
+    }
+
+    #[test]
+    fn patch_masked_matches_rebuild_after_a_switch_death() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), 3).unwrap();
+        let cg = cg_of(&topo);
+        let rule = TurnTable::all_allowed(&cg);
+        let nch = cg.num_channels() as usize;
+        let no_dead = vec![false; nch];
+        let all_alive = vec![true; cg.num_nodes() as usize];
+        let old_table = lifted(&cg, &rule, &no_dead);
+        for node in 0..topo.num_nodes() {
+            let mut dead = no_dead.clone();
+            let mut newly_ch = Vec::new();
+            for &(_, l) in topo.neighbors(node) {
+                dead[2 * l as usize] = true;
+                dead[2 * l as usize + 1] = true;
+                newly_ch.push(2 * l);
+                newly_ch.push(2 * l + 1);
+            }
+            let mut alive = all_alive.clone();
+            alive[node as usize] = false;
+            let new_table = lifted(&cg, &rule, &dead);
+            let fresh = match RoutingTables::build_masked(&cg, &new_table, &dead, &alive) {
+                Ok(t) => t,
+                Err(RoutingError::Disconnected { .. }) => continue,
+            };
+            let mut patched =
+                RoutingTables::build_masked(&cg, &old_table, &no_dead, &all_alive).unwrap();
+            patched
+                .patch_masked(
+                    &cg,
+                    &old_table,
+                    &new_table,
+                    &dead,
+                    &alive,
+                    &newly_ch,
+                    &[node],
+                )
+                .unwrap();
+            assert_tables_equal(&patched, &fresh, &format!("dead switch {node}"));
+            return; // one removable switch suffices
+        }
+        panic!("no removable switch found");
+    }
+
+    #[test]
+    fn patch_masked_reports_disconnection_like_the_full_build() {
+        // Path 0-1-2: killing either link cuts an alive pair.
+        let topo = irnet_topology::Topology::new(3, 2, [(0, 1), (1, 2)]).unwrap();
+        let cg = cg_of(&topo);
+        let rule = TurnTable::all_allowed(&cg);
+        let no_dead = vec![false; cg.num_channels() as usize];
+        let alive = vec![true; 3];
+        let old_table = lifted(&cg, &rule, &no_dead);
+        let mut rt = RoutingTables::build_masked(&cg, &old_table, &no_dead, &alive).unwrap();
+        let mut dead = no_dead;
+        dead[0] = true;
+        dead[1] = true;
+        let new_table = lifted(&cg, &rule, &dead);
+        let err = rt
+            .patch_masked(&cg, &old_table, &new_table, &dead, &alive, &[0, 1], &[])
+            .unwrap_err();
+        assert!(matches!(err, RoutingError::Disconnected { .. }));
     }
 
     #[test]

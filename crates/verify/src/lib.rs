@@ -35,4 +35,4 @@ pub mod reconfig;
 
 pub use certificate::{certify, certify_dep, recheck, Certificate, RecheckError, Verdict};
 pub use lints::{classify_turn, lint, Finding, LintCode, LintReport, Severity};
-pub use reconfig::{certify_transition, EpochCertificates};
+pub use reconfig::{certify_transition, union_acyclic_delta, EpochCertificates};

@@ -21,7 +21,7 @@
 
 use crate::certificate::{certify_dep, Certificate};
 use irnet_topology::{ChannelId, CommGraph};
-use irnet_turns::{ChannelDepGraph, TurnTable};
+use irnet_turns::{ChannelDepGraph, PathOracle, TurnTable};
 use serde::{Deserialize, Serialize};
 
 /// The two deadlock-freedom certificates of one reconfiguration epoch.
@@ -64,6 +64,59 @@ pub fn certify_transition(
         degraded: certify_dep(&new_dep),
         union: certify_dep(&old_dep.union(&new_dep)),
     }
+}
+
+/// Incrementally re-certifies the old∪new transition union by checking only
+/// the dependency edges the repair *added*.
+///
+/// The old (live-restricted) dependency graph is acyclic by the epoch-chain
+/// invariant — every table in the chain carries a Dally–Seitz certificate —
+/// so the union can only acquire a cycle through an edge present in `new`
+/// but not in `old`. A [`PathOracle`] over the old graph answers "does
+/// adding `i → o` close a cycle?" in one incremental DFS per added edge;
+/// accepted edges join the oracle so later checks see the growing union.
+///
+/// Returns the number of added dependency edges when the union is acyclic,
+/// or the first added turn `(input, output)` that closes a cycle. The full
+/// [`certify_transition`] remains the exhaustive oracle; this is the
+/// `O(delta)` fast path used by incremental repair.
+pub fn union_acyclic_delta(
+    cg: &CommGraph,
+    old: &TurnTable,
+    new: &TurnTable,
+    dead_channel: &[bool],
+) -> Result<usize, (ChannelId, ChannelId)> {
+    assert_eq!(dead_channel.len(), cg.num_channels() as usize);
+    let alive = |i: ChannelId, o: ChannelId| !dead_channel[i as usize] && !dead_channel[o as usize];
+    let old_live = TurnTable::from_channel_rule(cg, |i, o| alive(i, o) && old.is_allowed(cg, i, o));
+    let old_dep = ChannelDepGraph::build(cg, &old_live);
+    debug_assert!(old_dep.is_acyclic(), "epoch chain carried a cyclic table");
+    let mut oracle = PathOracle::new(&old_dep);
+    let ch = cg.channels();
+    let mut added = 0usize;
+    for v in 0..cg.num_nodes() {
+        let outputs = ch.outputs(v);
+        for &in_ch in ch.inputs(v) {
+            if dead_channel[in_ch as usize] {
+                continue;
+            }
+            for &out_ch in outputs {
+                if dead_channel[out_ch as usize]
+                    || out_ch == ch.reverse(in_ch)
+                    || !new.is_allowed(cg, in_ch, out_ch)
+                    || old_live.is_allowed(cg, in_ch, out_ch)
+                {
+                    continue;
+                }
+                if oracle.has_path(out_ch, in_ch) {
+                    return Err((in_ch, out_ch));
+                }
+                oracle.add_edge(in_ch, out_ch);
+                added += 1;
+            }
+        }
+    }
+    Ok(added)
 }
 
 #[cfg(test)]
@@ -148,6 +201,55 @@ mod tests {
         dead[1] = true;
         let certs = certify_transition(&cg, &table, &table, &dead);
         assert!(certs.is_deadlock_free());
+    }
+
+    #[test]
+    fn delta_recertifier_agrees_with_exhaustive_union() {
+        // Safe transition: widening a strictly-down table stays acyclic and
+        // the delta count matches the edge-count difference.
+        let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), 4).unwrap();
+        let cg = cg_of(&topo);
+        let down = TurnTable::from_direction_rule(&cg, |_, dout| dout.goes_down());
+        let dead = vec![false; cg.num_channels() as usize];
+        let certs = certify_transition(&cg, &down, &down, &dead);
+        assert!(certs.is_deadlock_free());
+        assert_eq!(union_acyclic_delta(&cg, &down, &down, &dead), Ok(0));
+
+        // Unsafe transition: the two ring halves union into a cycle, and the
+        // delta recertifier reports an added turn certify_transition also
+        // rejects.
+        let ring = gen::ring(6).unwrap();
+        let rcg = cg_of(&ring);
+        let all = TurnTable::all_allowed(&rcg);
+        let half_a =
+            TurnTable::from_channel_rule(&rcg, |i, o| i % 2 == 0 && all.is_allowed(&rcg, i, o));
+        let half_b =
+            TurnTable::from_channel_rule(&rcg, |i, o| i % 2 == 1 && all.is_allowed(&rcg, i, o));
+        let rdead = vec![false; rcg.num_channels() as usize];
+        let (i, o) = union_acyclic_delta(&rcg, &half_a, &half_b, &rdead).unwrap_err();
+        assert!(half_b.is_allowed(&rcg, i, o));
+        assert!(!half_a.is_allowed(&rcg, i, o));
+        assert!(!certify_transition(&rcg, &half_a, &half_b, &rdead).is_deadlock_free());
+    }
+
+    #[test]
+    fn delta_recertifier_ignores_turns_through_dead_channels() {
+        // All-allowed on a ring is cyclic, but once one link's channels die
+        // the union restricted to survivors is acyclic; the delta pass must
+        // skip the dead pairs certify_transition also excludes.
+        let ring = gen::ring(4).unwrap();
+        let cg = cg_of(&ring);
+        let table = TurnTable::all_allowed(&cg);
+        let none = TurnTable::from_channel_rule(&cg, |_, _| false);
+        let mut dead = vec![false; cg.num_channels() as usize];
+        dead[0] = true;
+        dead[1] = true;
+        let added = union_acyclic_delta(&cg, &none, &table, &dead).unwrap();
+        let live = TurnTable::from_channel_rule(&cg, |i, o| {
+            !dead[i as usize] && !dead[o as usize] && table.is_allowed(&cg, i, o)
+        });
+        let expect = ChannelDepGraph::build(&cg, &live).num_edges();
+        assert_eq!(added, expect);
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub mod prelude {
         Obstruction, Witness,
     };
     pub use irnet_baselines::{lturn, updown, BaselineRouting};
-    pub use irnet_core::{plan_epochs, repair_epoch, DownUp, DownUpRouting, ReconfigEpoch};
+    pub use irnet_core::{
+        plan_epochs, plan_epochs_with, repair_epoch, DownUp, DownUpRouting, EpochRepair,
+        ReconfigEpoch, RepairSpans, RepairStrategy,
+    };
     pub use irnet_metrics::paper::PaperMetrics;
     pub use irnet_metrics::sweep;
     pub use irnet_metrics::{Algo, Instance};

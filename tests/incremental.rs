@@ -1,0 +1,190 @@
+//! Incremental-repair equivalence: under any connectivity-preserving
+//! multi-epoch fault plan, [`plan_epochs_with`] must produce the same
+//! epochs as the full-rebuild reference — identical lifted turn tables,
+//! identical masked routing tables (hence identical routes), and the same
+//! per-epoch transition certificates — whichever strategy runs. The
+//! scripted golden scenario must deliver bit-identical flit counts when
+//! the simulator swaps in incrementally repaired tables.
+
+use irnet::prelude::*;
+use irnet_core::{plan_epochs_with, RepairStrategy};
+use proptest::prelude::*;
+
+fn link_fault(cycle: u32, a: u32, b: u32) -> FaultEvent {
+    FaultEvent {
+        cycle,
+        kind: FaultKind::Link { a, b },
+    }
+}
+
+/// Builds a cumulative, non-partitioning plan from random link/switch
+/// candidates: each candidate is kept only if the graph stays routable
+/// with every previously kept fault still active.
+fn safe_plan(topo: &Topology, candidates: &[(u32, bool)], max_epochs: usize) -> FaultPlan {
+    let mut kept: Vec<FaultEvent> = Vec::new();
+    for &(pick, switch) in candidates {
+        if kept.len() == max_epochs {
+            break;
+        }
+        let cycle = 100 * (kept.len() as u32 + 1);
+        let event = if switch {
+            FaultEvent {
+                cycle,
+                kind: FaultKind::Switch {
+                    node: pick % topo.num_nodes(),
+                },
+            }
+        } else {
+            let (a, b) = topo.links()[pick as usize % topo.links().len()];
+            link_fault(cycle, a, b)
+        };
+        let mut trial = kept.clone();
+        trial.push(event);
+        if topo.degrade(&FaultPlan::scripted(trial.clone())).is_ok() {
+            kept = trial;
+        }
+    }
+    FaultPlan::scripted(kept)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn incremental_repair_is_equivalent_to_full_rebuild(
+        (seed, switches, cand_seed) in (0u64..40, 16u32..40, 0u64..1_000_000),
+    ) {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(switches, 4), seed).unwrap();
+        // Expand the candidate seed into six pseudo-random fault picks
+        // (splitmix64); roughly a quarter are switch faults.
+        let mut state = cand_seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let candidates: Vec<(u32, bool)> = (0..6)
+            .map(|_| {
+                let r = next();
+                ((r >> 8) as u32 & 0xfff, r & 3 == 0)
+            })
+            .collect();
+        let plan = safe_plan(&topo, &candidates, 3);
+        if plan.activation_cycles().is_empty() {
+            // Every candidate partitioned the graph — nothing to repair.
+            return;
+        }
+
+        let routing = DownUp::new().construct(&topo).unwrap();
+        let (_, cg, table, tables) = routing.into_parts();
+        let reference = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap();
+
+        let mut per_strategy = Vec::new();
+        for strategy in [RepairStrategy::Full, RepairStrategy::Incremental] {
+            let epochs = plan_epochs_with(
+                &topo, &cg, &table, &tables, &plan, DownUp::new(), strategy,
+            ).unwrap();
+            prop_assert_eq!(epochs.len(), reference.len());
+            for (got, want) in epochs.iter().zip(&reference) {
+                // Identical lifted turn tables on every pair (dead pairs
+                // are prohibited in both), and identical masked tables —
+                // which pins every route the simulator can take.
+                prop_assert_eq!(&got.epoch.new_table, &want.new_table);
+                prop_assert_eq!(&got.epoch.old_table, &want.old_table);
+                prop_assert_eq!(&got.epoch.tables, &want.tables);
+                prop_assert_eq!(&got.epoch.dead_channels, &want.dead_channels);
+                prop_assert_eq!(&got.epoch.flipped_channels, &want.flipped_channels);
+
+                // The transition certificates cannot differ between
+                // strategies; the repaired steady state always certifies,
+                // and the incremental O(delta) union verdict agrees with
+                // the exhaustive certificate.
+                let mut dead = vec![false; cg.num_channels() as usize];
+                for &c in &got.epoch.dead_channels {
+                    dead[c as usize] = true;
+                }
+                let certs = certify_transition(&cg, &got.epoch.old_table, &got.epoch.new_table, &dead);
+                prop_assert!(certs.degraded.is_deadlock_free());
+                if let Some(verdict) = got.spans.recertified {
+                    prop_assert_eq!(verdict, certs.union.is_deadlock_free());
+                }
+            }
+            per_strategy.push(epochs);
+        }
+
+        // Spot-check route equality under the masked tables: the same
+        // (source, destination) pairs route identically under either
+        // strategy's final epoch.
+        let (full, incr) = (&per_strategy[0], &per_strategy[1]);
+        let last_full = &full[full.len() - 1];
+        let last_incr = &incr[incr.len() - 1];
+        let alive = |v: u32| !last_full.epoch.dead_nodes.contains(&v);
+        for s in 0..topo.num_nodes() {
+            for t in 0..topo.num_nodes() {
+                if s != t && alive(s) && alive(t) {
+                    prop_assert_eq!(
+                        last_full.epoch.tables.route(&cg, s, t),
+                        last_incr.epoch.tables.route(&cg, s, t)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The shipped 128-switch scripted scenario delivers bit-identical
+/// statistics when the simulator swaps in incrementally repaired tables
+/// instead of fully rebuilt ones.
+#[test]
+fn golden_scenario_pins_are_identical_under_incremental_repair() {
+    let topo = gen::random_irregular(gen::IrregularParams::paper(128, 4), 1).unwrap();
+    let builder = DownUp::new().seed(1);
+    let routing = builder.construct(&topo).unwrap();
+    let plan = FaultPlan::scripted([FaultEvent {
+        cycle: 3011,
+        kind: FaultKind::Link { a: 7, b: 80 },
+    }]);
+    let cg = routing.comm_graph();
+    let cfg = SimConfig {
+        packet_len: 32,
+        injection_rate: 0.3,
+        warmup_cycles: 1_000,
+        measure_cycles: 6_000,
+        ..SimConfig::default()
+    };
+    let mut stats = Vec::new();
+    for strategy in [RepairStrategy::Full, RepairStrategy::Incremental] {
+        let epochs = plan_epochs_with(
+            &topo,
+            cg,
+            routing.turn_table(),
+            routing.routing_tables(),
+            &plan,
+            builder,
+            strategy,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(cg, routing.routing_tables(), cfg, 7);
+        for e in &epochs {
+            sim.schedule_reconfig(FaultEpoch {
+                cycle: e.epoch.cycle,
+                dead_channels: e.epoch.dead_channels.clone(),
+                dead_nodes: e.epoch.dead_nodes.clone(),
+                tables: &e.epoch.tables,
+            });
+        }
+        stats.push(sim.run());
+    }
+    assert_eq!(stats[0], stats[1]);
+    // And both match the reference pins of `tests/faults.rs`.
+    assert_eq!(
+        (
+            stats[0].packets_delivered,
+            stats[0].dropped_flits,
+            stats[0].dropped_packets
+        ),
+        (2_227, 10, 1)
+    );
+}
