@@ -367,6 +367,47 @@ pub fn analyze_and_degrade(
     }
 }
 
+/// Runs the oracle on explicit survivor masks (as carried by a
+/// `TimelineStep` of a recovery-aware plan). This is the entry point for
+/// bidirectional reconfiguration, where the live set at an epoch is *not*
+/// the cumulative result of a plan prefix: the caller owns the masks and
+/// the oracle only judges them.
+///
+/// # Panics
+///
+/// Panics if the mask lengths disagree with `topo`.
+pub fn analyze_masks(topo: &Topology, node_dead: &[bool], link_dead: &[bool]) -> Feasibility {
+    assert_eq!(node_dead.len(), topo.num_nodes() as usize);
+    assert_eq!(link_dead.len(), topo.num_links() as usize);
+    analyze_survivors(topo, node_dead, link_dead)
+}
+
+/// Mask-based twin of [`analyze_and_degrade`]: judges explicit survivor
+/// masks and, when feasible, compacts the survivors in the same pass.
+///
+/// # Errors
+///
+/// Infeasible masks are a verdict, not an error; the only error path is
+/// the (unreachable-by-construction) compaction failure, propagated to
+/// keep the contract honest.
+///
+/// # Panics
+///
+/// Panics if the mask lengths disagree with `topo`.
+pub fn analyze_and_degrade_masks(
+    topo: &Topology,
+    node_dead: &[bool],
+    link_dead: &[bool],
+) -> Result<AnalyzedDegrade, FaultError> {
+    match analyze_masks(topo, node_dead, link_dead) {
+        Feasibility::Infeasible(o) => Ok(AnalyzedDegrade::Infeasible(o)),
+        Feasibility::Feasible(witness) => {
+            let degraded = Box::new(topo.degrade_from_masks(node_dead, link_dead)?);
+            Ok(AnalyzedDegrade::Feasible { witness, degraded })
+        }
+    }
+}
+
 /// The oracle core over explicit survivor masks.
 fn analyze_survivors(topo: &Topology, node_dead: &[bool], link_dead: &[bool]) -> Feasibility {
     let n = topo.num_nodes() as usize;
@@ -734,16 +775,37 @@ mod tests {
     use irnet_topology::{gen, FaultEvent, FaultKind};
 
     fn link(cycle: u32, a: NodeId, b: NodeId) -> FaultEvent {
-        FaultEvent {
-            cycle,
-            kind: FaultKind::Link { a, b },
-        }
+        FaultEvent::down(cycle, FaultKind::Link { a, b })
     }
 
     fn switch(cycle: u32, node: NodeId) -> FaultEvent {
-        FaultEvent {
-            cycle,
-            kind: FaultKind::Switch { node },
+        FaultEvent::down(cycle, FaultKind::Switch { node })
+    }
+
+    #[test]
+    fn mask_entry_agrees_with_the_plan_entry() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 3).unwrap();
+        let (a, b) = topo.link(0);
+        let plan = irnet_topology::FaultPlan::scripted([link(5, a, b)]);
+        let (nd, ld) = topo.fault_masks(&plan).unwrap();
+        match (
+            analyze_faulted(&topo, &plan).unwrap(),
+            analyze_masks(&topo, &nd, &ld),
+        ) {
+            (Feasibility::Feasible(x), Feasibility::Feasible(y)) => {
+                assert_eq!(x.alive_nodes, y.alive_nodes);
+                assert_eq!(x.alive_channels, y.alive_channels);
+            }
+            (Feasibility::Infeasible(x), Feasibility::Infeasible(y)) => {
+                assert_eq!(format!("{x}"), format!("{y}"));
+            }
+            _ => panic!("plan and mask entries disagree"),
+        }
+        match analyze_and_degrade_masks(&topo, &nd, &ld).unwrap() {
+            AnalyzedDegrade::Feasible { degraded, .. } => {
+                assert_eq!(degraded.topology.num_links(), topo.num_links() - 1);
+            }
+            AnalyzedDegrade::Infeasible(o) => panic!("unexpected obstruction: {o}"),
         }
     }
 

@@ -297,10 +297,7 @@ fn bench_repair(
     let Some((a, b)) = cross else {
         return Vec::new();
     };
-    let plan = FaultPlan::scripted([FaultEvent {
-        cycle: 1_000,
-        kind: FaultKind::Link { a, b },
-    }]);
+    let plan = FaultPlan::scripted([FaultEvent::down(1_000, FaultKind::Link { a, b })]);
     let mut out = Vec::new();
     for strategy in [RepairStrategy::Full, RepairStrategy::Incremental] {
         let mut best: Option<RepairSpans> = None;

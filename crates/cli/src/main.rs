@@ -47,7 +47,7 @@ use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 
 const USAGE: &str = "irnet <gen|analyze|verify|lint|routes|simulate|sweep|export|render|replay|\
-faults|trace|top> [options]
+faults|trace|soak|top> [options]
 
 common options:
   --topology FILE     read a topology JSON (otherwise --switches/--ports/--seed generate one)
@@ -81,6 +81,9 @@ simulate options:
   --measure N         measured cycles (default 8000)
   --vcs N             virtual channels (default 1)
   --sim-seed N        simulation seed (default 7)
+  --watchdog N        deadlock watchdog threshold: abort after N cycles
+                      without flit progress while packets are live
+                      (default 20000)
 
 sweep options (in addition to the simulate options):
   --rates r1,r2,...   offered-load ladder (default an 8-step ramp)
@@ -120,7 +123,9 @@ faults options (in addition to the simulate options; DOWN/UP only):
   --incident FILE     write deadlock-forensics JSON to FILE if the watchdog
                       aborts the simulation
   --scenario FILE     fault-plan JSON: {\"events\":[{\"cycle\":N,\"link\":[a,b]},
-                      {\"cycle\":N,\"switch\":v}, ...]}
+                      {\"cycle\":N,\"switch\":v}, ...]}; version-2 plans add
+                      recovery (\"recovers_at\":N) and flap schedules
+                      (\"flap\":{\"period\":N,\"count\":K}) per event
   --random-links N    without --scenario: draw N random link faults (default 1)
   --random-switches N without --scenario: draw N random switch faults (default 0)
   --fault-window N    random activations fall in [warmup, warmup+N]
@@ -129,7 +134,18 @@ faults options (in addition to the simulate options; DOWN/UP only):
   --repair STRAT      repair strategy: `full` rebuilds the routing tables
                       each epoch; `incremental` patches the previous
                       epoch's tables in place (default full)
-  --json              print the epoch/certificate report as JSON";
+  --hold N            flap damping: hold a recovered element down N cycles
+                      before re-admission, doubling per repeat flap
+                      (default 0 = admit recoveries immediately)
+  --json              print the epoch/certificate report as JSON
+
+soak options (in addition to the simulate options; DOWN/UP only):
+  --events N          chaos faults to draw (default 6)
+  --chaos-seed N      chaos-plan randomization seed (default 42)
+  --hold N            flap-damping base hold-down in cycles (default 300)
+  --repair STRAT      repair strategy per epoch (default incremental)
+  --out FILE          write the JSON soak report to FILE (default stdout);
+                      the report is byte-stable for a fixed seed set";
 
 fn fail(msg: &str) -> ! {
     eprintln!("irnet: {msg}\n\n{USAGE}");
@@ -485,13 +501,15 @@ fn cmd_routes(o: &Opts) -> Result<(), String> {
 }
 
 fn sim_config(o: &Opts) -> SimConfig {
+    let default = SimConfig::default();
     SimConfig {
         packet_len: o.parse("packet-len", 128u32),
         injection_rate: o.parse("rate", 0.1f64),
         warmup_cycles: o.parse("warmup", 2_000u32),
         measure_cycles: o.parse("measure", 8_000u32),
         virtual_channels: o.parse("vcs", 1u32),
-        ..SimConfig::default()
+        deadlock_threshold: o.parse("watchdog", default.deadlock_threshold),
+        ..default
     }
 }
 
@@ -968,10 +986,13 @@ fn cmd_replay(o: &Opts) -> Result<(), String> {
 }
 
 /// Degrade → repair → certify → simulate: the robustness pipeline.
+/// Version-2 scenarios make it bidirectional — recovery transitions run
+/// through the same feasibility gate, repair, and certification as fault
+/// transitions, with `--hold` flap damping between the two.
 fn cmd_faults(o: &Opts) -> Result<(), String> {
-    use irnet_core::{plan_epochs_with, DownUp, RepairStrategy};
+    use irnet_core::{plan_epochs_timeline_with, DownUp, RepairStrategy};
     use irnet_sim::FaultEpoch;
-    use irnet_topology::{FaultKind, FaultPlan};
+    use irnet_topology::{DampingPolicy, FaultKind, FaultPlan, RecoveryTimeline};
     use irnet_verify::certify_transition;
 
     let strategy = match o.get("repair") {
@@ -1022,13 +1043,20 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
     if plan.is_empty() {
         return Err("the fault plan contains no events".to_string());
     }
-    // Feasibility-first gate: faults are cumulative, so probe each epoch's
-    // cumulative plan and stop at the first provably-unroutable one. The
-    // oracle answers in milliseconds, so a hopeless scenario is reported
-    // here before any repair or simulation work is spent.
-    for cycle in plan.activation_cycles() {
-        let verdict = irnet_analyze::analyze_faulted(&topo, &plan.up_to(cycle))
-            .map_err(|e| format!("fault plan: {e}"))?;
+    // Expand the plan into its damped transition timeline (each step's
+    // live set is the original topology minus the elements down at that
+    // step, so a recovery shrinks the dead set again), then gate every
+    // step through the feasibility oracle before any repair or
+    // simulation work is spent. The oracle answers in milliseconds, so a
+    // hopeless scenario is reported here, with its step cycle.
+    let policy = match o.parse("hold", 0u32) {
+        0 => DampingPolicy::none(),
+        hold => DampingPolicy::hold(hold),
+    };
+    let timeline =
+        RecoveryTimeline::compute(&topo, &plan, policy).map_err(|e| format!("fault plan: {e}"))?;
+    for step in &timeline.steps {
+        let verdict = irnet_analyze::analyze_masks(&topo, &step.node_down, &step.link_down);
         if let irnet_analyze::Feasibility::Infeasible(obstruction) = verdict {
             if o.flag("json") {
                 let report = Value::Map(vec![
@@ -1036,7 +1064,7 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
                     ("feasible".to_string(), Value::Bool(false)),
                     (
                         "infeasible_at_cycle".to_string(),
-                        Value::U64(u64::from(cycle)),
+                        Value::U64(u64::from(step.cycle)),
                     ),
                     ("obstruction".to_string(), obstruction.to_value()),
                 ]);
@@ -1046,19 +1074,20 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
                 );
             }
             return Err(format!(
-                "feasibility gate: the network degraded at cycle {cycle} is \
+                "feasibility gate: the network degraded at cycle {} is \
                  provably unroutable ({obstruction}); skipping repair and \
-                 simulation"
+                 simulation",
+                step.cycle
             ));
         }
     }
     let cg = routing.comm_graph();
-    let epochs = plan_epochs_with(
+    let epochs = plan_epochs_timeline_with(
         &topo,
         cg,
         routing.turn_table(),
         routing.routing_tables(),
-        &plan,
+        &timeline,
         builder,
         strategy,
     )
@@ -1080,6 +1109,8 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
             cycle: e.epoch.cycle,
             dead_channels: e.epoch.dead_channels.clone(),
             dead_nodes: e.epoch.dead_nodes.clone(),
+            revived_channels: e.epoch.revived_channels.clone(),
+            revived_nodes: e.epoch.revived_nodes.clone(),
             tables: &e.epoch.tables,
         });
     }
@@ -1094,7 +1125,8 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
         let epoch_values: Vec<Value> = epochs
             .iter()
             .zip(&certs)
-            .map(|(e, c)| {
+            .zip(&timeline.steps)
+            .map(|((e, c), step)| {
                 let s = &e.spans;
                 let repair = Value::Map(vec![
                     (
@@ -1144,9 +1176,18 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
                 ]);
                 Value::Map(vec![
                     ("cycle".to_string(), Value::U64(u64::from(e.epoch.cycle))),
+                    (
+                        "direction".to_string(),
+                        Value::Str(step_direction(step).to_string()),
+                    ),
                     ("dead_links".to_string(), ids(&e.epoch.dead_links)),
                     ("dead_switches".to_string(), ids(&e.epoch.dead_nodes)),
                     ("dead_channels".to_string(), ids(&e.epoch.dead_channels)),
+                    ("revived_switches".to_string(), ids(&e.epoch.revived_nodes)),
+                    (
+                        "revived_channels".to_string(),
+                        ids(&e.epoch.revived_channels),
+                    ),
                     (
                         "flipped_channels".to_string(),
                         ids(&e.epoch.flipped_channels),
@@ -1194,8 +1235,25 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
                         "last_progress".to_string(),
                         Value::U64(u64::from(stats.last_progress)),
                     ),
+                    (
+                        "flits_injected_total".to_string(),
+                        Value::U64(stats.flits_injected_total),
+                    ),
+                    (
+                        "flits_delivered_total".to_string(),
+                        Value::U64(stats.flits_delivered_total),
+                    ),
+                    (
+                        "flits_in_flight".to_string(),
+                        Value::U64(stats.flits_in_flight),
+                    ),
+                    (
+                        "flits_conserved".to_string(),
+                        Value::Bool(stats.flits_conserved()),
+                    ),
                 ]),
             ),
+            ("damping".to_string(), damping_value(&timeline)),
             ("certified".to_string(), Value::Bool(all_certified)),
         ]);
         // The vendored serializer is infallible on value trees.
@@ -1210,23 +1268,29 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
             epochs.len()
         );
         for ev in plan.events() {
-            match ev.kind {
-                FaultKind::Link { a, b } => {
-                    println!("  cycle {:>6}: link {a}-{b} dies", ev.cycle);
+            let what = match ev.kind {
+                FaultKind::Link { a, b } => format!("link {a}-{b}"),
+                FaultKind::Switch { node } => format!("switch {node}"),
+            };
+            let recovery = match (ev.recovers_at, ev.flap) {
+                (Some(up), Some(f)) => {
+                    format!(", recovers at {up} (flaps every {} x{})", f.period, f.count)
                 }
-                FaultKind::Switch { node } => {
-                    println!("  cycle {:>6}: switch {node} dies", ev.cycle);
-                }
-            }
+                (Some(up), None) => format!(", recovers at {up}"),
+                _ => String::new(),
+            };
+            println!("  cycle {:>6}: {what} dies{recovery}", ev.cycle);
         }
         println!("repair strategy  : {}", strategy.name());
-        for (e, c) in epochs.iter().zip(&certs) {
+        for ((e, c), step) in epochs.iter().zip(&certs).zip(&timeline.steps) {
             println!(
-                "epoch @{:<8}: {} dead link(s), {} dead switch(es), \
-                 {} flipped channel(s)",
+                "epoch @{:<8}: {} — {} dead link(s), {} dead switch(es), \
+                 {} revived channel(s), {} flipped channel(s)",
                 e.epoch.cycle,
+                step_direction(step),
                 e.epoch.dead_links.len(),
                 e.epoch.dead_nodes.len(),
+                e.epoch.revived_channels.len(),
                 e.epoch.flipped_channels.len()
             );
             let s = &e.spans;
@@ -1255,6 +1319,27 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
             stats.dropped_flits, stats.dropped_packets
         );
         println!("reconfig epochs  : {}", stats.reconfig_epochs);
+        if plan.has_recovery() {
+            println!(
+                "flap damping     : {} raw transition(s) -> {} admitted epoch(s), \
+                 {} suppressed re-admission(s)",
+                timeline.raw_transitions,
+                timeline.steps.len(),
+                timeline.suppressed_ups()
+            );
+        }
+        println!(
+            "flit conservation: {} (injected {} = delivered {} + dropped {} + in flight {})",
+            if stats.flits_conserved() {
+                "exact"
+            } else {
+                "VIOLATED"
+            },
+            stats.flits_injected_total,
+            stats.flits_delivered_total,
+            stats.dropped_flits,
+            stats.flits_in_flight
+        );
         println!(
             "accepted traffic : {:.4} flits/clock/node",
             stats.accepted_traffic()
@@ -1276,7 +1361,397 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
                 .to_string(),
         );
     }
+    if !stats.flits_conserved() {
+        return Err(format!(
+            "flit conservation violated: injected {} != delivered {} + dropped {} + in flight {}",
+            stats.flits_injected_total,
+            stats.flits_delivered_total,
+            stats.dropped_flits,
+            stats.flits_in_flight
+        ));
+    }
     Ok(())
+}
+
+/// Seeded chaos soak: draw a randomized fault/recovery plan against the
+/// topology, gate every step of the damped timeline through the
+/// feasibility oracle, repair and certify every epoch in both directions,
+/// simulate through all the swaps, and enforce the soak invariants —
+/// feasibility, certification, exact flit conservation, and watchdog
+/// liveness. The JSON report contains only integers, booleans, and
+/// strings, so it is byte-stable for a fixed seed set.
+fn cmd_soak(o: &Opts) -> Result<(), String> {
+    use irnet_core::{plan_epochs_timeline_with, DownUp, RepairStrategy};
+    use irnet_sim::FaultEpoch;
+    use irnet_topology::{chaos_plan_filtered, ChaosParams, DampingPolicy, RecoveryTimeline};
+    use irnet_verify::certify_transition;
+
+    if let Some(algo) = o.get("algo") {
+        if algo != "downup" {
+            return Err(format!(
+                "the soak harness repairs with the DOWN/UP builder; \
+                 --algo {algo} is not supported"
+            ));
+        }
+    }
+    let strategy = match o.get("repair") {
+        None => RepairStrategy::Incremental,
+        Some(raw) => RepairStrategy::parse(raw).unwrap_or_else(|| {
+            fail(&format!(
+                "invalid --repair value {raw:?} (full|incremental)"
+            ))
+        }),
+    };
+    let topo = load_topology(o)?;
+    let builder = DownUp::new()
+        .policy(parse_policy(o))
+        .seed(o.parse("seed", 1u64));
+    let routing = builder
+        .construct(&topo)
+        .map_err(|e| format!("construction failed: {e}"))?;
+    let cfg = sim_config(o);
+    let hold = o.parse("hold", 300u32);
+    let policy = match hold {
+        0 => DampingPolicy::none(),
+        h => DampingPolicy::hold(h),
+    };
+    let chaos_seed = o.parse("chaos-seed", 42u64);
+    let sim_seed = o.parse("sim-seed", 7u64);
+    // Chaos window inside the configured run: activations start after
+    // warm-up, outages are short enough that several recoveries land
+    // before the measurement window closes.
+    let lo = cfg.warmup_cycles.max(100);
+    let hi = lo.saturating_add((cfg.measure_cycles / 2).max(100));
+    let outage_hi = (cfg.measure_cycles / 4).max(200);
+    let params = ChaosParams {
+        events: o.parse("events", 6u32),
+        window: (lo, hi),
+        outage: ((outage_hi / 4).max(100), outage_hi),
+        ..ChaosParams::default()
+    };
+    // The chaos generator keeps a trial event only if the whole candidate
+    // plan both survives (stays connected at every damped step — checked
+    // inside the generator) and certifies: every repaired epoch's degraded
+    // table AND its old∪new union must prove deadlock-free. The union gate
+    // matters — a swap between two sufficiently different DOWN/UP
+    // orientations can deadlock the in-flight worms even though both
+    // steady states are safe, and such plans must never enter a soak.
+    let cg = routing.comm_graph();
+    let nch = cg.num_channels() as usize;
+    let certifies = |plan: &irnet_topology::FaultPlan| -> bool {
+        let Ok(timeline) = RecoveryTimeline::compute(&topo, plan, policy) else {
+            return false;
+        };
+        let Ok(epochs) = plan_epochs_timeline_with(
+            &topo,
+            cg,
+            routing.turn_table(),
+            routing.routing_tables(),
+            &timeline,
+            builder,
+            strategy,
+        ) else {
+            return false;
+        };
+        epochs.iter().all(|e| {
+            let mut dead = vec![false; nch];
+            for &c in &e.epoch.dead_channels {
+                dead[c as usize] = true;
+            }
+            certify_transition(cg, &e.epoch.old_table, &e.epoch.new_table, &dead).is_deadlock_free()
+        })
+    };
+    let plan = chaos_plan_filtered(&topo, &params, policy, chaos_seed, certifies)
+        .map_err(|e| format!("chaos plan: {e}"))?;
+    let timeline =
+        RecoveryTimeline::compute(&topo, &plan, policy).map_err(|e| format!("chaos plan: {e}"))?;
+
+    // Invariant 1 — feasibility: the chaos generator only accepts events
+    // whose damped timeline keeps the graph connected, and the oracle
+    // independently re-proves every step here.
+    let mut infeasible_at: Option<u32> = None;
+    let feasible: Vec<bool> = timeline
+        .steps
+        .iter()
+        .map(|step| {
+            let ok =
+                irnet_analyze::analyze_masks(&topo, &step.node_down, &step.link_down).is_feasible();
+            if !ok && infeasible_at.is_none() {
+                infeasible_at = Some(step.cycle);
+            }
+            ok
+        })
+        .collect();
+
+    let epochs = plan_epochs_timeline_with(
+        &topo,
+        cg,
+        routing.turn_table(),
+        routing.routing_tables(),
+        &timeline,
+        builder,
+        strategy,
+    )
+    .map_err(|e| format!("fault repair failed: {e}"))?;
+
+    // Invariant 2 — certification: every transition, down or up, carries
+    // a fresh Dally–Seitz certificate for the degraded table and for the
+    // old∪new union the in-flight worms route through.
+    let certs: Vec<_> = epochs
+        .iter()
+        .map(|e| {
+            let mut dead = vec![false; nch];
+            for &c in &e.epoch.dead_channels {
+                dead[c as usize] = true;
+            }
+            certify_transition(cg, &e.epoch.old_table, &e.epoch.new_table, &dead)
+        })
+        .collect();
+    let all_certified = certs
+        .iter()
+        .all(irnet_verify::EpochCertificates::is_deadlock_free);
+
+    // Invariants 3 and 4 — conservation and liveness — come out of the
+    // simulation. Flap recoveries can land past the configured run, so
+    // the horizon extends to cover the last scheduled epoch plus a drain
+    // margin; the watchdog still bounds every wait.
+    let mut sim = Simulator::new(cg, routing.routing_tables(), cfg, sim_seed);
+    for e in &epochs {
+        sim.schedule_reconfig(FaultEpoch {
+            cycle: e.epoch.cycle,
+            dead_channels: e.epoch.dead_channels.clone(),
+            dead_nodes: e.epoch.dead_nodes.clone(),
+            revived_channels: e.epoch.revived_channels.clone(),
+            revived_nodes: e.epoch.revived_nodes.clone(),
+            tables: &e.epoch.tables,
+        });
+    }
+    let last_epoch = epochs.iter().map(|e| e.epoch.cycle).max().unwrap_or(0);
+    let horizon = cfg.total_cycles().max(last_epoch.saturating_add(1_000));
+    let mut stalled = false;
+    while sim.now() < horizon {
+        sim.tick();
+        if sim.stalled() {
+            stalled = true;
+            break;
+        }
+    }
+    let stats = sim.finish_with(stalled);
+    let all_feasible = infeasible_at.is_none();
+    let conserved = stats.flits_conserved();
+    let passed = all_feasible && all_certified && conserved && !stats.deadlocked;
+
+    let epoch_values: Vec<Value> = epochs
+        .iter()
+        .zip(&certs)
+        .zip(&timeline.steps)
+        .zip(&feasible)
+        .map(|(((e, c), step), &ok)| {
+            Value::Map(vec![
+                ("cycle".to_string(), Value::U64(u64::from(e.epoch.cycle))),
+                (
+                    "direction".to_string(),
+                    Value::Str(step_direction(step).to_string()),
+                ),
+                ("feasible".to_string(), Value::Bool(ok)),
+                (
+                    "dead_links".to_string(),
+                    Value::U64(e.epoch.dead_links.len() as u64),
+                ),
+                (
+                    "dead_switches".to_string(),
+                    Value::U64(e.epoch.dead_nodes.len() as u64),
+                ),
+                (
+                    "dead_channels".to_string(),
+                    Value::U64(e.epoch.dead_channels.len() as u64),
+                ),
+                (
+                    "revived_switches".to_string(),
+                    Value::U64(e.epoch.revived_nodes.len() as u64),
+                ),
+                (
+                    "revived_channels".to_string(),
+                    Value::U64(e.epoch.revived_channels.len() as u64),
+                ),
+                (
+                    "flipped_channels".to_string(),
+                    Value::U64(e.epoch.flipped_channels.len() as u64),
+                ),
+                ("touched_rows".to_string(), Value::U64(e.spans.touched_rows)),
+                ("certified".to_string(), Value::Bool(c.is_deadlock_free())),
+            ])
+        })
+        .collect();
+    let report = Value::Map(vec![
+        ("kind".to_string(), Value::Str("soak_report".to_string())),
+        ("chaos_seed".to_string(), Value::U64(chaos_seed)),
+        ("sim_seed".to_string(), Value::U64(sim_seed)),
+        ("hold".to_string(), Value::U64(u64::from(hold))),
+        (
+            "repair_strategy".to_string(),
+            Value::Str(strategy.name().to_string()),
+        ),
+        (
+            "switches".to_string(),
+            Value::U64(u64::from(topo.num_nodes())),
+        ),
+        ("plan".to_string(), plan.to_value()),
+        ("damping".to_string(), damping_value(&timeline)),
+        ("epochs".to_string(), Value::Seq(epoch_values)),
+        (
+            "simulation".to_string(),
+            Value::Map(vec![
+                (
+                    "packets_delivered".to_string(),
+                    Value::U64(stats.packets_delivered),
+                ),
+                (
+                    "packets_generated".to_string(),
+                    Value::U64(stats.packets_generated),
+                ),
+                ("dropped_flits".to_string(), Value::U64(stats.dropped_flits)),
+                (
+                    "dropped_packets".to_string(),
+                    Value::U64(stats.dropped_packets),
+                ),
+                (
+                    "reconfig_epochs".to_string(),
+                    Value::U64(u64::from(stats.reconfig_epochs)),
+                ),
+                ("deadlocked".to_string(), Value::Bool(stats.deadlocked)),
+                (
+                    "flits_injected_total".to_string(),
+                    Value::U64(stats.flits_injected_total),
+                ),
+                (
+                    "flits_delivered_total".to_string(),
+                    Value::U64(stats.flits_delivered_total),
+                ),
+                (
+                    "flits_in_flight".to_string(),
+                    Value::U64(stats.flits_in_flight),
+                ),
+                ("flits_conserved".to_string(), Value::Bool(conserved)),
+            ]),
+        ),
+        ("all_feasible".to_string(), Value::Bool(all_feasible)),
+        ("all_certified".to_string(), Value::Bool(all_certified)),
+        ("conserved".to_string(), Value::Bool(conserved)),
+        ("passed".to_string(), Value::Bool(passed)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).unwrap_or_default() + "\n";
+    match o.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote soak report to {path}");
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "soak: {} event(s) -> {} raw transition(s) -> {} admitted epoch(s) \
+         ({} suppressed re-admission(s)), repair {}",
+        plan.events().len(),
+        timeline.raw_transitions,
+        epochs.len(),
+        timeline.suppressed_ups(),
+        strategy.name()
+    );
+    eprintln!(
+        "soak: feasibility {}, certification {}, conservation {}, liveness {}",
+        if all_feasible { "ok" } else { "FAILED" },
+        if all_certified { "ok" } else { "FAILED" },
+        if conserved { "exact" } else { "VIOLATED" },
+        if stats.deadlocked {
+            "FAILED (watchdog fired)"
+        } else {
+            "ok"
+        }
+    );
+    if let Some(cycle) = infeasible_at {
+        return Err(format!(
+            "soak failed: the network degraded at cycle {cycle} is provably unroutable"
+        ));
+    }
+    if !all_certified {
+        return Err("soak failed: a reconfiguration epoch failed certification".to_string());
+    }
+    if stats.deadlocked {
+        return Err(format!(
+            "soak failed: deadlock watchdog fired (no progress since cycle {}, \
+             {} flits stranded)",
+            stats.last_progress, stats.flits_in_flight
+        ));
+    }
+    if !conserved {
+        return Err(format!(
+            "soak failed: flit conservation violated (injected {} != delivered {} \
+             + dropped {} + in flight {})",
+            stats.flits_injected_total,
+            stats.flits_delivered_total,
+            stats.dropped_flits,
+            stats.flits_in_flight
+        ));
+    }
+    Ok(())
+}
+
+/// The transition direction of one timeline step.
+fn step_direction(step: &irnet_topology::TimelineStep) -> &'static str {
+    let downs = !step.failed_links.is_empty() || !step.failed_nodes.is_empty();
+    let ups = !step.revived_links.is_empty() || !step.revived_nodes.is_empty();
+    match (downs, ups) {
+        (true, false) => "down",
+        (false, true) => "up",
+        _ => "mixed",
+    }
+}
+
+/// JSON view of a timeline's flap-damping accounting: raw vs admitted
+/// transition counts plus the per-element state machine tallies.
+fn damping_value(timeline: &irnet_topology::RecoveryTimeline) -> Value {
+    let elements: Vec<Value> = timeline
+        .damping
+        .iter()
+        .map(|d| {
+            Value::Map(vec![
+                ("element".to_string(), Value::Str(d.element.to_string())),
+                ("downs".to_string(), Value::U64(u64::from(d.downs))),
+                ("ups".to_string(), Value::U64(u64::from(d.ups))),
+                (
+                    "admitted_downs".to_string(),
+                    Value::U64(u64::from(d.admitted_downs)),
+                ),
+                (
+                    "admitted_ups".to_string(),
+                    Value::U64(u64::from(d.admitted_ups)),
+                ),
+                (
+                    "suppressed_ups".to_string(),
+                    Value::U64(u64::from(d.suppressed_ups)),
+                ),
+                (
+                    "max_hold_applied".to_string(),
+                    Value::U64(u64::from(d.max_hold_applied)),
+                ),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        (
+            "raw_transitions".to_string(),
+            Value::U64(u64::from(timeline.raw_transitions)),
+        ),
+        (
+            "admitted_steps".to_string(),
+            Value::U64(timeline.steps.len() as u64),
+        ),
+        (
+            "suppressed_ups".to_string(),
+            Value::U64(u64::from(timeline.suppressed_ups())),
+        ),
+        ("elements".to_string(), Value::Seq(elements)),
+    ])
 }
 
 /// Writes a deadlock-forensics incident to `--incident FILE`, or summarises
@@ -1350,6 +1825,8 @@ fn cmd_trace(o: &Opts) -> Result<(), String> {
             cycle: e.cycle,
             dead_channels: e.dead_channels.clone(),
             dead_nodes: e.dead_nodes.clone(),
+            revived_channels: e.revived_channels.clone(),
+            revived_nodes: e.revived_nodes.clone(),
             // Unrepaired mode observes the failure, it does not survive it.
             tables: if no_repair { &inst.tables } else { &e.tables },
         });
@@ -1476,6 +1953,7 @@ fn main() {
         "render" => cmd_render(&opts),
         "replay" => cmd_replay(&opts),
         "faults" => cmd_faults(&opts),
+        "soak" => cmd_soak(&opts),
         "trace" => cmd_trace(&opts),
         "top" => cmd_top(&opts),
         "--help" | "-h" | "help" => {

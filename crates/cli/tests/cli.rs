@@ -158,10 +158,10 @@ fn analyze_rejects_an_infeasible_scenario_with_exit_1() {
     // Find a bridge by probing every link with the degrade API.
     let bridge = (0..topo.num_links()).find_map(|l| {
         let (a, b) = topo.link(l);
-        let plan = irnet_topology::FaultPlan::scripted([irnet_topology::FaultEvent {
-            cycle: 0,
-            kind: irnet_topology::FaultKind::Link { a, b },
-        }]);
+        let plan = irnet_topology::FaultPlan::scripted([irnet_topology::FaultEvent::down(
+            0,
+            irnet_topology::FaultKind::Link { a, b },
+        )]);
         topo.degrade(&plan).is_err().then_some((a, b))
     });
     let scenario = tmpfile("infeasible.json");
@@ -373,6 +373,110 @@ fn faults_runs_a_scripted_scenario_end_to_end() {
     assert!(stdout.contains("old∪new union"), "{stdout}");
     assert!(stdout.contains("reconfig epochs  : 1"), "{stdout}");
     std::fs::remove_file(scenario).ok();
+}
+
+#[test]
+fn faults_runs_a_recovery_scenario_with_flap_damping() {
+    let scenario = tmpfile("recovery-scenario.json");
+    let topo = irnet_topology::gen::random_irregular(
+        irnet_topology::gen::IrregularParams::paper(24, 4),
+        3,
+    )
+    .unwrap();
+    let (a, b) = topo.link(0);
+    std::fs::write(
+        &scenario,
+        format!(
+            r#"{{"version":2,"events":[{{"cycle":600,"link":[{a},{b}],"recovers_at":900,"flap":{{"period":500,"count":2}}}}]}}"#
+        ),
+    )
+    .unwrap();
+    let r = irnet(&[
+        "faults",
+        "--switches",
+        "24",
+        "--ports",
+        "4",
+        "--seed",
+        "3",
+        "--rate",
+        "0.1",
+        "--packet-len",
+        "8",
+        "--warmup",
+        "200",
+        "--measure",
+        "3000",
+        "--hold",
+        "100",
+        "--scenario",
+        scenario.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    // Both directions must be planned and annotated, the damping summary
+    // must show fewer admitted epochs than raw flap transitions, and the
+    // conservation line must balance exactly. (A witnessed transition is
+    // still a legitimate exit-1 outcome; the report always prints.)
+    assert!(stdout.contains("recovers at 900"), "{stdout}");
+    assert!(stdout.contains(": up —"), "{stdout}");
+    assert!(stdout.contains(": down —"), "{stdout}");
+    assert!(stdout.contains("flap damping"), "{stdout}");
+    assert!(stdout.contains("suppressed re-admission(s)"), "{stdout}");
+    assert!(stdout.contains("flit conservation: exact"), "{stdout}");
+    std::fs::remove_file(scenario).ok();
+}
+
+#[test]
+fn soak_report_is_byte_stable_and_passes_its_invariants() {
+    let out1 = tmpfile("soak-1.json");
+    let out2 = tmpfile("soak-2.json");
+    fn args(out: &str) -> Vec<&str> {
+        vec![
+            "soak",
+            "--switches",
+            "32",
+            "--ports",
+            "4",
+            "--seed",
+            "2",
+            "--events",
+            "3",
+            "--rate",
+            "0.1",
+            "--packet-len",
+            "8",
+            "--warmup",
+            "400",
+            "--measure",
+            "3000",
+            "--chaos-seed",
+            "11",
+            "--out",
+            out,
+        ]
+    }
+    let r1 = irnet(&args(out1.to_str().unwrap()));
+    assert_eq!(
+        r1.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&r1.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&r1.stderr);
+    assert!(stderr.contains("certification ok"), "{stderr}");
+    assert!(stderr.contains("conservation exact"), "{stderr}");
+    let r2 = irnet(&args(out2.to_str().unwrap()));
+    assert_eq!(r2.status.code(), Some(0));
+    let a = std::fs::read(&out1).unwrap();
+    let b = std::fs::read(&out2).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "soak report must be byte-stable for a fixed seed set");
+    let report = String::from_utf8_lossy(&a).to_string();
+    assert!(report.contains("\"kind\": \"soak_report\""), "{report}");
+    assert!(report.contains("\"passed\": true"), "{report}");
+    assert!(report.contains("\"conserved\": true"), "{report}");
+    std::fs::remove_file(out1).ok();
+    std::fs::remove_file(out2).ok();
 }
 
 #[test]

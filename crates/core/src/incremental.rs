@@ -12,12 +12,12 @@
 //! [`plan_epochs_with`] therefore splits each epoch into four measured
 //! stages (surfaced as [`RepairSpans`]):
 //!
-//! 1. **classify** — resolve the cumulative fault plan once
-//!    (feasibility gate + degradation share the same dead masks, see
-//!    `irnet-analyze`) and classify each *newly* dead element against the
-//!    previous epoch's coordinated tree: tree link vs cross link, leaf
-//!    switch vs internal switch. Cross-link and leaf faults leave the M1/M3
-//!    BFS preorder intact, which is why their table deltas are small.
+//! 1. **classify** — feed the timeline step's down masks through the
+//!    feasibility gate + degradation (shared masks, see `irnet-analyze`)
+//!    and classify each *newly* dead element against the previous epoch's
+//!    coordinated tree: tree link vs cross link, leaf switch vs internal
+//!    switch. Cross-link and leaf faults leave the M1/M3 BFS preorder
+//!    intact, which is why their table deltas are small.
 //! 2. **phases** — re-run the paper's Phases 1–3 on the compact survivors
 //!    (no table build) and lift the repaired turn table back into the
 //!    original channel space. Both strategies run this verbatim, so the
@@ -46,9 +46,10 @@
 
 use crate::builder::{ConstructError, DownUp};
 use crate::repair::{lift_repair, ReconfigEpoch, RepairError};
-use irnet_analyze::{analyze_and_degrade, AnalyzedDegrade};
+use irnet_analyze::{analyze_and_degrade_masks, AnalyzedDegrade};
 use irnet_topology::{
-    ChannelId, CommGraph, CoordinatedTree, DegradedTopology, FaultPlan, LinkId, NodeId, Topology,
+    ChannelId, CommGraph, CoordinatedTree, DampingPolicy, DegradedTopology, FaultPlan, LinkId,
+    NodeId, RecoveryTimeline, Topology,
 };
 use irnet_turns::{RoutingTables, TurnTable};
 use irnet_verify::union_acyclic_delta;
@@ -157,10 +158,11 @@ pub struct EpochRepair {
 /// bounded row count, a reshuffle touches a constant *fraction*.)
 const PATCH_DENSITY: usize = 4;
 
-/// Repairs the routing for every activation cycle of `plan` under
+/// Repairs the routing for every timeline step of `plan` under
 /// `strategy`, chaining the epochs exactly like [`crate::plan_epochs`]
 /// (epoch *k*'s old table — and, for the incremental patch, its tables —
-/// are epoch *k−1*'s).
+/// are epoch *k−1*'s). Flap damping is off; use
+/// [`plan_epochs_timeline_with`] with a damped timeline to apply a policy.
 ///
 /// `base_tables` are the pre-fault routing tables matching `base_table`;
 /// the incremental path patches a clone of them for the first epoch.
@@ -168,7 +170,6 @@ const PATCH_DENSITY: usize = 4;
 /// Both strategies produce identical [`ReconfigEpoch`]s: the same lifted
 /// turn tables by construction, and the same routing tables because the
 /// patch is exact (asserted by `tests/incremental.rs`).
-#[allow(clippy::too_many_lines)]
 pub fn plan_epochs_with(
     topo: &Topology,
     cg: &CommGraph,
@@ -178,40 +179,64 @@ pub fn plan_epochs_with(
     builder: DownUp,
     strategy: RepairStrategy,
 ) -> Result<Vec<EpochRepair>, RepairError> {
+    let timeline =
+        RecoveryTimeline::compute(topo, plan, DampingPolicy::none()).map_err(RepairError::Fault)?;
+    plan_epochs_timeline_with(
+        topo,
+        cg,
+        base_table,
+        base_tables,
+        &timeline,
+        builder,
+        strategy,
+    )
+}
+
+/// Repairs the routing for every step of an already-expanded (and possibly
+/// flap-damped) transition timeline under `strategy`. This is the
+/// bidirectional workhorse behind [`plan_epochs_with`] and `irnet soak`:
+/// down steps classify/patch exactly as before, while up steps (any step
+/// reviving an element) always take the full masked rebuild — a
+/// re-admitted link lowers distances network-wide, so the delta is dense
+/// and the patch bookkeeping cannot win — and still get the O(delta)
+/// union re-certification.
+#[allow(clippy::too_many_lines)]
+pub fn plan_epochs_timeline_with(
+    topo: &Topology,
+    cg: &CommGraph,
+    base_table: &TurnTable,
+    base_tables: &RoutingTables,
+    timeline: &RecoveryTimeline,
+    builder: DownUp,
+    strategy: RepairStrategy,
+) -> Result<Vec<EpochRepair>, RepairError> {
     let mut epochs: Vec<EpochRepair> = Vec::new();
     // Classification baseline for the first epoch: the pre-fault tree.
     let mut prev_tree: CoordinatedTree = builder.build_tree(topo).map_err(ConstructError::from)?;
     let mut prev_deg: Option<DegradedTopology> = None;
 
-    for cycle in plan.activation_cycles() {
-        let cumulative = plan.up_to(cycle);
+    for step in &timeline.steps {
+        let cycle = step.cycle;
 
-        // Stage 1: classify. One fault-plan resolution feeds both the
-        // feasibility gate and the degradation.
+        // Stage 1: classify. The step's masks feed both the feasibility
+        // gate and the degradation, and its delta lists are the newly
+        // dead/revived elements — no diffing against the previous epoch
+        // needed.
         let t0 = Instant::now();
-        let deg = match analyze_and_degrade(topo, &cumulative)? {
+        let deg = match analyze_and_degrade_masks(topo, &step.node_down, &step.link_down)? {
             AnalyzedDegrade::Feasible { degraded, .. } => *degraded,
             AnalyzedDegrade::Infeasible(obstruction) => {
                 return Err(RepairError::Infeasible(obstruction));
             }
         };
-        let (prev_dead_nodes, prev_dead_links): (&[NodeId], &[LinkId]) = match &prev_deg {
-            Some(p) => (&p.dead_nodes, &p.dead_links),
-            None => (&[], &[]),
-        };
-        let newly_dead_nodes: Vec<NodeId> = deg
-            .dead_nodes
-            .iter()
-            .copied()
-            .filter(|v| prev_dead_nodes.binary_search(v).is_err())
-            .collect();
-        let newly_dead_links: Vec<LinkId> = deg
-            .dead_links
-            .iter()
-            .copied()
-            .filter(|l| prev_dead_links.binary_search(l).is_err())
-            .collect();
+        let newly_dead_nodes: &[NodeId] = &step.failed_nodes;
+        let newly_dead_links: &[LinkId] = &step.failed_links;
         let newly_dead_channels: Vec<ChannelId> = newly_dead_links
+            .iter()
+            .flat_map(|&l| [2 * l, 2 * l + 1])
+            .collect();
+        let revived_channels: Vec<ChannelId> = step
+            .revived_links
             .iter()
             .flat_map(|&l| [2 * l, 2 * l + 1])
             .collect();
@@ -232,7 +257,7 @@ pub fn plan_epochs_with(
         let mut cross_link_faults = 0u32;
         let mut leaf_switch_faults = 0u32;
         let mut internal_switch_faults = 0u32;
-        for &v in &newly_dead_nodes {
+        for &v in newly_dead_nodes {
             if let Some(cv) = map_node(v) {
                 if prev_tree.is_leaf(cv) {
                     leaf_switch_faults += 1;
@@ -241,7 +266,7 @@ pub fn plan_epochs_with(
                 }
             }
         }
-        for &l in &newly_dead_links {
+        for &l in newly_dead_links {
             let (a, b) = topo.links()[l as usize];
             // Links lost to a switch fault are accounted to the switch.
             if newly_dead_nodes.binary_search(&a).is_ok()
@@ -269,10 +294,14 @@ pub fn plan_epochs_with(
 
         let old_table: &TurnTable = epochs.last().map_or(base_table, |e| &e.epoch.new_table);
 
-        // Stage 3: produce the routing tables — patch or rebuild.
+        // Stage 3: produce the routing tables — patch or rebuild. Up
+        // steps always rebuild: `patch_masked`'s invalidation is seeded
+        // from newly-*dead* resources, and a revived link improves costs
+        // network-wide anyway, so the delta is dense by nature.
         let t2 = Instant::now();
         let mut patched_in_place = false;
         let (tables, touched_switches, touched_rows) = if strategy == RepairStrategy::Incremental
+            && step.is_down_only()
             && patch_is_worthwhile(cg, old_table, &lifted.new_table)
         {
             let prev_tables: &RoutingTables =
@@ -286,7 +315,7 @@ pub fn plan_epochs_with(
                     &lifted.dead_channel,
                     &lifted.alive_node,
                     &newly_dead_channels,
-                    &newly_dead_nodes,
+                    newly_dead_nodes,
                 )
                 .map_err(|e| RepairError::Construct(ConstructError::Routing(e)))?;
             patched_in_place = true;
@@ -328,6 +357,8 @@ pub fn plan_epochs_with(
                 .flat_map(|&l| [2 * l, 2 * l + 1])
                 .collect(),
             dead_links: deg.dead_links.clone(),
+            revived_channels,
+            revived_nodes: step.revived_nodes.clone(),
             old_table: old_table.clone(),
             new_table: lifted.new_table,
             flipped_channels: lifted.flipped_channels,
@@ -393,10 +424,7 @@ mod tests {
     }
 
     fn link_fault(cycle: u32, a: NodeId, b: NodeId) -> FaultEvent {
-        FaultEvent {
-            cycle,
-            kind: FaultKind::Link { a, b },
-        }
+        FaultEvent::down(cycle, FaultKind::Link { a, b })
     }
 
     /// Up to `want` cumulative non-partitioning link faults at distinct
@@ -553,10 +581,8 @@ mod tests {
             .leaves()
             .into_iter()
             .find(|&v| {
-                let plan = FaultPlan::scripted([FaultEvent {
-                    cycle: 0,
-                    kind: FaultKind::Switch { node: v },
-                }]);
+                let plan =
+                    FaultPlan::scripted([FaultEvent::down(0, FaultKind::Switch { node: v })]);
                 topo.degrade(&plan).is_ok()
             })
             .expect("no removable leaf");
@@ -565,10 +591,7 @@ mod tests {
             &cg,
             &table,
             &tables,
-            &FaultPlan::scripted([FaultEvent {
-                cycle: 40,
-                kind: FaultKind::Switch { node: leaf },
-            }]),
+            &FaultPlan::scripted([FaultEvent::down(40, FaultKind::Switch { node: leaf })]),
             DownUp::new(),
             RepairStrategy::Incremental,
         )
@@ -579,6 +602,50 @@ mod tests {
         // independent link faults.
         assert_eq!(epochs[0].spans.tree_link_faults, 0);
         assert_eq!(epochs[0].spans.cross_link_faults, 0);
+    }
+
+    #[test]
+    fn recovery_steps_match_under_both_strategies_and_restore_base() {
+        let (topo, cg, table, tables) = base(5);
+        // A safe link that fails, recovers, and flaps once more.
+        let down_only = safe_link_plan(&topo, 1);
+        let (a, b) = match down_only.events()[0].kind {
+            FaultKind::Link { a, b } => (a, b),
+            FaultKind::Switch { .. } => unreachable!("safe_link_plan only picks links"),
+        };
+        let plan =
+            FaultPlan::scripted([
+                FaultEvent::recovering(100, FaultKind::Link { a, b }, 400).with_flap(600, 1)
+            ]);
+        let reference = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap();
+        assert_eq!(reference.len(), 4, "down/up/down/up");
+        for strategy in [RepairStrategy::Full, RepairStrategy::Incremental] {
+            let got = plan_epochs_with(&topo, &cg, &table, &tables, &plan, DownUp::new(), strategy)
+                .unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.epoch.cycle, r.cycle);
+                assert_eq!(g.epoch.dead_links, r.dead_links);
+                assert_eq!(g.epoch.revived_channels, r.revived_channels);
+                assert_eq!(g.epoch.new_table, r.new_table);
+                assert_eq!(g.epoch.tables, r.tables, "{strategy:?}");
+            }
+            // Up steps never patch in place; every step still recertifies
+            // under the incremental strategy.
+            for g in &got {
+                if !g.epoch.is_down_only() {
+                    assert!(!g.spans.patched_in_place);
+                }
+                if strategy == RepairStrategy::Incremental {
+                    assert!(g.spans.recertified.is_some());
+                }
+            }
+            // After the final recovery the tables are the pristine ones.
+            let last = &got.last().unwrap().epoch;
+            assert!(last.dead_links.is_empty());
+            assert_eq!(last.new_table, table);
+            assert_eq!(last.tables, tables);
+        }
     }
 
     #[test]

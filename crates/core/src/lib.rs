@@ -35,5 +35,9 @@ pub mod phase3;
 pub mod repair;
 
 pub use builder::{ConstructError, DownUp, DownUpRouting, PhaseSpans};
-pub use incremental::{plan_epochs_with, EpochRepair, RepairSpans, RepairStrategy};
-pub use repair::{plan_epochs, repair_epoch, ReconfigEpoch, RepairError};
+pub use incremental::{
+    plan_epochs_timeline_with, plan_epochs_with, EpochRepair, RepairSpans, RepairStrategy,
+};
+pub use repair::{
+    plan_epochs, plan_epochs_timeline, repair_epoch, repair_step, ReconfigEpoch, RepairError,
+};

@@ -23,25 +23,36 @@
 //!    old∪new union check (in `irnet-verify`) is not vacuous.
 
 use crate::builder::{ConstructError, DownUp};
-use irnet_analyze::{analyze_and_degrade, AnalyzedDegrade, Obstruction};
+use irnet_analyze::{analyze_and_degrade_masks, AnalyzedDegrade, Obstruction};
 use irnet_topology::{
-    ChannelId, CommGraph, DegradedTopology, FaultError, FaultPlan, LinkId, NodeId, Topology,
+    ChannelId, CommGraph, DampingPolicy, DegradedTopology, FaultError, FaultPlan, LinkId, NodeId,
+    RecoveryTimeline, TimelineStep, Topology,
 };
 use irnet_turns::{RoutingTables, TurnTable};
 
 /// One reconfiguration epoch: everything a live fabric needs to switch
 /// from the pre-fault routing function to the repaired one. All ids are in
 /// the *original* topology's channel/node space.
+///
+/// Since reconfiguration went bidirectional, an epoch's dead sets are the
+/// elements down *at that point of the timeline* — no longer a monotone
+/// superset of the previous epoch's. The `revived_*` fields carry the
+/// up-direction delta so the simulator can re-enable previously-DEAD
+/// resources at the barrier.
 #[derive(Debug, Clone)]
 pub struct ReconfigEpoch {
-    /// Activation cycle of the faults this epoch repairs.
+    /// Activation cycle of the transition this epoch applies.
     pub cycle: u32,
-    /// Dead switches so far (cumulative, original ids).
+    /// Switches down after this epoch (original ids).
     pub dead_nodes: Vec<NodeId>,
-    /// Dead links so far (cumulative, original ids).
+    /// Links down after this epoch (original ids).
     pub dead_links: Vec<LinkId>,
-    /// Both directed channels of every dead link (cumulative).
+    /// Both directed channels of every dead link.
     pub dead_channels: Vec<ChannelId>,
+    /// Channels re-admitted by this epoch (previously dead, now alive).
+    pub revived_channels: Vec<ChannelId>,
+    /// Switches re-admitted by this epoch.
+    pub revived_nodes: Vec<NodeId>,
     /// The turn table in force before this epoch.
     pub old_table: TurnTable,
     /// The repaired turn table, lifted to the original channel space;
@@ -54,6 +65,13 @@ pub struct ReconfigEpoch {
     /// graph: dead channels appear in no candidate mask (injection
     /// included) and dead nodes are skipped as destinations.
     pub tables: RoutingTables,
+}
+
+impl ReconfigEpoch {
+    /// True when this epoch only removes elements (a fault transition).
+    pub fn is_down_only(&self) -> bool {
+        self.revived_channels.is_empty() && self.revived_nodes.is_empty()
+    }
 }
 
 /// Why an epoch could not be repaired.
@@ -95,11 +113,21 @@ impl From<ConstructError> for RepairError {
     }
 }
 
-/// Repairs the routing for every activation cycle of `plan`, chaining the
-/// epochs (epoch *k*'s old table is epoch *k−1*'s new table).
+/// Repairs the routing for every step of `plan`'s transition timeline,
+/// chaining the epochs (epoch *k*'s old table is epoch *k−1*'s new table).
+///
+/// For a schema-v1 (down-only) plan the timeline steps are exactly the
+/// plan's activation cycles with cumulative fault masks, so this behaves
+/// as the monotone planner always did — except that duplicate faults no
+/// longer produce no-op epochs. Recovery-aware plans get up transitions
+/// interleaved, each epoch's live set computed from the *original*
+/// topology minus the elements down at that step.
 ///
 /// `cg` and `base_table` are the pre-fault communication graph and turn
-/// table of `topo`; `builder` configures the Phases-1–3 rebuild.
+/// table of `topo`; `builder` configures the Phases-1–3 rebuild. Flap
+/// damping is off here (every physical transition is admitted); use
+/// [`RecoveryTimeline::compute`] with a policy plus
+/// [`plan_epochs_timeline`] to damp.
 pub fn plan_epochs(
     topo: &Topology,
     cg: &CommGraph,
@@ -107,20 +135,34 @@ pub fn plan_epochs(
     plan: &FaultPlan,
     builder: DownUp,
 ) -> Result<Vec<ReconfigEpoch>, RepairError> {
+    let timeline = RecoveryTimeline::compute(topo, plan, DampingPolicy::none())?;
+    plan_epochs_timeline(topo, cg, base_table, &timeline, builder)
+}
+
+/// Repairs the routing for every step of an already-expanded (and possibly
+/// damped) transition timeline. See [`plan_epochs`].
+pub fn plan_epochs_timeline(
+    topo: &Topology,
+    cg: &CommGraph,
+    base_table: &TurnTable,
+    timeline: &RecoveryTimeline,
+    builder: DownUp,
+) -> Result<Vec<ReconfigEpoch>, RepairError> {
     let mut epochs: Vec<ReconfigEpoch> = Vec::new();
-    for cycle in plan.activation_cycles() {
+    for step in &timeline.steps {
         // Epoch k's old table is epoch k−1's new table — borrowed from the
         // epoch just pushed, so the chain never clones a turn table.
         let prev = epochs.last().map_or(base_table, |e| &e.new_table);
-        let epoch = repair_epoch(topo, cg, prev, &plan.up_to(cycle), cycle, builder)?;
+        let epoch = repair_step(topo, cg, prev, step, builder)?;
         epochs.push(epoch);
     }
     Ok(epochs)
 }
 
-/// Repairs one epoch: applies `cumulative` (every fault active at `cycle`)
-/// to `topo`, rebuilds DOWN/UP on the survivors, and lifts the result back
-/// into the original id space.
+/// Repairs one epoch from a monotone cumulative plan: applies `cumulative`
+/// (every fault active at `cycle`, recovery fields ignored) to `topo`,
+/// rebuilds DOWN/UP on the survivors, and lifts the result back into the
+/// original id space.
 pub fn repair_epoch(
     topo: &Topology,
     cg: &CommGraph,
@@ -129,11 +171,68 @@ pub fn repair_epoch(
     cycle: u32,
     builder: DownUp,
 ) -> Result<ReconfigEpoch, RepairError> {
+    let (node_dead, link_dead) = topo.fault_masks(cumulative)?;
+    repair_masks(
+        topo,
+        cg,
+        old_table,
+        &node_dead,
+        &link_dead,
+        cycle,
+        &[],
+        &[],
+        builder,
+    )
+}
+
+/// Repairs one timeline step: same gate/rebuild/lift pipeline in both
+/// directions, with the step's revived elements recorded on the epoch.
+pub fn repair_step(
+    topo: &Topology,
+    cg: &CommGraph,
+    old_table: &TurnTable,
+    step: &TimelineStep,
+    builder: DownUp,
+) -> Result<ReconfigEpoch, RepairError> {
+    let revived_channels: Vec<ChannelId> = step
+        .revived_links
+        .iter()
+        .flat_map(|&l| [2 * l, 2 * l + 1])
+        .collect();
+    repair_masks(
+        topo,
+        cg,
+        old_table,
+        &step.node_down,
+        &step.link_down,
+        step.cycle,
+        &revived_channels,
+        &step.revived_nodes,
+        builder,
+    )
+}
+
+/// The shared repair pipeline over explicit down masks: feasibility-first
+/// gate, Phases 1–3 on the compacted survivors, lift back into the
+/// original channel space, masked routing tables. Direction-agnostic: an
+/// up transition is just a step whose masks shrank, and the recovery
+/// elements ride along into the epoch record.
+#[allow(clippy::too_many_arguments)]
+fn repair_masks(
+    topo: &Topology,
+    cg: &CommGraph,
+    old_table: &TurnTable,
+    node_down: &[bool],
+    link_down: &[bool],
+    cycle: u32,
+    revived_channels: &[ChannelId],
+    revived_nodes: &[NodeId],
+    builder: DownUp,
+) -> Result<ReconfigEpoch, RepairError> {
     // Feasibility-first gate: prove the survivors routable before paying
-    // for the rebuild. Faults are cumulative, so an infeasible epoch also
-    // dooms every later one. The gate and the degradation resolve the
-    // fault plan once, sharing the dead-node/dead-link masks.
-    let deg = match analyze_and_degrade(topo, cumulative)? {
+    // for the rebuild. The gate and the degradation share the masks, so
+    // the live set is resolved exactly once.
+    let deg = match analyze_and_degrade_masks(topo, node_down, link_down)? {
         AnalyzedDegrade::Feasible { degraded, .. } => *degraded,
         AnalyzedDegrade::Infeasible(obstruction) => {
             return Err(RepairError::Infeasible(obstruction));
@@ -162,6 +261,8 @@ pub fn repair_epoch(
             .flat_map(|&l| [2 * l, 2 * l + 1])
             .collect(),
         dead_links: deg.dead_links,
+        revived_channels: revived_channels.to_vec(),
+        revived_nodes: revived_nodes.to_vec(),
         old_table: old_table.clone(),
         new_table: lifted.new_table,
         flipped_channels: lifted.flipped_channels,
@@ -233,10 +334,7 @@ mod tests {
     }
 
     fn link_fault(cycle: u32, a: NodeId, b: NodeId) -> FaultEvent {
-        FaultEvent {
-            cycle,
-            kind: FaultKind::Link { a, b },
-        }
+        FaultEvent::down(cycle, FaultKind::Link { a, b })
     }
 
     /// A link whose removal keeps the graph connected (not a bridge).
@@ -333,17 +431,12 @@ mod tests {
         // Find a switch whose removal keeps the rest connected.
         let node = (0..topo.num_nodes())
             .find(|&v| {
-                let plan = FaultPlan::scripted([FaultEvent {
-                    cycle: 0,
-                    kind: FaultKind::Switch { node: v },
-                }]);
+                let plan =
+                    FaultPlan::scripted([FaultEvent::down(0, FaultKind::Switch { node: v })]);
                 topo.degrade(&plan).is_ok()
             })
             .expect("some switch is removable");
-        let plan = FaultPlan::scripted([FaultEvent {
-            cycle: 50,
-            kind: FaultKind::Switch { node },
-        }]);
+        let plan = FaultPlan::scripted([FaultEvent::down(50, FaultKind::Switch { node })]);
         let epochs = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap();
         let ep = &epochs[0];
         assert_eq!(ep.dead_nodes, vec![node]);
@@ -400,5 +493,31 @@ mod tests {
         let plan = FaultPlan::scripted([]);
         let epochs = plan_epochs(&topo, &cg, &table, &plan, DownUp::new()).unwrap();
         assert!(epochs.is_empty());
+    }
+
+    #[test]
+    fn recovery_epoch_restores_the_pristine_tables() {
+        let (topo, cg, table) = base(3);
+        let (a, b) = non_bridge(&topo);
+        let plan =
+            FaultPlan::scripted([FaultEvent::recovering(500, FaultKind::Link { a, b }, 1_500)]);
+        let builder = DownUp::new();
+        let epochs = plan_epochs(&topo, &cg, &table, &plan, builder).unwrap();
+        assert_eq!(epochs.len(), 2);
+        let l = topo.link_between(a, b).unwrap();
+        let down = &epochs[0];
+        assert!(down.is_down_only());
+        assert_eq!(down.dead_links, vec![l]);
+        let up = &epochs[1];
+        assert_eq!(up.cycle, 1_500);
+        assert!(!up.is_down_only());
+        assert_eq!(up.revived_channels, vec![2 * l, 2 * l + 1]);
+        assert!(up.dead_links.is_empty() && up.dead_nodes.is_empty());
+        assert_eq!(up.old_table, down.new_table);
+        // Recovering the only fault restores the pristine turn table and
+        // routing tables bit-identically.
+        assert_eq!(up.new_table, table);
+        let pristine = builder.construct(&topo).unwrap();
+        assert_eq!(&up.tables, pristine.routing_tables());
     }
 }

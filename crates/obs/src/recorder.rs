@@ -147,11 +147,13 @@ pub fn event_jsonl_line(event: &SimEvent) -> String {
             epoch,
             dead_channels,
             dead_nodes,
+            revived_channels,
+            revived_nodes,
             ..
         } => {
             let _ = write!(
                 line,
-                ",\"epoch\":{epoch},\"dead_channels\":{dead_channels},\"dead_nodes\":{dead_nodes}"
+                ",\"epoch\":{epoch},\"dead_channels\":{dead_channels},\"dead_nodes\":{dead_nodes},\"revived_channels\":{revived_channels},\"revived_nodes\":{revived_nodes}"
             );
         }
     }
@@ -234,6 +236,8 @@ mod tests {
                 epoch: 1,
                 dead_channels: 2,
                 dead_nodes: 0,
+                revived_channels: 0,
+                revived_nodes: 0,
             },
         ];
         for event in &events {
@@ -246,6 +250,11 @@ mod tests {
         assert_eq!(
             event_jsonl_line(&events[0]),
             "{\"cycle\":1,\"event\":\"inject\",\"pkt\":0,\"src\":2,\"dst\":3,\"len\":32}"
+        );
+        assert_eq!(
+            event_jsonl_line(&events[6]),
+            "{\"cycle\":6,\"event\":\"epoch_swap\",\"epoch\":1,\"dead_channels\":2,\
+             \"dead_nodes\":0,\"revived_channels\":0,\"revived_nodes\":0}"
         );
     }
 }

@@ -51,15 +51,19 @@ struct Packet {
     detours: u32,
 }
 
-/// One scheduled reconfiguration: at `cycle` the listed channels and nodes
-/// die, every packet holding a dead resource is dropped, and all further
-/// arbitration retargets `tables` (built over the surviving sub-network,
-/// e.g. by `RoutingTables::build_masked`).
+/// One scheduled reconfiguration: at `cycle` the listed revived channels
+/// and nodes come back to life, the listed dead ones die, every packet
+/// holding a dead resource is dropped, and all further arbitration
+/// retargets `tables` (built over the surviving sub-network, e.g. by
+/// `RoutingTables::build_masked`).
 ///
 /// Contract: when a node is listed dead, the channels of all its incident
 /// links must be listed dead too (a repair derived from a switch fault
-/// always satisfies this). `tables` must cover the same network as the
-/// simulator's communication graph.
+/// always satisfies this). Revived elements must currently be dead —
+/// their buffers are empty by construction, because the down-swap that
+/// killed them dropped every resident flit and the `DEAD` owner sentinel
+/// blocked any re-claim, so a revival never materializes flits. `tables`
+/// must cover the same network as the simulator's communication graph.
 #[derive(Debug, Clone)]
 pub struct FaultEpoch<'a> {
     /// Activation cycle (applied at the start of the first step at or
@@ -69,6 +73,10 @@ pub struct FaultEpoch<'a> {
     pub dead_channels: Vec<ChannelId>,
     /// Switches that die at activation.
     pub dead_nodes: Vec<NodeId>,
+    /// Previously-dead channels that come back at activation (empty).
+    pub revived_channels: Vec<ChannelId>,
+    /// Previously-dead switches that come back at activation.
+    pub revived_nodes: Vec<NodeId>,
     /// Routing tables of the repaired network.
     pub tables: &'a RoutingTables,
 }
@@ -170,6 +178,15 @@ pub struct Simulator<'a> {
 
     /// Flits buffered in FIFOs and staging registers.
     buffered_flits: u64,
+    /// Flits that ever entered the network (left a source queue), over
+    /// the whole run including warm-up. With `delivered_flits_total` and
+    /// `dropped_flits` this closes the conservation identity
+    /// `injected == delivered + dropped + buffered` — checked across
+    /// every reconfiguration barrier (see [`Simulator::flits_conserved`]).
+    injected_flits_total: u64,
+    /// Flits handed to a local processor, over the whole run including
+    /// warm-up (unlike the measurement-window `flits_delivered`).
+    delivered_flits_total: u64,
     /// Packets not yet fully delivered (includes queued ones).
     live_packets: u64,
     last_progress: u32,
@@ -253,6 +270,8 @@ impl<'a> Simulator<'a> {
             dropped_packets: 0,
             reconfig_epochs: 0,
             buffered_flits: 0,
+            injected_flits_total: 0,
+            delivered_flits_total: 0,
             live_packets: 0,
             last_progress: 0,
             flits_delivered: 0,
@@ -435,6 +454,30 @@ impl<'a> Simulator<'a> {
         self.buffered_flits
     }
 
+    /// Flits that ever entered the network (whole run, warm-up included).
+    pub fn injected_flit_total(&self) -> u64 {
+        self.injected_flits_total
+    }
+
+    /// Flits handed to a local processor (whole run, warm-up included).
+    pub fn delivered_flit_total(&self) -> u64 {
+        self.delivered_flits_total
+    }
+
+    /// Flits dropped by reconfiguration barriers so far.
+    pub fn dropped_flit_total(&self) -> u64 {
+        self.dropped_flits
+    }
+
+    /// The flit conservation identity: every flit that entered the
+    /// network is delivered, dropped, or still buffered. Holds at every
+    /// cycle boundary, including across up-transition barriers that
+    /// re-enable previously dead channels (checked by `irnet soak`).
+    pub fn flits_conserved(&self) -> bool {
+        self.injected_flits_total
+            == self.delivered_flits_total + self.dropped_flits + self.buffered_flits
+    }
+
     /// Worms currently holding a claimed route (headers that won
     /// arbitration and have not yet streamed their tail past it).
     pub fn active_worm_count(&self) -> u32 {
@@ -610,6 +653,8 @@ impl<'a> Simulator<'a> {
             dropped_packets: self.dropped_packets,
             reconfig_epochs: self.reconfig_epochs,
             last_progress: self.last_progress,
+            flits_injected_total: self.injected_flits_total,
+            flits_delivered_total: self.delivered_flits_total,
         }
     }
 
@@ -643,11 +688,52 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Applies one reconfiguration epoch: marks the dead resources, drops
-    /// every packet holding one, retires the dead virtual channels, and
-    /// swaps in the repaired routing tables.
+    /// Applies one reconfiguration epoch: re-enables the revived
+    /// resources, marks the dead ones, drops every packet holding a dead
+    /// resource, retires the dead virtual channels, and swaps in the
+    /// repaired routing tables.
     fn apply_reconfig(&mut self, epoch: &FaultEpoch<'a>) {
         let vcs = self.vcs as usize;
+        // Revivals first (an element can in principle flip down and up in
+        // one barrier when epochs coalesce; deaths must win). A revived
+        // channel comes back *empty*: the down-swap that killed it dropped
+        // every resident flit and its `DEAD` owners blocked any re-claim
+        // since, so flipping the owners back to `FREE` cannot materialize
+        // or orphan a flit — asserted below via the conservation identity.
+        for &c in &epoch.revived_channels {
+            debug_assert!(
+                self.dead_channel[c as usize],
+                "revived channel {c} was not dead"
+            );
+            self.dead_channel[c as usize] = false;
+            for vc in 0..vcs {
+                let idx = c as usize * vcs + vc;
+                debug_assert!(self.staged[idx].is_none(), "revived channel {c} not empty");
+                debug_assert_eq!(self.fifo_len[idx], 0, "revived channel {c} not empty");
+                if self.owner[idx] == DEAD {
+                    self.owner[idx] = FREE;
+                }
+            }
+        }
+        for &v in &epoch.revived_nodes {
+            debug_assert!(self.node_dead[v as usize], "revived node {v} was not dead");
+            self.node_dead[v as usize] = false;
+            if self.eject_owner[v as usize] == DEAD {
+                self.eject_owner[v as usize] = FREE;
+            }
+            // The processor restarts in the quiescent state.
+            self.src_on[v as usize] = false;
+            if self.cfg.injection_sampling == InjectionSampling::Geometric
+                && self.inject_p > 0.0
+                && self.cg.num_nodes() >= 2
+            {
+                // Its arrival stream ended at death (dead arrivals are
+                // dropped without re-arm): schedule a fresh first arrival.
+                let skip = geometric_skip(&mut self.rng, self.inject_p);
+                self.next_arrival
+                    .push(Reverse((self.now.saturating_add(1 + skip), v)));
+            }
+        }
         for &c in &epoch.dead_channels {
             self.dead_channel[c as usize] = true;
         }
@@ -706,6 +792,13 @@ impl<'a> Simulator<'a> {
         }
         self.tables = epoch.tables;
         self.reconfig_epochs += 1;
+        // No flit materialized or vanished across the barrier: drops were
+        // accounted flit-by-flit and revivals re-enable empty resources.
+        debug_assert!(
+            self.flits_conserved(),
+            "flit conservation violated across epoch barrier at cycle {}",
+            self.now
+        );
         // The epoch barrier counts as progress: the repaired network gets a
         // full watchdog window before a stall is declared.
         self.note_progress();
@@ -716,6 +809,8 @@ impl<'a> Simulator<'a> {
                 epoch: applied,
                 dead_channels: epoch.dead_channels.len() as u32,
                 dead_nodes: epoch.dead_nodes.len() as u32,
+                revived_channels: epoch.revived_channels.len() as u32,
+                revived_nodes: epoch.revived_nodes.len() as u32,
             });
         }
     }
@@ -1061,6 +1156,7 @@ impl<'a> Simulator<'a> {
         self.eject_staged[v] = None;
         self.eject_active.remove(v);
         self.buffered_flits -= 1;
+        self.delivered_flits_total += 1;
         self.note_progress();
         let pkt = self.packets[flit.pkt as usize];
         let measuring = self.measuring();
@@ -1253,6 +1349,7 @@ impl<'a> Simulator<'a> {
             let pkt = *self.src_queue[v].front().expect("popped empty source") as usize;
             // A source flit entered the network.
             self.buffered_flits += 1;
+            self.injected_flits_total += 1;
             if self.src_sent[v] == self.packets[pkt].len {
                 self.src_queue[v].pop_front();
                 self.src_sent[v] = 0;
@@ -2078,10 +2175,7 @@ mod tests {
         });
         for l in links {
             let (a, b) = topo.link(l);
-            let plan = FaultPlan::scripted([FaultEvent {
-                cycle,
-                kind: FaultKind::Link { a, b },
-            }]);
+            let plan = FaultPlan::scripted([FaultEvent::down(cycle, FaultKind::Link { a, b })]);
             if let Ok(e) = irnet_core::repair_epoch(
                 topo,
                 r.comm_graph(),
@@ -2101,6 +2195,8 @@ mod tests {
             cycle: e.cycle,
             dead_channels: e.dead_channels.clone(),
             dead_nodes: e.dead_nodes.clone(),
+            revived_channels: e.revived_channels.clone(),
+            revived_nodes: e.revived_nodes.clone(),
             tables: &e.tables,
         }
     }
@@ -2129,6 +2225,108 @@ mod tests {
             stats.packets_delivered > 100,
             "delivery did not recover: {}",
             stats.packets_delivered
+        );
+    }
+
+    #[test]
+    fn link_recovery_reenables_channels_and_conserves_flits() {
+        use irnet_topology::{FaultEvent, FaultKind, FaultPlan};
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let plan = (0..topo.num_links())
+            .find_map(|l| {
+                let (a, b) = topo.link(l);
+                let plan = FaultPlan::scripted([FaultEvent::recovering(
+                    800,
+                    FaultKind::Link { a, b },
+                    2_000,
+                )]);
+                topo.degrade(&plan).ok().map(|_| plan)
+            })
+            .expect("every link is a bridge");
+        let epochs =
+            irnet_core::plan_epochs(&topo, r.comm_graph(), r.turn_table(), &plan, DownUp::new())
+                .unwrap();
+        assert_eq!(epochs.len(), 2, "one down epoch, one up epoch");
+        assert!(epochs[0].is_down_only());
+        assert!(epochs[1].dead_channels.is_empty());
+        assert_eq!(epochs[1].revived_channels.len(), 2);
+        let cfg = SimConfig {
+            packet_len: 8,
+            injection_rate: 0.3,
+            warmup_cycles: 0,
+            measure_cycles: 5_000,
+            deadlock_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 7);
+        for e in &epochs {
+            sim.schedule_reconfig(as_fault_epoch(e));
+        }
+        let stats = sim.run();
+        assert!(!stats.deadlocked, "recovered run must not stall");
+        assert_eq!(stats.reconfig_epochs, 2);
+        assert!(
+            stats.flits_conserved(),
+            "injected {} != delivered {} + dropped {} + buffered {}",
+            stats.flits_injected_total,
+            stats.flits_delivered_total,
+            stats.dropped_flits,
+            stats.flits_in_flight
+        );
+    }
+
+    #[test]
+    fn switch_recovery_rearms_geometric_injection() {
+        use irnet_topology::{FaultEvent, FaultKind, FaultPlan};
+        let topo = gen::random_irregular(gen::IrregularParams::paper(16, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let (recovered_epochs, permanent_epochs) = (0..topo.num_nodes())
+            .find_map(|node| {
+                let rec = FaultPlan::scripted([FaultEvent::recovering(
+                    600,
+                    FaultKind::Switch { node },
+                    2_600,
+                )]);
+                let perm = FaultPlan::scripted([FaultEvent::down(600, FaultKind::Switch { node })]);
+                let plan = |p| {
+                    irnet_core::plan_epochs(&topo, r.comm_graph(), r.turn_table(), p, DownUp::new())
+                };
+                Some((plan(&rec).ok()?, plan(&perm).ok()?))
+            })
+            .expect("some switch fault must be repairable");
+        assert_eq!(recovered_epochs.len(), 2);
+        let dead = recovered_epochs[0].dead_nodes[0] as usize;
+        assert_eq!(recovered_epochs[1].revived_nodes, vec![dead as NodeId]);
+        let run = |epochs: &[irnet_core::ReconfigEpoch]| {
+            let cfg = SimConfig {
+                packet_len: 8,
+                injection_rate: 0.2,
+                warmup_cycles: 0,
+                measure_cycles: 8_000,
+                deadlock_threshold: 2_000,
+                injection_sampling: InjectionSampling::Geometric,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 7);
+            for e in epochs {
+                sim.schedule_reconfig(as_fault_epoch(e));
+            }
+            sim.run()
+        };
+        let recovered = run(&recovered_epochs);
+        let permanent = run(&permanent_epochs);
+        assert!(!recovered.deadlocked);
+        assert_eq!(recovered.reconfig_epochs, 2);
+        assert!(recovered.flits_conserved());
+        assert!(permanent.flits_conserved());
+        // The revived processor's arrival stream was re-armed: it keeps
+        // generating after recovery, unlike under the permanent fault.
+        assert!(
+            recovered.node_packets_generated[dead] > permanent.node_packets_generated[dead],
+            "revived node stayed silent: {} vs {}",
+            recovered.node_packets_generated[dead],
+            permanent.node_packets_generated[dead]
         );
     }
 
@@ -2166,10 +2364,7 @@ mod tests {
         let plan = (0..topo.num_links())
             .find_map(|l| {
                 let (a, b) = topo.link(l);
-                let plan = FaultPlan::scripted([FaultEvent {
-                    cycle: 500,
-                    kind: FaultKind::Link { a, b },
-                }]);
+                let plan = FaultPlan::scripted([FaultEvent::down(500, FaultKind::Link { a, b })]);
                 topo.degrade(&plan).ok().map(|_| plan)
             })
             .expect("every link is a bridge");
@@ -2194,12 +2389,7 @@ mod tests {
             };
             let mut sim = Simulator::new(r.comm_graph(), r.routing_tables(), cfg, 3);
             for e in &epochs {
-                sim.schedule_reconfig(FaultEpoch {
-                    cycle: e.epoch.cycle,
-                    dead_channels: e.epoch.dead_channels.clone(),
-                    dead_nodes: e.epoch.dead_nodes.clone(),
-                    tables: &e.epoch.tables,
-                });
+                sim.schedule_reconfig(as_fault_epoch(&e.epoch));
             }
             sim.run()
         };
@@ -2219,10 +2409,7 @@ mod tests {
         let r = DownUp::new().construct(&topo).unwrap();
         let epoch = (0..topo.num_nodes())
             .find_map(|node| {
-                let plan = FaultPlan::scripted([FaultEvent {
-                    cycle: 600,
-                    kind: FaultKind::Switch { node },
-                }]);
+                let plan = FaultPlan::scripted([FaultEvent::down(600, FaultKind::Switch { node })]);
                 irnet_core::repair_epoch(
                     &topo,
                     r.comm_graph(),

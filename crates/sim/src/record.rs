@@ -92,8 +92,9 @@ pub enum SimEvent {
         /// Buffered flits of the packet purged from the network.
         flits_lost: u32,
     },
-    /// A reconfiguration epoch was applied (resources died, tables
-    /// swapped).
+    /// A reconfiguration epoch was applied (resources revived and/or
+    /// died, tables swapped). A pure down-transition has zero revived
+    /// counts; a pure up-transition (link recovery) zero dead counts.
     EpochSwap {
         /// Clock of the event.
         cycle: u32,
@@ -103,6 +104,10 @@ pub enum SimEvent {
         dead_channels: u32,
         /// Switches killed by this epoch.
         dead_nodes: u32,
+        /// Previously-dead channels re-enabled by this epoch.
+        revived_channels: u32,
+        /// Previously-dead switches re-enabled by this epoch.
+        revived_nodes: u32,
     },
 }
 

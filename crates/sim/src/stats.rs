@@ -56,6 +56,11 @@ pub struct SimStats {
     /// Last cycle at which any flit advanced — on a deadlocked run this is
     /// the stall point the watchdog fired from.
     pub last_progress: u32,
+    /// Flits that ever entered the network (whole run, warm-up included).
+    pub flits_injected_total: u64,
+    /// Flits handed to a local processor (whole run, warm-up included;
+    /// unlike the measurement-window `flits_delivered`).
+    pub flits_delivered_total: u64,
 }
 
 impl SimStats {
@@ -122,6 +127,15 @@ impl SimStats {
     pub fn header_block_rate(&self) -> f64 {
         self.header_block_cycles as f64 / self.cycles as f64
     }
+
+    /// The flit conservation identity over the whole run: every injected
+    /// flit was delivered, destroyed by a reconfiguration, or is still
+    /// buffered. Holds across down- *and* up-transition barriers (revived
+    /// channels come back empty), so `irnet soak` asserts it per run.
+    pub fn flits_conserved(&self) -> bool {
+        self.flits_injected_total
+            == self.flits_delivered_total + self.dropped_flits + self.flits_in_flight
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +169,8 @@ mod tests {
             dropped_packets: 0,
             reconfig_epochs: 0,
             last_progress: 0,
+            flits_injected_total: 2400,
+            flits_delivered_total: 2400,
         }
     }
 
@@ -179,6 +195,19 @@ mod tests {
         let s = stats();
         assert!((s.avg_network_occupancy() - 12.0).abs() < 1e-12);
         assert!((s.header_block_rate() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_balances_all_four_counters() {
+        let mut s = stats();
+        assert!(s.flits_conserved());
+        s.dropped_flits = 64;
+        assert!(!s.flits_conserved());
+        s.flits_injected_total += 64;
+        assert!(s.flits_conserved());
+        s.flits_in_flight = 3;
+        s.flits_injected_total += 3;
+        assert!(s.flits_conserved());
     }
 
     #[test]

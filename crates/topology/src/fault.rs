@@ -8,6 +8,14 @@
 //! and yields both the compact surviving [`Topology`] and the id maps the
 //! repair layer needs to lift the rebuilt routing function back into the
 //! original channel space.
+//!
+//! Since schema v2 an event may also *recover*: `recovers_at` names the
+//! cycle at which the element comes back up, and an optional
+//! [`FlapSchedule`] repeats the down/up pair. Recovery-aware plans are
+//! expanded into bidirectional transition timelines by
+//! [`crate::recovery::RecoveryTimeline`]; the cumulative helpers here
+//! ([`FaultPlan::up_to`], [`Topology::fault_masks`]) deliberately ignore
+//! recovery and describe the monotone "everything that ever failed" state.
 
 use crate::error::TopologyError;
 use crate::graph::{LinkId, NodeId, Topology};
@@ -35,13 +43,97 @@ pub enum FaultKind {
     },
 }
 
-/// One fault bound to the simulator cycle at which it activates.
+/// A repeating flap schedule attached to a recovering fault (schema v2):
+/// the event's down/up pair repeats `count` more times, each repeat shifted
+/// `period` cycles after the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlapSchedule {
+    /// Cycles between successive down transitions. Must exceed the outage
+    /// duration (`recovers_at - cycle`) so repeats do not overlap.
+    pub period: u32,
+    /// Number of additional down/up repeats after the first pair.
+    pub count: u32,
+}
+
+/// One fault bound to the simulator cycle at which it activates, and — since
+/// schema v2 — optionally to the cycle at which it recovers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
     /// Simulator clock at which the fault strikes.
     pub cycle: u32,
     /// What fails.
     pub kind: FaultKind,
+    /// Cycle at which the element comes back up; `None` means the fault is
+    /// permanent (the schema-v1 behavior). Must be strictly after `cycle`.
+    pub recovers_at: Option<u32>,
+    /// Optional repeating flap schedule; requires `recovers_at`.
+    pub flap: Option<FlapSchedule>,
+}
+
+impl FaultEvent {
+    /// A permanent (schema-v1) fault.
+    pub fn down(cycle: u32, kind: FaultKind) -> FaultEvent {
+        FaultEvent {
+            cycle,
+            kind,
+            recovers_at: None,
+            flap: None,
+        }
+    }
+
+    /// A fault that strikes at `cycle` and recovers at `recovers_at`.
+    pub fn recovering(cycle: u32, kind: FaultKind, recovers_at: u32) -> FaultEvent {
+        FaultEvent {
+            cycle,
+            kind,
+            recovers_at: Some(recovers_at),
+            flap: None,
+        }
+    }
+
+    /// Attaches a flap schedule: the down/up pair repeats `count` more
+    /// times, `period` cycles apart.
+    #[must_use]
+    pub fn with_flap(mut self, period: u32, count: u32) -> FaultEvent {
+        self.flap = Some(FlapSchedule { period, count });
+        self
+    }
+
+    /// True when the event carries schema-v2 recovery content.
+    pub fn has_recovery(&self) -> bool {
+        self.recovers_at.is_some() || self.flap.is_some()
+    }
+
+    /// Checks the recovery fields for internal consistency (shared by the
+    /// deserializer and the timeline expander).
+    pub(crate) fn validate_recovery(&self) -> Result<(), String> {
+        if self.flap.is_some() && self.recovers_at.is_none() {
+            return Err(format!(
+                "event at cycle {}: a flap schedule requires `recovers_at`",
+                self.cycle
+            ));
+        }
+        if let Some(r) = self.recovers_at {
+            if r <= self.cycle {
+                return Err(format!(
+                    "event at cycle {}: recovers_at ({r}) must be strictly after the fault cycle",
+                    self.cycle
+                ));
+            }
+            if let Some(f) = self.flap {
+                if f.period <= r - self.cycle {
+                    return Err(format!(
+                        "event at cycle {}: flap period ({}) must exceed the outage \
+                         duration ({})",
+                        self.cycle,
+                        f.period,
+                        r - self.cycle
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Serialize for FaultEvent {
@@ -55,6 +147,18 @@ impl Serialize for FaultEvent {
             FaultKind::Switch { node } => {
                 map.push(("switch".to_string(), Value::U64(u64::from(node))));
             }
+        }
+        if let Some(r) = self.recovers_at {
+            map.push(("recovers_at".to_string(), Value::U64(u64::from(r))));
+        }
+        if let Some(f) = self.flap {
+            map.push((
+                "flap".to_string(),
+                Value::Map(vec![
+                    ("period".to_string(), Value::U64(u64::from(f.period))),
+                    ("count".to_string(), Value::U64(u64::from(f.count))),
+                ]),
+            ));
         }
         Value::Map(map)
     }
@@ -82,14 +186,81 @@ impl Deserialize for FaultEvent {
                 ))
             }
         };
-        Ok(FaultEvent { cycle, kind })
+        let recovers_at = match v.get("recovers_at") {
+            Some(r) => Some(u32::from_value(r)?),
+            None => None,
+        };
+        let flap = match v.get("flap") {
+            Some(f) => {
+                let fm = f
+                    .as_map()
+                    .ok_or_else(|| DeError::custom("`flap` must be a map"))?;
+                Some(FlapSchedule {
+                    period: serde::field(fm, "period")?,
+                    count: serde::field(fm, "count")?,
+                })
+            }
+            None => None,
+        };
+        let ev = FaultEvent {
+            cycle,
+            kind,
+            recovers_at,
+            flap,
+        };
+        ev.validate_recovery().map_err(DeError::custom)?;
+        Ok(ev)
     }
 }
 
 /// An ordered fault scenario: events sorted by activation cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+}
+
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> Value {
+        let mut map = Vec::new();
+        let version = self.schema_version();
+        if version > 1 {
+            // v1 files round-trip byte-identically: the version key only
+            // appears once recovery content forces the newer schema.
+            map.push(("version".to_string(), Value::U64(u64::from(version))));
+        }
+        map.push((
+            "events".to_string(),
+            Value::Seq(self.events.iter().map(Serialize::to_value).collect()),
+        ));
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("fault plan must be a map"))?;
+        let version: u32 = match v.get("version") {
+            Some(ver) => u32::from_value(ver)?,
+            None => 1,
+        };
+        if !(1..=2).contains(&version) {
+            return Err(DeError::custom(format!(
+                "unsupported fault scenario schema version {version} (this build reads 1 and 2)"
+            )));
+        }
+        let events: Vec<FaultEvent> = serde::field(map, "events")?;
+        if version == 1 {
+            if let Some(ev) = events.iter().find(|e| e.has_recovery()) {
+                return Err(DeError::custom(format!(
+                    "event at cycle {} carries recovery fields; declare \"version\": 2",
+                    ev.cycle
+                )));
+            }
+        }
+        Ok(FaultPlan { events })
+    }
 }
 
 impl FaultPlan {
@@ -138,16 +309,16 @@ impl FaultPlan {
         };
         for l in pick_distinct(&mut rng, links, topo.num_links()) {
             let (a, b) = topo.link(l);
-            events.push(FaultEvent {
-                cycle: rng.gen_range(lo..=hi),
-                kind: FaultKind::Link { a, b },
-            });
+            events.push(FaultEvent::down(
+                rng.gen_range(lo..=hi),
+                FaultKind::Link { a, b },
+            ));
         }
         for node in pick_distinct(&mut rng, switches, topo.num_nodes()) {
-            events.push(FaultEvent {
-                cycle: rng.gen_range(lo..=hi),
-                kind: FaultKind::Switch { node },
-            });
+            events.push(FaultEvent::down(
+                rng.gen_range(lo..=hi),
+                FaultKind::Switch { node },
+            ));
         }
         Ok(FaultPlan::scripted(events))
     }
@@ -160,6 +331,24 @@ impl FaultPlan {
     /// True when the plan contains no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// The JSON schema version this plan serializes as: 2 when any event
+    /// carries recovery/flap fields, else 1 (so v1 files round-trip
+    /// unchanged).
+    pub fn schema_version(&self) -> u32 {
+        if self.events.iter().any(FaultEvent::has_recovery) {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// True when any event recovers or flaps — i.e. the plan needs the
+    /// bidirectional timeline expansion rather than the monotone
+    /// [`FaultPlan::up_to`] chain.
+    pub fn has_recovery(&self) -> bool {
+        self.schema_version() == 2
     }
 
     /// Distinct activation cycles in increasing order — one reconfiguration
@@ -437,17 +626,11 @@ mod tests {
     }
 
     fn link(cycle: u32, a: NodeId, b: NodeId) -> FaultEvent {
-        FaultEvent {
-            cycle,
-            kind: FaultKind::Link { a, b },
-        }
+        FaultEvent::down(cycle, FaultKind::Link { a, b })
     }
 
     fn switch(cycle: u32, node: NodeId) -> FaultEvent {
-        FaultEvent {
-            cycle,
-            kind: FaultKind::Switch { node },
-        }
+        FaultEvent::down(cycle, FaultKind::Switch { node })
     }
 
     #[test]
@@ -580,13 +763,59 @@ mod tests {
     #[test]
     fn scenario_json_roundtrip() {
         let plan = FaultPlan::scripted([link(100, 2, 7), switch(300, 5)]);
+        assert_eq!(plan.schema_version(), 1);
         let text = plan.to_json();
+        // v1 plans serialize without a version key, exactly as before.
+        assert!(!text.contains("version"));
         let back = FaultPlan::from_json(&text).unwrap();
         assert_eq!(plan, back);
         assert!(FaultPlan::from_json("{").is_err());
         assert!(FaultPlan::from_json("{\"events\":[{\"cycle\":1}]}").is_err());
         let both = "{\"events\":[{\"cycle\":1,\"link\":[0,1],\"switch\":2}]}";
         assert!(FaultPlan::from_json(both).is_err());
+    }
+
+    #[test]
+    fn scenario_json_roundtrip_v2() {
+        let plan = FaultPlan::scripted([
+            FaultEvent::recovering(100, FaultKind::Link { a: 2, b: 7 }, 450).with_flap(900, 3),
+            FaultEvent::recovering(300, FaultKind::Switch { node: 5 }, 800),
+            link(500, 0, 1),
+        ]);
+        assert_eq!(plan.schema_version(), 2);
+        assert!(plan.has_recovery());
+        let text = plan.to_json();
+        assert!(text.contains("\"version\": 2"));
+        let back = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(plan, back);
+        // An explicit version: 2 with plain events also parses.
+        let explicit = "{\"version\":2,\"events\":[{\"cycle\":1,\"link\":[0,1]}]}";
+        assert_eq!(
+            FaultPlan::from_json(explicit).unwrap(),
+            FaultPlan::scripted([link(1, 0, 1)])
+        );
+    }
+
+    #[test]
+    fn v2_schema_violations_are_rejected() {
+        // Recovery fields without the version declaration.
+        let undeclared = "{\"events\":[{\"cycle\":1,\"link\":[0,1],\"recovers_at\":9}]}";
+        assert!(FaultPlan::from_json(undeclared).is_err());
+        // Future schema versions are refused, not silently misread.
+        let future = "{\"version\":3,\"events\":[]}";
+        assert!(FaultPlan::from_json(future).is_err());
+        // recovers_at must lie strictly after the fault cycle.
+        let backwards =
+            "{\"version\":2,\"events\":[{\"cycle\":10,\"link\":[0,1],\"recovers_at\":10}]}";
+        assert!(FaultPlan::from_json(backwards).is_err());
+        // A flap schedule needs recovers_at, and its period must exceed the
+        // outage so repeats do not overlap.
+        let flap_only =
+            "{\"version\":2,\"events\":[{\"cycle\":1,\"link\":[0,1],\"flap\":{\"period\":5,\"count\":2}}]}";
+        assert!(FaultPlan::from_json(flap_only).is_err());
+        let overlap = "{\"version\":2,\"events\":[{\"cycle\":1,\"link\":[0,1],\
+                        \"recovers_at\":20,\"flap\":{\"period\":19,\"count\":1}}]}";
+        assert!(FaultPlan::from_json(overlap).is_err());
     }
 
     #[test]

@@ -33,11 +33,16 @@ mod io;
 
 pub mod analysis;
 pub mod gen;
+pub mod recovery;
 
 pub use channel::{ChannelId, ChannelTable};
 pub use comm_graph::{CommGraph, Direction, LinkKind, Quadrant};
 pub use coord_tree::{CoordinatedTree, PreorderPolicy, RootPolicy};
 pub use error::TopologyError;
-pub use fault::{DegradedTopology, FaultError, FaultEvent, FaultKind, FaultPlan};
+pub use fault::{DegradedTopology, FaultError, FaultEvent, FaultKind, FaultPlan, FlapSchedule};
 pub use graph::{LinkId, NodeId, Topology};
 pub use io::{topology_from_json, topology_to_json};
+pub use recovery::{
+    chaos_plan, chaos_plan_filtered, ChaosParams, DampingPolicy, Element, ElementDamping,
+    RecoveryTimeline, TimelineStep,
+};

@@ -41,13 +41,20 @@ impl EpochCertificates {
     }
 }
 
-/// Certifies the transition from `old` to `new` on `cg` after the channels
-/// flagged in `dead_channel` died.
+/// Certifies the transition from `old` to `new` on `cg` with
+/// `dead_channel` flagging the channels dead in the **new** epoch.
 ///
 /// Both tables are restricted to the surviving channels first: packets on
 /// a dead channel were dropped, not drained, so dependencies through dead
 /// channels cannot participate in a deadlock (and the repaired table
 /// already prohibits them).
+///
+/// The same call certifies a **recovery (up) transition** — pass the
+/// channels still dead *after* the revival. A channel revived by the
+/// transition was prohibited by the old epoch's table (it was dead then),
+/// so it is isolated in the old dependency graph and only acquires
+/// dependencies from `new`; the union therefore soundly covers worms
+/// routed under either function while the revived capacity comes online.
 pub fn certify_transition(
     cg: &CommGraph,
     old: &TurnTable,
@@ -250,6 +257,34 @@ mod tests {
         });
         let expect = ChannelDepGraph::build(&cg, &live).num_edges();
         assert_eq!(added, expect);
+    }
+
+    #[test]
+    fn up_transition_certifies_with_revived_channels_isolated_in_old() {
+        // A recovery epoch: the old table routed around dead channels 0/1,
+        // the new table uses them again, and nothing is dead any more. The
+        // revived channels carried no turns under the old table, so the
+        // old∪new union adds exactly the new table's dependencies — the
+        // certificate must be deadlock-free and the union must not exceed
+        // the steady state.
+        let topo = gen::random_irregular(gen::IrregularParams::paper(20, 4), 4).unwrap();
+        let cg = cg_of(&topo);
+        let down = TurnTable::from_direction_rule(&cg, |_, dout| dout.goes_down());
+        let was_dead = |c: ChannelId| c == 0 || c == 1;
+        let old = TurnTable::from_channel_rule(&cg, |i, o| {
+            !was_dead(i) && !was_dead(o) && down.is_allowed(&cg, i, o)
+        });
+        let none_dead = vec![false; cg.num_channels() as usize];
+        let certs = certify_transition(&cg, &old, &down, &none_dead);
+        assert!(certs.is_deadlock_free());
+        // old ⊆ new once restricted to the live set, so the transition
+        // union collapses onto the repaired steady state.
+        assert_eq!(certs.union.num_edges, certs.degraded.num_edges);
+        // And the delta recertifier agrees: every added edge touches a
+        // revived channel, none closes a cycle.
+        let added = union_acyclic_delta(&cg, &old, &down, &none_dead).unwrap();
+        let old_edges = ChannelDepGraph::build(&cg, &old).num_edges();
+        assert_eq!(added, certs.union.num_edges - old_edges);
     }
 
     #[test]

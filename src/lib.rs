@@ -64,8 +64,9 @@ pub mod prelude {
     };
     pub use irnet_baselines::{lturn, updown, BaselineRouting};
     pub use irnet_core::{
-        plan_epochs, plan_epochs_with, repair_epoch, DownUp, DownUpRouting, EpochRepair,
-        ReconfigEpoch, RepairSpans, RepairStrategy,
+        plan_epochs, plan_epochs_timeline, plan_epochs_timeline_with, plan_epochs_with,
+        repair_epoch, DownUp, DownUpRouting, EpochRepair, ReconfigEpoch, RepairSpans,
+        RepairStrategy,
     };
     pub use irnet_metrics::paper::PaperMetrics;
     pub use irnet_metrics::sweep;
@@ -77,8 +78,9 @@ pub mod prelude {
     };
     pub use irnet_topology::analysis;
     pub use irnet_topology::{
-        gen, CommGraph, CoordinatedTree, Direction, FaultEvent, FaultKind, FaultPlan,
-        PreorderPolicy, Topology,
+        chaos_plan, chaos_plan_filtered, gen, ChaosParams, CommGraph, CoordinatedTree,
+        DampingPolicy, Direction, Element, ElementDamping, FaultEvent, FaultKind, FaultPlan,
+        FlapSchedule, PreorderPolicy, RecoveryTimeline, TimelineStep, Topology,
     };
     pub use irnet_turns::{
         adaptivity, verify_routing, AdaptivityStats, ChannelDepGraph, RoutingTables, TurnTable,

@@ -14,10 +14,7 @@ fn paper_topology() -> Topology {
 /// The shipped scenario: the link between switches 7 and 80 dies at cycle
 /// 3011, mid-measurement, while it is carrying a worm.
 fn scripted_scenario() -> FaultPlan {
-    FaultPlan::scripted([FaultEvent {
-        cycle: 3011,
-        kind: FaultKind::Link { a: 7, b: 80 },
-    }])
+    FaultPlan::scripted([FaultEvent::down(3011, FaultKind::Link { a: 7, b: 80 })])
 }
 
 fn faults_cfg() -> SimConfig {
@@ -59,6 +56,8 @@ fn run_scenario(core: EngineCore) -> SimStats {
             cycle: e.cycle,
             dead_channels: e.dead_channels.clone(),
             dead_nodes: e.dead_nodes.clone(),
+            revived_channels: e.revived_channels.clone(),
+            revived_nodes: e.revived_nodes.clone(),
             tables: &e.tables,
         });
     }
@@ -164,7 +163,7 @@ proptest! {
                 FaultKind::Link { a, b }
             };
             let mut trial = kept.clone();
-            trial.push(FaultEvent { cycle, kind });
+            trial.push(FaultEvent::down(cycle, kind));
             if topo.degrade(&FaultPlan::scripted(trial.clone())).is_ok() {
                 kept = trial;
             }
@@ -180,7 +179,11 @@ proptest! {
         let cg = routing.comm_graph();
         let epochs = plan_epochs(&topo, cg, routing.turn_table(), &plan, builder)
             .expect("a connectivity-preserving plan must be repairable");
-        prop_assert_eq!(epochs.len(), plan.activation_cycles().len());
+        // Duplicate faults at distinct cycles collapse to no-op timeline
+        // steps, so an activation cycle need not produce an epoch — but at
+        // least the first fault always does.
+        prop_assert!(!epochs.is_empty());
+        prop_assert!(epochs.len() <= plan.activation_cycles().len());
         for e in &epochs {
             let mut dead = vec![false; cg.num_channels() as usize];
             for &c in &e.dead_channels {

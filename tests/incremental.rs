@@ -11,10 +11,7 @@ use irnet_core::{plan_epochs_with, RepairStrategy};
 use proptest::prelude::*;
 
 fn link_fault(cycle: u32, a: u32, b: u32) -> FaultEvent {
-    FaultEvent {
-        cycle,
-        kind: FaultKind::Link { a, b },
-    }
+    FaultEvent::down(cycle, FaultKind::Link { a, b })
 }
 
 /// Builds a cumulative, non-partitioning plan from random link/switch
@@ -28,12 +25,12 @@ fn safe_plan(topo: &Topology, candidates: &[(u32, bool)], max_epochs: usize) -> 
         }
         let cycle = 100 * (kept.len() as u32 + 1);
         let event = if switch {
-            FaultEvent {
+            FaultEvent::down(
                 cycle,
-                kind: FaultKind::Switch {
+                FaultKind::Switch {
                     node: pick % topo.num_nodes(),
                 },
-            }
+            )
         } else {
             let (a, b) = topo.links()[pick as usize % topo.links().len()];
             link_fault(cycle, a, b)
@@ -142,10 +139,7 @@ fn golden_scenario_pins_are_identical_under_incremental_repair() {
     let topo = gen::random_irregular(gen::IrregularParams::paper(128, 4), 1).unwrap();
     let builder = DownUp::new().seed(1);
     let routing = builder.construct(&topo).unwrap();
-    let plan = FaultPlan::scripted([FaultEvent {
-        cycle: 3011,
-        kind: FaultKind::Link { a: 7, b: 80 },
-    }]);
+    let plan = FaultPlan::scripted([FaultEvent::down(3011, FaultKind::Link { a: 7, b: 80 })]);
     let cg = routing.comm_graph();
     let cfg = SimConfig {
         packet_len: 32,
@@ -172,6 +166,8 @@ fn golden_scenario_pins_are_identical_under_incremental_repair() {
                 cycle: e.epoch.cycle,
                 dead_channels: e.epoch.dead_channels.clone(),
                 dead_nodes: e.epoch.dead_nodes.clone(),
+                revived_channels: e.epoch.revived_channels.clone(),
+                revived_nodes: e.epoch.revived_nodes.clone(),
                 tables: &e.epoch.tables,
             });
         }

@@ -103,10 +103,7 @@ fn recorder_is_non_perturbing_through_the_golden_fault_scenario() {
     let topo = gen::random_irregular(gen::IrregularParams::paper(128, 4), 1).unwrap();
     let builder = DownUp::new().seed(1);
     let routing = builder.construct(&topo).unwrap();
-    let plan = FaultPlan::scripted([FaultEvent {
-        cycle: 3011,
-        kind: FaultKind::Link { a: 7, b: 80 },
-    }]);
+    let plan = FaultPlan::scripted([FaultEvent::down(3011, FaultKind::Link { a: 7, b: 80 })]);
     let cg = routing.comm_graph();
     let epochs = plan_epochs(&topo, cg, routing.turn_table(), &plan, builder).unwrap();
     for core in [EngineCore::ActiveSet, EngineCore::DenseReference] {
@@ -126,6 +123,8 @@ fn recorder_is_non_perturbing_through_the_golden_fault_scenario() {
                     cycle: e.cycle,
                     dead_channels: e.dead_channels.clone(),
                     dead_nodes: e.dead_nodes.clone(),
+                    revived_channels: e.revived_channels.clone(),
+                    revived_nodes: e.revived_nodes.clone(),
                     tables: &e.tables,
                 });
             }
@@ -213,10 +212,7 @@ fn unrepaired_link_failure_produces_a_waits_for_incident() {
     let topo = gen::random_irregular(gen::IrregularParams::paper(128, 4), 1).unwrap();
     let builder = DownUp::new().seed(1);
     let routing = builder.construct(&topo).unwrap();
-    let plan = FaultPlan::scripted([FaultEvent {
-        cycle: 3011,
-        kind: FaultKind::Link { a: 7, b: 80 },
-    }]);
+    let plan = FaultPlan::scripted([FaultEvent::down(3011, FaultKind::Link { a: 7, b: 80 })]);
     let cg = routing.comm_graph();
     let epochs = plan_epochs(&topo, cg, routing.turn_table(), &plan, builder).unwrap();
     let cfg = SimConfig {
@@ -232,6 +228,8 @@ fn unrepaired_link_failure_produces_a_waits_for_incident() {
             cycle: e.cycle,
             dead_channels: e.dead_channels.clone(),
             dead_nodes: e.dead_nodes.clone(),
+            revived_channels: e.revived_channels.clone(),
+            revived_nodes: e.revived_nodes.clone(),
             // The original, unrepaired tables: routes through the dead
             // link stay in force, so the worms on them wedge for good.
             tables: routing.routing_tables(),
