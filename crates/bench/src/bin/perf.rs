@@ -21,12 +21,13 @@
 //! comma-separated list of switch counts. Timing is reported, never
 //! asserted — CI fails only on panic or invalid JSON.
 //!
-//! ## `BENCH_sim.json` schema (`schema_version` 4)
+//! ## `BENCH_sim.json` schema (`schema_version` 5)
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 5,
 //!   "bench": "sim_core",
+//!   "backend": "flit",
 //!   "quick": false,
 //!   "packet_len": 32,
 //!   "seed": 7,
@@ -73,6 +74,18 @@
 //!       "touched_switches": 9, "touched_rows": 1204,
 //!       "patched_in_place": true
 //!     }
+//!   ],
+//!   "flow": [
+//!     {
+//!       "switches": 128, "ports": 8,
+//!       "predict_seconds": 0.61,
+//!       "warm_point_seconds": 0.0009,
+//!       "cluster_count": 31,
+//!       "representative_sims": 44,
+//!       "rep_sim_seconds": 0.55,
+//!       "predicted_saturation": 0.3870,
+//!       "speedup_vs_exact": 212.4
+//!     }
 //!   ]
 //! }
 //! ```
@@ -103,10 +116,21 @@
 //! `full` rebuild and the `incremental` patching strategy, each the
 //! fastest of `reps` runs, broken down into the four repair-stage spans
 //! (see `irnet_core::RepairSpans`).
+//!
+//! Schema v5 adds the top-level `backend` tag (always `"flit"` for this
+//! harness — `perf_compare` refuses to diff reports whose backends differ)
+//! and the `flow` array: per fabric, the flow-level backend's whole-ladder
+//! prediction cost (`predict_seconds`, including the decomposition,
+//! saturation probe, and every representative sim), the steady-state
+//! marginal cost of one warm-cache operating-point query
+//! (`warm_point_seconds`), the cluster/sim counts behind it, and
+//! `speedup_vs_exact` — the exact engine's saturation-load run wall time
+//! divided by `warm_point_seconds` (`null` where no exact run exists).
 
 use irnet_bench::fixtures;
 use irnet_bench::parse_args;
 use irnet_core::DownUp;
+use irnet_flow::{FlowConfig, FlowPredictor};
 use irnet_sim::{EngineCore, SimConfig, SimStats, Simulator};
 use irnet_topology::gen;
 use serde::Serialize;
@@ -186,11 +210,28 @@ struct RepairResult {
     patched_in_place: bool,
 }
 
+/// Flow-level backend cost on one fabric: whole-ladder prediction wall,
+/// warm-cache marginal per-point cost, and the speedup over the exact
+/// engine's saturation-load run (`None` when no exact run exists).
+#[derive(Serialize)]
+struct FlowResult {
+    switches: u32,
+    ports: u32,
+    predict_seconds: f64,
+    warm_point_seconds: f64,
+    cluster_count: usize,
+    representative_sims: usize,
+    rep_sim_seconds: f64,
+    predicted_saturation: f64,
+    speedup_vs_exact: Option<f64>,
+}
+
 /// The whole `BENCH_sim.json` document.
 #[derive(Serialize)]
 struct BenchReport {
     schema_version: u32,
     bench: String,
+    backend: String,
     quick: bool,
     packet_len: u32,
     seed: u64,
@@ -199,6 +240,7 @@ struct BenchReport {
     results: Vec<CoreResult>,
     speedups: Vec<Speedup>,
     repair: Vec<RepairResult>,
+    flow: Vec<FlowResult>,
 }
 
 /// Offered-load operating points (label, flits/node/clock).
@@ -350,6 +392,59 @@ fn bench_repair(
     out
 }
 
+/// Measures the flow-level backend on one fabric: predictor build + the
+/// full `LOADS` ladder (`predict_seconds`), then the warm-cache marginal
+/// cost of three fresh operating points around the predicted saturation
+/// knee (`warm_point_seconds`). `exact_sat_wall` is the exact engine's
+/// saturation-load active-set wall time, the baseline for
+/// `speedup_vs_exact`.
+fn bench_flow(
+    fabric: &fixtures::Fabric,
+    switches: u32,
+    ports: u32,
+    seed: u64,
+    exact_sat_wall: Option<f64>,
+) -> FlowResult {
+    let base = SimConfig {
+        packet_len: PACKET_LEN,
+        warmup_cycles: 1_000,
+        measure_cycles: measure_cycles(switches),
+        ..SimConfig::default()
+    };
+    let cfg = FlowConfig::default();
+    let rates: Vec<f64> = LOADS.iter().map(|&(_, r)| r).collect();
+    let start = Instant::now();
+    let mut pred = FlowPredictor::build(
+        &fabric.topo,
+        fabric.routing.tree(),
+        fabric.routing.comm_graph(),
+        fabric.routing.turn_table(),
+        &base,
+        seed,
+        &cfg,
+    );
+    let curve = pred.curve(&rates);
+    let predict_seconds = start.elapsed().as_secs_f64();
+    let sat = pred.saturation();
+    let warm_rates = [0.97 * sat, sat, 1.03 * sat];
+    let warm_start = Instant::now();
+    for r in warm_rates {
+        let _ = pred.point(r);
+    }
+    let warm_point_seconds = warm_start.elapsed().as_secs_f64() / warm_rates.len() as f64;
+    FlowResult {
+        switches,
+        ports,
+        predict_seconds,
+        warm_point_seconds,
+        cluster_count: curve.cluster_count,
+        representative_sims: curve.representative_sims,
+        rep_sim_seconds: curve.rep_sim_seconds,
+        predicted_saturation: sat,
+        speedup_vs_exact: exact_sat_wall.map(|w| w / warm_point_seconds.max(1e-9)),
+    }
+}
+
 fn time_run(fabric: &fixtures::Fabric, cfg: SimConfig, seed: u64, reps: u32) -> (f64, SimStats) {
     let cg = fabric.routing.comm_graph();
     let rt = fabric.routing.routing_tables();
@@ -403,6 +498,7 @@ fn main() {
     let mut results = Vec::new();
     let mut speedups = Vec::new();
     let mut repair = Vec::new();
+    let mut flow = Vec::new();
     for &(switches, ports) in &sizes {
         eprintln!("building {switches}-switch/{ports}-port fabric...");
         let (fabric, built) = build_fabric(switches, ports, seed, reps);
@@ -416,6 +512,7 @@ fn main() {
         );
         construction.push(built);
         repair.extend(bench_repair(&fabric, switches, ports, reps));
+        let mut exact_sat_wall = None;
         for (load, rate) in LOADS {
             let cfg = SimConfig {
                 packet_len: PACKET_LEN,
@@ -434,6 +531,9 @@ fn main() {
                     ..cfg
                 };
                 let (wall, stats) = time_run(&fabric, run_cfg, seed, reps);
+                if load == "saturation" && core == EngineCore::ActiveSet {
+                    exact_sat_wall = Some(wall);
+                }
                 let total_cycles = cfg.total_cycles() as u64;
                 let flit_hops: u64 = stats.channel_flits.iter().sum();
                 let cycles_per_sec = total_cycles as f64 / wall;
@@ -472,6 +572,12 @@ fn main() {
                 speedup: cps[0] / cps[1],
             });
         }
+        let f = bench_flow(&fabric, switches, ports, seed, exact_sat_wall);
+        eprintln!(
+            "  flow: predict {:>9.4}s  warm point {:>9.6}s  ({} clusters, {} rep sims)",
+            f.predict_seconds, f.warm_point_seconds, f.cluster_count, f.representative_sims,
+        );
+        flow.push(f);
     }
 
     for c in &construction {
@@ -498,10 +604,21 @@ fn main() {
             );
         }
     }
+    for f in &flow {
+        println!(
+            "{:>4} switches  flow predict {:>9.4}s  warm point {:>9.6}s{}",
+            f.switches,
+            f.predict_seconds,
+            f.warm_point_seconds,
+            f.speedup_vs_exact
+                .map_or_else(String::new, |s| format!("  ({s:.0}x vs exact sat point)")),
+        );
+    }
 
     let report = BenchReport {
-        schema_version: 4,
+        schema_version: 5,
         bench: "sim_core".to_string(),
+        backend: "flit".to_string(),
         quick,
         packet_len: PACKET_LEN,
         seed,
@@ -510,6 +627,7 @@ fn main() {
         results,
         speedups,
         repair,
+        flow,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialization failed");
     std::fs::write(&out_path, json + "\n").expect("failed to write report");

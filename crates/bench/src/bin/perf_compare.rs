@@ -17,12 +17,16 @@
 //! cleanly against a v2 one — the construction diff is just skipped.
 //! Likewise the `repair` array (schema v4) is matched by
 //! `(switches, ports, strategy)` on `total_seconds`, warning on
-//! *increases*, and is skipped when either report predates it.
+//! *increases*, and the `flow` array (schema v5) by `(switches, ports)`
+//! on `predict_seconds` and `warm_point_seconds` — each skipped when
+//! either report predates it.
 //!
 //! The comparator is **report-only**: it always exits 0 on a successful
 //! comparison, so noisy CI runners cannot fail the build — the warnings are
 //! for humans reading the job log. Only unreadable/invalid input files are
-//! hard errors (exit 1).
+//! hard errors (exit 1), plus one semantic guard: reports whose `backend`
+//! tags differ (schema v5; absent = `"flit"`) measure different engines,
+//! so diffing them is meaningless and the comparison is refused.
 
 use irnet_bench::parse_args;
 use serde::Value;
@@ -56,8 +60,23 @@ struct RepairEntry {
     total_seconds: f64,
 }
 
+/// One comparable flow-backend timing (schema v5+), keyed by
+/// `(switches, ports)`.
+struct FlowEntry {
+    key: (u64, u64),
+    predict_seconds: f64,
+    warm_point_seconds: f64,
+}
+
 /// Everything one report contributes to the diff.
-type Loaded = (Vec<Entry>, Vec<BuildEntry>, Vec<RepairEntry>);
+struct Loaded {
+    /// Engine behind the report's timings (`"flit"` before schema v5).
+    backend: String,
+    entries: Vec<Entry>,
+    builds: Vec<BuildEntry>,
+    repairs: Vec<RepairEntry>,
+    flows: Vec<FlowEntry>,
+}
 
 fn load_entries(path: &str) -> Result<Loaded, String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -127,7 +146,34 @@ fn load_entries(path: &str) -> Result<Loaded, String> {
             .collect::<Result<_, String>>()?,
         None => Vec::new(),
     };
-    Ok((entries, builds, repairs))
+    // ... and for the schema v5 `flow` array.
+    let flows: Vec<FlowEntry> = match doc.get("flow").and_then(Value::as_seq) {
+        Some(seq) => seq
+            .iter()
+            .map(|r| {
+                Ok(FlowEntry {
+                    key: (num(r, "switches")? as u64, num(r, "ports")? as u64),
+                    predict_seconds: num(r, "predict_seconds")?,
+                    warm_point_seconds: num(r, "warm_point_seconds")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        None => Vec::new(),
+    };
+    // Reports older than schema v5 have no `backend` tag; they were all
+    // produced by the exact flit engine.
+    let backend = match doc.get("backend") {
+        Some(Value::Str(s)) => s.clone(),
+        None => "flit".to_string(),
+        Some(_) => return Err(format!("{path}: `backend` is not a string")),
+    };
+    Ok(Loaded {
+        backend,
+        entries,
+        builds,
+        repairs,
+        flows,
+    })
 }
 
 fn run() -> Result<(), String> {
@@ -142,8 +188,30 @@ fn run() -> Result<(), String> {
         .to_string();
     let threshold: f64 = cli.opt_parse("threshold", 20.0);
 
-    let (old, old_builds, old_repairs) = load_entries(&old_path)?;
-    let (new, new_builds, new_repairs) = load_entries(&new_path)?;
+    let old_report = load_entries(&old_path)?;
+    let new_report = load_entries(&new_path)?;
+    // Timings from different backends (exact flit engine vs flow-level
+    // predictor) are not comparable; refuse rather than print a
+    // meaningless diff.
+    if old_report.backend != new_report.backend {
+        return Err(format!(
+            "backend mismatch: {old_path} was measured with the `{}` backend but \
+             {new_path} with `{}` — refusing to compare reports from different backends",
+            old_report.backend, new_report.backend
+        ));
+    }
+    let (old, old_builds, old_repairs, old_flows) = (
+        old_report.entries,
+        old_report.builds,
+        old_report.repairs,
+        old_report.flows,
+    );
+    let (new, new_builds, new_repairs, new_flows) = (
+        new_report.entries,
+        new_report.builds,
+        new_report.repairs,
+        new_report.flows,
+    );
 
     let mut compared = 0u32;
     let mut warnings = 0u32;
@@ -300,6 +368,73 @@ fn run() -> Result<(), String> {
             println!("repair entr(ies) only in {old_path} (dropped from the new report):");
             for r in &only_old_repairs {
                 println!("  {}sw/{}p {}", r.key.0, r.key.1, r.key.2);
+            }
+        }
+    }
+    // Flow-backend diff (schema v5+). Both the one-off prediction cost and
+    // the warm per-point cost are "smaller is better", so warnings fire on
+    // *increases*; skipped entirely when either report predates the array.
+    if !old_flows.is_empty() && !new_flows.is_empty() {
+        println!("switches ports     old predict     new predict   change       old warm       new warm   change");
+        for f in &new_flows {
+            let Some(prev) = old_flows.iter().find(|o| o.key == f.key) else {
+                println!(
+                    "  {}sw/{}p flow entry only in {new_path} (no old baseline)",
+                    f.key.0, f.key.1
+                );
+                continue;
+            };
+            compared += 1;
+            let pct = |old: f64, new: f64| {
+                if old > 0.0 {
+                    100.0 * (new - old) / old
+                } else {
+                    0.0
+                }
+            };
+            let pchange = pct(prev.predict_seconds, f.predict_seconds);
+            let wchange = pct(prev.warm_point_seconds, f.warm_point_seconds);
+            let mark = if pchange > threshold || wchange > threshold {
+                "  << WARNING"
+            } else {
+                ""
+            };
+            println!(
+                "{:>8} {:>5} {:>14.4}s {:>14.4}s {:>+7.1}% {:>13.6}s {:>13.6}s {:>+7.1}%{mark}",
+                f.key.0,
+                f.key.1,
+                prev.predict_seconds,
+                f.predict_seconds,
+                pchange,
+                prev.warm_point_seconds,
+                f.warm_point_seconds,
+                wchange
+            );
+            if pchange > threshold {
+                warnings += 1;
+                eprintln!(
+                    "WARNING: {}sw/{}p: flow prediction time grew {pchange:.1}% \
+                     ({:.4}s -> {:.4}s, threshold {threshold}%)",
+                    f.key.0, f.key.1, prev.predict_seconds, f.predict_seconds
+                );
+            }
+            if wchange > threshold {
+                warnings += 1;
+                eprintln!(
+                    "WARNING: {}sw/{}p: flow warm-point time grew {wchange:.1}% \
+                     ({:.6}s -> {:.6}s, threshold {threshold}%)",
+                    f.key.0, f.key.1, prev.warm_point_seconds, f.warm_point_seconds
+                );
+            }
+        }
+        let only_old_flows: Vec<&FlowEntry> = old_flows
+            .iter()
+            .filter(|o| !new_flows.iter().any(|f| f.key == o.key))
+            .collect();
+        if !only_old_flows.is_empty() {
+            println!("flow entr(ies) only in {old_path} (dropped from the new report):");
+            for f in &only_old_flows {
+                println!("  {}sw/{}p", f.key.0, f.key.1);
             }
         }
     }

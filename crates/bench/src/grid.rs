@@ -366,8 +366,10 @@ fn print_progress(done: usize, total: usize, start: Instant, last_print_ms: &Ato
     } else {
         secs / done as f64 * (total - done) as f64
     };
+    // The backend tag keeps grid progress/output distinguishable from
+    // flow-backend sweeps (the grid always runs the exact flit engine).
     eprintln!(
-        "grid: {done}/{total} points ({:.1} %), elapsed {secs:.1}s, eta {eta:.1}s",
+        "grid[flit]: {done}/{total} points ({:.1} %), elapsed {secs:.1}s, eta {eta:.1}s",
         100.0 * done as f64 / total as f64
     );
 }

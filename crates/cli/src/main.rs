@@ -87,6 +87,10 @@ simulate options:
 
 sweep options (in addition to the simulate options):
   --rates r1,r2,...   offered-load ladder (default an 8-step ramp)
+  --backend NAME      flit (exact engine, default) | flow (flow-level
+                      predictor: analytic decomposition + clustered
+                      representative sims); the CSV header line reports
+                      which backend produced the curve
   --progress          per-point progress (done/total, elapsed, ETA) on stderr
 
 export options:
@@ -837,54 +841,125 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
             .collect(),
         None => sweep::default_rates(8),
     };
-    // Run point by point (seeded exactly as `sweep::sweep` would) so
-    // `--progress` can report between operating points.
     let seed: u64 = o.parse("sim-seed", 7u64);
     let progress = o.flag("progress");
-    let start = std::time::Instant::now();
-    let points: Vec<_> = rates
-        .iter()
-        .enumerate()
-        .map(|(i, &rate)| {
-            let p = sweep::run_point(&inst, &base, rate, sweep::point_seed(seed, i));
-            if progress {
-                let done = i + 1;
-                let elapsed = start.elapsed().as_secs_f64();
-                let eta = elapsed / done as f64 * (rates.len() - done) as f64;
-                eprintln!(
-                    "sweep: {done}/{} points, elapsed {elapsed:.1}s, eta {eta:.1}s",
-                    rates.len()
+    let backend = o.get("backend").unwrap_or("flit");
+    if !matches!(backend, "flit" | "flow") {
+        fail(&format!(
+            "unknown backend {backend:?} (expected flit or flow)"
+        ));
+    }
+    // The leading header line carries the backend so flow and flit CSVs
+    // are never silently interchangeable.
+    println!("# backend={backend}");
+    match backend {
+        "flit" => {
+            // Run point by point (seeded exactly as `sweep::sweep` would)
+            // so `--progress` can report between operating points.
+            let start = std::time::Instant::now();
+            let points: Vec<_> = rates
+                .iter()
+                .enumerate()
+                .map(|(i, &rate)| {
+                    let p = sweep::run_point(&inst, &base, rate, sweep::point_seed(seed, i));
+                    if progress {
+                        let done = i + 1;
+                        let elapsed = start.elapsed().as_secs_f64();
+                        let eta = elapsed / done as f64 * (rates.len() - done) as f64;
+                        eprintln!(
+                            "sweep[{backend}]: {done}/{} points, elapsed {elapsed:.1}s, \
+                             eta {eta:.1}s",
+                            rates.len()
+                        );
+                    }
+                    p
+                })
+                .collect();
+            let curve = sweep::SweepCurve { points };
+            println!("offered,accepted,latency,node_util,hot_spot_pct,deadlocked");
+            for p in &curve.points {
+                println!(
+                    "{:.5},{:.5},{:.2},{:.5},{:.2},{}",
+                    p.offered,
+                    p.metrics.accepted_traffic,
+                    p.metrics.avg_latency,
+                    p.metrics.node_utilization,
+                    p.metrics.hot_spot_degree,
+                    p.deadlocked
                 );
             }
-            p
-        })
-        .collect();
-    let curve = sweep::SweepCurve { points };
-    println!("offered,accepted,latency,node_util,hot_spot_pct,deadlocked");
-    for p in &curve.points {
-        println!(
-            "{:.5},{:.5},{:.2},{:.5},{:.2},{}",
-            p.offered,
-            p.metrics.accepted_traffic,
-            p.metrics.avg_latency,
-            p.metrics.node_utilization,
-            p.metrics.hot_spot_degree,
-            p.deadlocked
-        );
-    }
-    for p in &curve.points {
-        if p.deadlocked {
+            for p in &curve.points {
+                if p.deadlocked {
+                    eprintln!(
+                        "!! offered load {:.4} deadlocked (no progress since cycle {})",
+                        p.offered, p.stall_cycle
+                    );
+                }
+            }
             eprintln!(
-                "!! offered load {:.4} deadlocked (no progress since cycle {})",
-                p.offered, p.stall_cycle
+                "max throughput {:.4} flits/clock/node at offered {:.4}",
+                curve.max_throughput(),
+                curve.saturation().offered
             );
         }
+        "flow" => {
+            let cfg = irnet_flow::FlowConfig::default();
+            let start = std::time::Instant::now();
+            let mut pred = irnet_flow::FlowPredictor::build(
+                &topo,
+                &inst.tree,
+                &inst.cg,
+                &inst.table,
+                &base,
+                seed,
+                &cfg,
+            );
+            if progress {
+                eprintln!(
+                    "sweep[{backend}]: predictor built (decompose + saturation probe), \
+                     elapsed {:.1}s",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            let points: Vec<_> = rates
+                .iter()
+                .enumerate()
+                .map(|(i, &rate)| {
+                    let p = pred.point(rate);
+                    if progress {
+                        let done = i + 1;
+                        let elapsed = start.elapsed().as_secs_f64();
+                        let eta = elapsed / done as f64 * (rates.len() - done) as f64;
+                        eprintln!(
+                            "sweep[{backend}]: {done}/{} points, elapsed {elapsed:.1}s, \
+                             eta {eta:.1}s",
+                            rates.len()
+                        );
+                    }
+                    p
+                })
+                .collect();
+            println!("offered,accepted,latency_mean,latency_median,latency_p99,saturated");
+            for p in &points {
+                println!(
+                    "{:.5},{:.5},{:.2},{:.2},{:.2},{}",
+                    p.offered,
+                    p.accepted,
+                    p.mean_latency,
+                    p.median_latency,
+                    p.p99_latency,
+                    p.saturated
+                );
+            }
+            eprintln!(
+                "predicted saturation throughput {:.4} flits/clock/node \
+                 ({} representative sims)",
+                pred.saturation(),
+                pred.sims_run()
+            );
+        }
+        other => unreachable!("backend {other:?} validated above"),
     }
-    eprintln!(
-        "max throughput {:.4} flits/clock/node at offered {:.4}",
-        curve.max_throughput(),
-        curve.saturation().offered
-    );
     Ok(())
 }
 

@@ -102,11 +102,56 @@ fn sweep_emits_csv() {
     assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
     let stdout = String::from_utf8_lossy(&r.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "# backend=flit");
     assert_eq!(
-        lines[0],
+        lines[1],
         "offered,accepted,latency,node_util,hot_spot_pct,deadlocked"
     );
-    assert_eq!(lines.len(), 3, "expected header + 2 data rows: {stdout}");
+    assert_eq!(
+        lines.len(),
+        4,
+        "expected backend line + header + 2 data rows: {stdout}"
+    );
+}
+
+#[test]
+fn sweep_flow_backend_emits_csv() {
+    let r = irnet(&[
+        "sweep",
+        "--switches",
+        "12",
+        "--rates",
+        "0.02,0.2",
+        "--packet-len",
+        "8",
+        "--warmup",
+        "200",
+        "--measure",
+        "800",
+        "--backend",
+        "flow",
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "# backend=flow");
+    assert_eq!(
+        lines[1],
+        "offered,accepted,latency_mean,latency_median,latency_p99,saturated"
+    );
+    assert_eq!(
+        lines.len(),
+        4,
+        "expected backend line + header + 2 data rows: {stdout}"
+    );
+}
+
+#[test]
+fn sweep_rejects_unknown_backend() {
+    let r = irnet(&["sweep", "--switches", "12", "--backend", "bogus"]);
+    assert!(!r.status.success());
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("unknown backend"), "{stderr}");
 }
 
 #[test]

@@ -1,0 +1,214 @@
+//! Stage 2 — channel clustering by signature.
+//!
+//! Channels with the same `(direction class, tree level, port class,
+//! quantized offered load)` signature see statistically similar contention,
+//! so one representative flit-level neighborhood simulation per cluster
+//! suffices (the analogue of parsimon's link clustering). Everything here
+//! is keyed on a totally ordered [`Signature`] through a `BTreeMap` —
+//! cluster order, representative choice, and therefore every downstream
+//! simulation seed depend only on the fabric and the loads, never on hash
+//! iteration order.
+
+use crate::decompose::Decomposition;
+use irnet_topology::{ChannelId, CommGraph, CoordinatedTree};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Load bucket for channels carrying (essentially) no traffic; their hops
+/// are modeled as uncontended without running a representative sim.
+pub const IDLE_BUCKET: i16 = i16::MIN;
+
+/// Offered load below which a channel is modeled as uncontended (queueing
+/// delay at 1% utilization is negligible next to serialization + transit).
+pub const IDLE_LOAD: f64 = 0.01;
+
+/// Octave quantization of an offered load (flits/clock): bucket
+/// `round(log2(load))`. Loads below [`IDLE_LOAD`] fall into
+/// [`IDLE_BUCKET`].
+pub fn load_bucket(load: f64) -> i16 {
+    if load < IDLE_LOAD {
+        IDLE_BUCKET
+    } else {
+        load.log2().round().clamp(-1000.0, 1000.0) as i16
+    }
+}
+
+/// A channel-equivalence class key. Derives `Ord` so partitions and every
+/// iteration over them are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct Signature {
+    /// 0 = up (toward the root), 1 = down, 2 = level (cross links between
+    /// equal tree levels).
+    pub dir_class: u8,
+    /// Tree level (BFS depth, `y` coordinate) of the channel's start
+    /// switch, saturating at 255.
+    pub level: u8,
+    /// Port class: the start switch's output radix (its degree), which
+    /// bounds how many flows can contend for the channel, saturating at
+    /// 255.
+    pub port_class: u8,
+    /// Quantized offered load ([`load_bucket`]).
+    pub load_bucket: i16,
+}
+
+impl Signature {
+    /// The signature of channel `c` at offered load `load`.
+    pub fn of(cg: &CommGraph, tree: &CoordinatedTree, c: ChannelId, load: f64) -> Signature {
+        let d = cg.direction(c);
+        let dir_class = if d.goes_up() {
+            0
+        } else if d.goes_down() {
+            1
+        } else {
+            2
+        };
+        let start = cg.channels().start(c);
+        Signature {
+            dir_class,
+            level: tree.y(start).min(255) as u8,
+            port_class: cg.channels().outputs(start).len().min(255) as u8,
+            load_bucket: load_bucket(load),
+        }
+    }
+}
+
+/// One equivalence class of channels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cluster {
+    /// The shared signature.
+    pub sig: Signature,
+    /// Member channels, ascending.
+    pub members: Vec<ChannelId>,
+    /// The member whose load is closest to the cluster mean (lowest id on
+    /// ties) — the channel whose neighborhood gets simulated.
+    pub representative: ChannelId,
+    /// Mean offered load over members.
+    pub mean_load: f64,
+}
+
+/// A complete, deterministic partition of the fabric's channels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Partition {
+    /// Clusters in ascending signature order.
+    pub clusters: Vec<Cluster>,
+}
+
+impl Partition {
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// `cluster_of[c]` — index into `clusters` for every channel.
+    pub fn cluster_index(&self, num_channels: u32) -> Vec<u32> {
+        let mut idx = vec![u32::MAX; num_channels as usize];
+        for (i, cl) in self.clusters.iter().enumerate() {
+            for &c in &cl.members {
+                idx[c as usize] = i as u32;
+            }
+        }
+        idx
+    }
+}
+
+/// Partitions all channels by signature under the given per-channel loads
+/// (`loads[c]`, flits/clock — typically `rate · unit_load` from a
+/// [`Decomposition`]).
+pub fn cluster_channels(cg: &CommGraph, tree: &CoordinatedTree, loads: &[f64]) -> Partition {
+    assert_eq!(loads.len(), cg.num_channels() as usize);
+    let mut groups: BTreeMap<Signature, Vec<ChannelId>> = BTreeMap::new();
+    for c in 0..cg.num_channels() {
+        let sig = Signature::of(cg, tree, c, loads[c as usize]);
+        groups.entry(sig).or_default().push(c);
+    }
+    let clusters = groups
+        .into_iter()
+        .map(|(sig, members)| {
+            let mean_load =
+                members.iter().map(|&c| loads[c as usize]).sum::<f64>() / members.len() as f64;
+            let representative = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da = (loads[a as usize] - mean_load).abs();
+                    let db = (loads[b as usize] - mean_load).abs();
+                    da.total_cmp(&db).then(a.cmp(&b))
+                })
+                .expect("clusters are non-empty");
+            Cluster {
+                sig,
+                members,
+                representative,
+                mean_load,
+            }
+        })
+        .collect();
+    Partition { clusters }
+}
+
+/// Convenience: partition at a given injection rate straight from a
+/// decomposition.
+pub fn cluster_at_rate(
+    cg: &CommGraph,
+    tree: &CoordinatedTree,
+    dec: &Decomposition,
+    rate: f64,
+) -> Partition {
+    let loads: Vec<f64> = dec.unit_load.iter().map(|&w| w * rate).collect();
+    cluster_channels(cg, tree, &loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Decomposer;
+    use irnet_core::DownUp;
+    use irnet_topology::gen;
+
+    #[test]
+    fn partition_covers_every_channel_once() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(32, 4), 1).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let dec = Decomposer::new(r.comm_graph(), r.turn_table()).decompose(0);
+        let part = cluster_at_rate(r.comm_graph(), r.tree(), &dec, 0.1);
+        let idx = part.cluster_index(r.comm_graph().num_channels());
+        assert!(idx.iter().all(|&i| i != u32::MAX), "uncovered channel");
+        let total: usize = part.clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, r.comm_graph().num_channels() as usize);
+        // Representatives are members of their own cluster.
+        for cl in &part.clusters {
+            assert!(cl.members.contains(&cl.representative));
+        }
+    }
+
+    #[test]
+    fn clustering_is_load_sensitive_but_stable() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(32, 4), 1).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let dec = Decomposer::new(r.comm_graph(), r.turn_table()).decompose(0);
+        let a = cluster_at_rate(r.comm_graph(), r.tree(), &dec, 0.1);
+        let b = cluster_at_rate(r.comm_graph(), r.tree(), &dec, 0.1);
+        // Bit-stable: same fabric + loads => identical partition.
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        // Far fewer clusters than channels.
+        assert!(a.len() < r.comm_graph().num_channels() as usize / 2);
+    }
+
+    #[test]
+    fn load_buckets_are_octaves() {
+        assert_eq!(load_bucket(0.0), IDLE_BUCKET);
+        assert_eq!(load_bucket(0.005), IDLE_BUCKET);
+        assert_eq!(load_bucket(1.0), 0);
+        assert_eq!(load_bucket(2.0), 1);
+        assert_eq!(load_bucket(4.0), 2);
+        assert!(load_bucket(0.25) < load_bucket(0.5));
+    }
+}

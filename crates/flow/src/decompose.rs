@@ -1,0 +1,384 @@
+//! Stage 1 — analytic channel decomposition.
+//!
+//! From a communication graph and a turn table alone (no routing tables,
+//! no flit simulation), compute the offered load every channel would carry
+//! under uniform traffic at unit injection rate. The computation mirrors
+//! the simulator's `RouteChoice::AdaptiveRandom` semantics: at every hop a
+//! packet picks uniformly among the minimal-cost turn-legal output ports,
+//! so traffic splits as equal fractional flow over the minimal-route DAG.
+//!
+//! Per destination `t` this is two linear passes:
+//!
+//! 1. reverse BFS over the channel-dependency-graph transpose gives
+//!    `cost(c, t)` — the same per-channel costs
+//!    [`irnet_turns::RoutingTables`] stores (a property test pins this);
+//! 2. processing channels in decreasing cost order makes the minimal-route
+//!    DAG topological, so each channel's inflow (injection plus transit)
+//!    can be split equally among its minimal turn-legal successors in one
+//!    sweep.
+//!
+//! Working entirely per destination keeps memory at O(channels) scratch,
+//! which is what lets the flow backend decompose fabrics the routing-table
+//! build cannot even allocate for (65k+ switches). For such fabrics a
+//! deterministic stride sample of destinations is used and the totals are
+//! rescaled.
+
+use irnet_topology::{ChannelId, CommGraph, NodeId};
+use irnet_turns::{ChannelDepGraph, TurnTable};
+use std::collections::VecDeque;
+
+/// Per-channel offered load under uniform traffic at unit injection rate
+/// (1 flit/node/clock offered by every switch).
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// `unit_load[c]` — flits/clock channel `c` carries per unit injection.
+    pub unit_load: Vec<f64>,
+    /// Destinations actually walked.
+    pub dests_sampled: u32,
+    /// Total destinations in the fabric.
+    pub total_dests: u32,
+    /// Flow-weighted mean hop count of a packet (channels traversed).
+    pub avg_hops: f64,
+}
+
+impl Decomposition {
+    /// The most loaded channel and its unit load (lowest id on ties).
+    pub fn bottleneck(&self) -> (ChannelId, f64) {
+        let mut best = (0u32, 0.0f64);
+        for (c, &w) in self.unit_load.iter().enumerate() {
+            if w > best.1 {
+                best = (c as ChannelId, w);
+            }
+        }
+        best
+    }
+}
+
+/// Shared per-fabric state for destination-sliced cost/flow queries: the
+/// channel dependency graph and its CSR transpose, built once.
+pub struct Decomposer<'a> {
+    cg: &'a CommGraph,
+    table: &'a TurnTable,
+    /// Transpose offsets: predecessors of `c` at `pred[toff[c]..toff[c+1]]`.
+    toff: Vec<u32>,
+    pred: Vec<u32>,
+}
+
+impl<'a> Decomposer<'a> {
+    /// Builds the dependency graph and its transpose for `cg` + `table`.
+    pub fn new(cg: &'a CommGraph, table: &'a TurnTable) -> Decomposer<'a> {
+        let dep = ChannelDepGraph::build(cg, table);
+        let nch = dep.num_channels() as usize;
+        let mut indeg = vec![0u32; nch];
+        for c in 0..nch as u32 {
+            for &s in dep.successors(c) {
+                indeg[s as usize] += 1;
+            }
+        }
+        let mut toff = vec![0u32; nch + 1];
+        for i in 0..nch {
+            toff[i + 1] = toff[i] + indeg[i];
+        }
+        let mut cursor = toff[..nch].to_vec();
+        let mut pred = vec![0u32; dep.num_edges()];
+        for c in 0..nch as u32 {
+            for &s in dep.successors(c) {
+                pred[cursor[s as usize] as usize] = c;
+                cursor[s as usize] += 1;
+            }
+        }
+        Decomposer {
+            cg,
+            table,
+            toff,
+            pred,
+        }
+    }
+
+    /// The communication graph this decomposer was built over.
+    pub fn comm_graph(&self) -> &CommGraph {
+        self.cg
+    }
+
+    /// Per-channel cost to destination `t`: the minimal number of channels
+    /// still to traverse given the packet traverses that channel first
+    /// (`u16::MAX` = unreachable). Matches
+    /// [`irnet_turns::RoutingTables::cost`] exactly.
+    pub fn costs_for(&self, t: NodeId) -> Vec<u16> {
+        let nch = self.cg.num_channels() as usize;
+        let mut cost = vec![u16::MAX; nch];
+        let mut queue = VecDeque::new();
+        self.costs_into(t, &mut cost, &mut queue, &mut Vec::new());
+        cost
+    }
+
+    /// Like [`Decomposer::costs_for`] but into caller scratch: `cost` must
+    /// be pre-filled with `u16::MAX` and is reset on return via `touched`.
+    fn costs_into(
+        &self,
+        t: NodeId,
+        cost: &mut [u16],
+        queue: &mut VecDeque<ChannelId>,
+        touched: &mut Vec<ChannelId>,
+    ) {
+        let ch = self.cg.channels();
+        queue.clear();
+        touched.clear();
+        for &c in ch.inputs(t) {
+            cost[c as usize] = 1;
+            queue.push_back(c);
+            touched.push(c);
+        }
+        while let Some(c) = queue.pop_front() {
+            let d = cost[c as usize];
+            for &p in &self.pred[self.toff[c as usize] as usize..self.toff[c as usize + 1] as usize]
+            {
+                if cost[p as usize] == u16::MAX {
+                    cost[p as usize] = d + 1;
+                    queue.push_back(p);
+                    touched.push(p);
+                }
+            }
+        }
+    }
+
+    /// The deterministic lowest-port minimal route from `s` to `t`, given
+    /// `costs` = [`Decomposer::costs_for`]`(t)`. Returns `None` when `t`
+    /// is unreachable from `s`.
+    pub fn route(&self, costs: &[u16], s: NodeId, t: NodeId) -> Option<Vec<ChannelId>> {
+        let ch = self.cg.channels();
+        let mut path = Vec::new();
+        let mut v = s;
+        // Injection hop: all output ports are candidates.
+        let mut cur: ChannelId = *ch
+            .outputs(v)
+            .iter()
+            .min_by_key(|&&c| costs[c as usize])
+            .filter(|&&c| costs[c as usize] != u16::MAX)?;
+        loop {
+            path.push(cur);
+            v = ch.sink(cur);
+            if v == t {
+                return Some(path);
+            }
+            let allowed = self.table.mask(v, ch.in_port(cur));
+            let mut best = u16::MAX;
+            let mut next = None;
+            for (p, &c) in ch.outputs(v).iter().enumerate() {
+                if (allowed >> p) & 1 == 1 && costs[c as usize] < best {
+                    best = costs[c as usize];
+                    next = Some(c);
+                }
+            }
+            cur = next?;
+        }
+    }
+
+    /// Runs the decomposition. At most `max_dests` destinations are walked
+    /// (0 = all): when sampling, destinations are taken at a fixed stride
+    /// and the accumulated loads rescaled by `n / sampled`, which is
+    /// deterministic and unbiased under the uniform traffic matrix.
+    pub fn decompose(&self, max_dests: usize) -> Decomposition {
+        let n = self.cg.num_nodes();
+        let nch = self.cg.num_channels() as usize;
+        let ch = self.cg.channels();
+
+        let dests: Vec<NodeId> = if max_dests == 0 || n as usize <= max_dests {
+            (0..n).collect()
+        } else {
+            // Evenly strided sample, always including destination 0.
+            (0..max_dests)
+                .map(|j| ((j as u64 * n as u64) / max_dests as u64) as NodeId)
+                .collect()
+        };
+
+        let mut unit_load = vec![0.0f64; nch];
+        let mut cost = vec![u16::MAX; nch];
+        let mut flow = vec![0.0f64; nch];
+        let mut queue = VecDeque::new();
+        let mut touched: Vec<ChannelId> = Vec::new();
+        // Bucketed (counting-sort) order: channels grouped by cost.
+        let mut hops_sum = 0.0f64;
+        let pair_rate = if n > 1 { 1.0 / (n as f64 - 1.0) } else { 0.0 };
+
+        for &t in &dests {
+            self.costs_into(t, &mut cost, &mut queue, &mut touched);
+
+            // Injection: every source splits its rate equally among its
+            // minimal-cost output ports (the injection slot allows all).
+            for v in 0..n {
+                if v == t {
+                    continue;
+                }
+                let outs = ch.outputs(v);
+                let mut best = u16::MAX;
+                for &c in outs {
+                    best = best.min(cost[c as usize]);
+                }
+                if best == u16::MAX {
+                    continue; // disconnected pair: certified fabrics never hit this
+                }
+                let k = outs.iter().filter(|&&c| cost[c as usize] == best).count();
+                let share = pair_rate / k as f64;
+                for &c in outs {
+                    if cost[c as usize] == best {
+                        flow[c as usize] += share;
+                    }
+                }
+            }
+
+            // Transit: decreasing cost order is topological on the
+            // minimal-route DAG (each hop reduces cost by exactly 1).
+            touched.sort_unstable_by_key(|&c| std::cmp::Reverse(cost[c as usize]));
+            for &c in &touched {
+                let f = flow[c as usize];
+                if f <= 0.0 {
+                    continue;
+                }
+                hops_sum += f;
+                let k = cost[c as usize];
+                let v = ch.sink(c);
+                if k == 1 {
+                    debug_assert_eq!(v, t);
+                    continue; // delivered
+                }
+                let allowed = self.table.mask(v, ch.in_port(c));
+                let outs = ch.outputs(v);
+                let mut cnt = 0usize;
+                for (p, &o) in outs.iter().enumerate() {
+                    if (allowed >> p) & 1 == 1 && cost[o as usize] == k - 1 {
+                        cnt += 1;
+                    }
+                }
+                debug_assert!(cnt > 0, "cost-{k} channel with no minimal successor");
+                if cnt == 0 {
+                    continue;
+                }
+                let share = f / cnt as f64;
+                for (p, &o) in outs.iter().enumerate() {
+                    if (allowed >> p) & 1 == 1 && cost[o as usize] == k - 1 {
+                        flow[o as usize] += share;
+                    }
+                }
+            }
+
+            for &c in &touched {
+                unit_load[c as usize] += flow[c as usize];
+                flow[c as usize] = 0.0;
+                cost[c as usize] = u16::MAX;
+            }
+        }
+
+        let sampled = dests.len() as u32;
+        let scale = if sampled == 0 {
+            0.0
+        } else {
+            n as f64 / sampled as f64
+        };
+        for w in &mut unit_load {
+            *w *= scale;
+        }
+        // hops_sum counts flow-weighted channel traversals for `sampled`
+        // destinations; each destination receives unit total packet rate.
+        let avg_hops = if sampled == 0 {
+            0.0
+        } else {
+            hops_sum / sampled as f64
+        };
+
+        Decomposition {
+            unit_load,
+            dests_sampled: sampled,
+            total_dests: n,
+            avg_hops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irnet_core::DownUp;
+    use irnet_topology::gen;
+
+    #[test]
+    fn costs_match_routing_tables() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(40, 4), 2).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let d = Decomposer::new(r.comm_graph(), r.turn_table());
+        for t in 0..topo.num_nodes() {
+            let costs = d.costs_for(t);
+            for c in 0..r.comm_graph().num_channels() {
+                assert_eq!(
+                    costs[c as usize],
+                    r.routing_tables().cost(t, c),
+                    "t={t} c={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flow_is_conserved() {
+        // Total flow-hops / destination equals avg hops; every channel load
+        // is non-negative and the per-node delivered rate sums to n·unit.
+        let topo = gen::random_irregular(gen::IrregularParams::paper(32, 4), 5).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let d = Decomposer::new(r.comm_graph(), r.turn_table());
+        let dec = d.decompose(0);
+        assert_eq!(dec.dests_sampled, 32);
+        assert!(dec.avg_hops >= 1.0, "avg hops {}", dec.avg_hops);
+        assert!(dec.unit_load.iter().all(|&w| w >= 0.0));
+        // Sum of channel loads == total flow-hops == n * avg_hops (each
+        // node offers unit rate).
+        let sum: f64 = dec.unit_load.iter().sum();
+        assert!(
+            (sum - 32.0 * dec.avg_hops).abs() < 1e-6,
+            "sum {sum} vs {}",
+            32.0 * dec.avg_hops
+        );
+    }
+
+    #[test]
+    fn sampled_decomposition_approximates_full() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(64, 4), 7).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let d = Decomposer::new(r.comm_graph(), r.turn_table());
+        let full = d.decompose(0);
+        let half = d.decompose(32);
+        assert_eq!(half.dests_sampled, 32);
+        let (bf, wf) = full.bottleneck();
+        let wh = half.unit_load[bf as usize];
+        assert!(
+            (wh - wf).abs() / wf < 0.5,
+            "sampled bottleneck load {wh} vs full {wf}"
+        );
+    }
+
+    #[test]
+    fn route_is_minimal_and_connected() {
+        let topo = gen::random_irregular(gen::IrregularParams::paper(24, 4), 3).unwrap();
+        let r = DownUp::new().construct(&topo).unwrap();
+        let d = Decomposer::new(r.comm_graph(), r.turn_table());
+        let ch = r.comm_graph().channels();
+        for t in [0u32, 5, 17] {
+            let costs = d.costs_for(t);
+            for s in 0..topo.num_nodes() {
+                if s == t {
+                    continue;
+                }
+                let path = d.route(&costs, s, t).expect("connected");
+                assert_eq!(
+                    path.len() as u16,
+                    r.routing_tables().route_len(r.comm_graph(), s, t)
+                );
+                let mut v = s;
+                for &c in &path {
+                    assert_eq!(ch.start(c), v);
+                    v = ch.sink(c);
+                }
+                assert_eq!(v, t);
+            }
+        }
+    }
+}

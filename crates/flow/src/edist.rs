@@ -1,0 +1,245 @@
+//! Empirical delay distributions ("edists").
+//!
+//! A distribution is stored as its values at `N_Q + 1` evenly spaced
+//! quantiles — a compact, closed-under-arithmetic representation in the
+//! spirit of parsimon's `EDistribution`. Convolution (for summing
+//! independent per-hop delays along a route) and weighted mixture (for
+//! merging per-route latency distributions into a network-wide one) both
+//! reduce to building a weighted sample set and re-extracting the quantile
+//! grid, so every operation is deterministic: no RNG, no hashing, no
+//! wall-clock input.
+
+/// Number of equal-probability quantile intervals in the grid.
+const N_Q: usize = 64;
+
+/// An empirical distribution over `f64` values, stored as the quantile
+/// grid `q = 0, 1/N, …, 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EDist {
+    /// `qs[i]` is the value at quantile `i / N_Q`; non-decreasing.
+    qs: Vec<f64>,
+}
+
+impl EDist {
+    /// The degenerate distribution concentrated at `v`.
+    pub fn constant(v: f64) -> EDist {
+        EDist {
+            qs: vec![v; N_Q + 1],
+        }
+    }
+
+    /// Builds from weighted samples. Returns `None` when the total weight
+    /// is zero (no samples). The input order does not matter — samples are
+    /// sorted by value internally.
+    pub fn from_weighted(samples: &[(f64, f64)]) -> Option<EDist> {
+        let mut sorted: Vec<(f64, f64)> =
+            samples.iter().filter(|&&(_, w)| w > 0.0).copied().collect();
+        let total: f64 = sorted.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut qs = Vec::with_capacity(N_Q + 1);
+        let mut cum = 0.0;
+        let mut idx = 0;
+        for i in 0..=N_Q {
+            let target = total * i as f64 / N_Q as f64;
+            while idx < sorted.len() - 1 && cum + sorted[idx].1 < target {
+                cum += sorted[idx].1;
+                idx += 1;
+            }
+            qs.push(sorted[idx].0);
+        }
+        Some(EDist { qs })
+    }
+
+    /// Builds from histogram buckets `(value floor, count)` in increasing
+    /// value order (the shape [`irnet_sim::Histogram::buckets`] yields).
+    pub fn from_buckets(buckets: impl Iterator<Item = (u32, u64)>) -> Option<EDist> {
+        let samples: Vec<(f64, f64)> = buckets.map(|(v, c)| (v as f64, c as f64)).collect();
+        Self::from_weighted(&samples)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, linearly interpolated on the
+    /// grid.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let pos = q.clamp(0.0, 1.0) * N_Q as f64;
+        let lo = (pos.floor() as usize).min(N_Q);
+        let hi = (lo + 1).min(N_Q);
+        let frac = pos - lo as f64;
+        self.qs[lo] * (1.0 - frac) + self.qs[hi] * frac
+    }
+
+    /// Mean, via the midpoint rule over the equal-probability intervals.
+    pub fn mean(&self) -> f64 {
+        let mut sum = 0.0;
+        for i in 0..N_Q {
+            sum += (self.qs[i] + self.qs[i + 1]) / 2.0;
+        }
+        sum / N_Q as f64
+    }
+
+    /// Applies `x ↦ x * scale + shift` to the distribution.
+    pub fn affine(&self, scale: f64, shift: f64) -> EDist {
+        let mut qs: Vec<f64> = self.qs.iter().map(|&v| v * scale + shift).collect();
+        if scale < 0.0 {
+            qs.reverse();
+        }
+        EDist { qs }
+    }
+
+    /// Clamps every value to at least `floor`.
+    pub fn max_with(&self, floor: f64) -> EDist {
+        EDist {
+            qs: self.qs.iter().map(|&v| v.max(floor)).collect(),
+        }
+    }
+
+    /// Whether the distribution is a point mass (all quantiles equal).
+    pub fn is_point(&self) -> bool {
+        self.qs[0] == self.qs[N_Q]
+    }
+
+    /// The distribution of the sum of two independent draws — one from
+    /// `self`, one from `other` — approximated on the quantile grid by
+    /// summing every pair of equal-probability interval midpoints. Adding
+    /// a point mass is an exact shift, taken as a fast path.
+    ///
+    /// The `N_Q²` equal-weight pair sums are binned into a fixed uniform
+    /// histogram spanning their support and the quantile grid is read off
+    /// the cumulative counts — O(N_Q²) with small constants instead of a
+    /// sort, which keeps warm flow-predictor queries in the millisecond
+    /// range. The bin count (32× the quantile grid) keeps the binning
+    /// error well below the midpoint-atom approximation error already
+    /// inherent in the representation.
+    pub fn convolve(&self, other: &EDist) -> EDist {
+        if other.is_point() {
+            return self.affine(1.0, other.qs[0]);
+        }
+        if self.is_point() {
+            return other.affine(1.0, self.qs[0]);
+        }
+        let a = self.midpoints();
+        let b = other.midpoints();
+        let lo = a[0] + b[0];
+        let hi = a[N_Q - 1] + b[N_Q - 1];
+        if hi <= lo {
+            return EDist::constant(lo);
+        }
+        const BINS: usize = 32 * N_Q;
+        let scale = BINS as f64 / (hi - lo);
+        let mut counts = [0u32; BINS];
+        for &x in &a {
+            for &y in &b {
+                let bin = (((x + y) - lo) * scale) as usize;
+                counts[bin.min(BINS - 1)] += 1;
+            }
+        }
+        let total = (N_Q * N_Q) as f64;
+        let mut qs = Vec::with_capacity(N_Q + 1);
+        qs.push(lo);
+        let mut cum = 0u32;
+        let mut bin = 0usize;
+        for i in 1..=N_Q {
+            let target = total * i as f64 / N_Q as f64;
+            while bin < BINS - 1 && f64::from(cum + counts[bin]) < target {
+                cum += counts[bin];
+                bin += 1;
+            }
+            if i == N_Q {
+                qs.push(hi);
+            } else {
+                qs.push(lo + (bin as f64 + 0.5) / scale);
+            }
+        }
+        EDist { qs }
+    }
+
+    /// The weighted mixture of several distributions. Returns `None` when
+    /// `parts` is empty or all weights are zero.
+    pub fn mixture(parts: &[(f64, &EDist)]) -> Option<EDist> {
+        let mut samples = Vec::new();
+        for &(w, d) in parts {
+            if w <= 0.0 {
+                continue;
+            }
+            for m in d.midpoints() {
+                samples.push((m, w));
+            }
+        }
+        EDist::from_weighted(&samples)
+    }
+
+    /// Midpoints of the equal-probability intervals: `N_Q` atoms of mass
+    /// `1/N_Q` each.
+    fn midpoints(&self) -> Vec<f64> {
+        (0..N_Q)
+            .map(|i| (self.qs[i] + self.qs[i + 1]) / 2.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_has_flat_quantiles() {
+        let d = EDist::constant(3.0);
+        assert_eq!(d.quantile(0.0), 3.0);
+        assert_eq!(d.quantile(0.5), 3.0);
+        assert_eq!(d.quantile(1.0), 3.0);
+        assert_eq!(d.mean(), 3.0);
+    }
+
+    #[test]
+    fn from_weighted_recovers_quantiles() {
+        // 100 samples 1..=100, uniform weights.
+        let samples: Vec<(f64, f64)> = (1..=100).map(|v| (v as f64, 1.0)).collect();
+        let d = EDist::from_weighted(&samples).unwrap();
+        assert!((d.quantile(0.5) - 50.0).abs() <= 2.0, "{}", d.quantile(0.5));
+        assert!((d.mean() - 50.5).abs() <= 1.0, "{}", d.mean());
+        assert!(d.quantile(1.0) >= 99.0);
+    }
+
+    #[test]
+    fn empty_weights_yield_none() {
+        assert!(EDist::from_weighted(&[]).is_none());
+        assert!(EDist::from_weighted(&[(1.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn convolution_of_constants_adds() {
+        let d = EDist::constant(2.0).convolve(&EDist::constant(5.0));
+        assert!((d.mean() - 7.0).abs() < 1e-9);
+        assert!((d.quantile(0.9) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_means_add() {
+        let a = EDist::from_weighted(&[(1.0, 1.0), (3.0, 1.0)]).unwrap();
+        let b = EDist::from_weighted(&[(10.0, 1.0), (20.0, 3.0)]).unwrap();
+        let c = a.convolve(&b);
+        assert!(
+            (c.mean() - (a.mean() + b.mean())).abs() < 0.3,
+            "{}",
+            c.mean()
+        );
+    }
+
+    #[test]
+    fn mixture_interpolates() {
+        let a = EDist::constant(0.0);
+        let b = EDist::constant(10.0);
+        let m = EDist::mixture(&[(1.0, &a), (3.0, &b)]).unwrap();
+        assert!((m.mean() - 7.5).abs() < 0.2, "{}", m.mean());
+    }
+
+    #[test]
+    fn affine_shifts_and_scales() {
+        let d = EDist::constant(4.0).affine(0.5, -1.0);
+        assert!((d.mean() - 1.0).abs() < 1e-9);
+        let clamped = d.max_with(2.0);
+        assert!((clamped.mean() - 2.0).abs() < 1e-9);
+    }
+}

@@ -83,6 +83,17 @@ impl Histogram {
         self.quantile(0.5)
     }
 
+    /// Iterates the non-empty buckets as `(bucket floor, count)` pairs in
+    /// increasing value order — the raw material for turning a finished
+    /// run's latency histogram into an empirical distribution.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::bucket_floor(b), c))
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.counts.len() > self.counts.len() {

@@ -8,6 +8,10 @@ use std::collections::{BinaryHeap, VecDeque};
 /// Input port `q` maps to slot `q + 1`.
 pub const INJECTION_SLOT: usize = 0;
 
+/// Below this node count an auto-threaded table build stays serial: the
+/// whole fill is sub-millisecond and thread spawn overhead would dominate.
+const PARALLEL_BUILD_MIN_NODES: u32 = 192;
+
 /// Routing construction failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RoutingError {
@@ -106,7 +110,22 @@ impl RoutingTables {
     /// Builds the tables and verifies full connectivity: every ordered pair
     /// of distinct switches must be reachable from injection.
     pub fn build(cg: &CommGraph, table: &TurnTable) -> Result<RoutingTables, RoutingError> {
-        Self::build_inner(cg, table, None, None)
+        Self::build_inner(cg, table, None, None, 0)
+    }
+
+    /// Like [`RoutingTables::build`] but with an explicit worker-thread
+    /// count: `1` forces the serial reference build, `0` picks
+    /// [`std::thread::available_parallelism`]. The result is bit-identical
+    /// for every thread count — each destination's rows are disjoint and
+    /// filled by the same arithmetic, and on disconnection the error
+    /// reported is the one the serial build would hit first (smallest
+    /// destination, then smallest source).
+    pub fn build_with_threads(
+        cg: &CommGraph,
+        table: &TurnTable,
+        threads: usize,
+    ) -> Result<RoutingTables, RoutingError> {
+        Self::build_inner(cg, table, None, None, threads)
     }
 
     /// Like [`RoutingTables::build`], but over the surviving sub-network of
@@ -123,7 +142,7 @@ impl RoutingTables {
     ) -> Result<RoutingTables, RoutingError> {
         assert_eq!(dead_channel.len(), cg.num_channels() as usize);
         assert_eq!(alive_node.len(), cg.num_nodes() as usize);
-        Self::build_inner(cg, table, Some(dead_channel), Some(alive_node))
+        Self::build_inner(cg, table, Some(dead_channel), Some(alive_node), 0)
     }
 
     fn build_inner(
@@ -131,6 +150,7 @@ impl RoutingTables {
         table: &TurnTable,
         dead_channel: Option<&[bool]>,
         alive_node: Option<&[bool]>,
+        threads: usize,
     ) -> Result<RoutingTables, RoutingError> {
         let ch_dead = |c: ChannelId| dead_channel.is_some_and(|d| d[c as usize]);
         let node_alive = |v: NodeId| alive_node.is_none_or(|a| a[v as usize]);
@@ -147,26 +167,33 @@ impl RoutingTables {
         let mut cost = vec![u16::MAX; n as usize * nch as usize];
         let mut port_mask = vec![0u16; n as usize * n as usize * slots];
         let mut any_mask = vec![0u16; n as usize * n as usize * slots];
-        let mut queue = VecDeque::with_capacity(nch as usize);
 
-        for t in 0..n {
+        // One destination = one disjoint row in each of the three arrays, so
+        // the per-destination fill is embarrassingly parallel. The closure
+        // writes only its own rows; any thread partition therefore produces
+        // bit-identical tables.
+        let fill_dest = |t: NodeId,
+                         cost_row: &mut [u16],
+                         pm_row: &mut [u16],
+                         am_row: &mut [u16],
+                         queue: &mut VecDeque<ChannelId>|
+         -> Result<(), RoutingError> {
             if !node_alive(t) {
-                continue; // dead destinations keep MAX costs and zero masks
+                return Ok(()); // dead destinations keep MAX costs and zero masks
             }
-            let base = t as usize * nch as usize;
             queue.clear();
             // Seeds: channels whose sink is the destination cost exactly 1.
             for &c in ch.inputs(t) {
                 if !ch_dead(c) {
-                    cost[base + c as usize] = 1;
+                    cost_row[c as usize] = 1;
                     queue.push_back(c);
                 }
             }
             while let Some(c) = queue.pop_front() {
-                let d = cost[base + c as usize];
+                let d = cost_row[c as usize];
                 for &p in &pred[toff[c as usize] as usize..toff[c as usize + 1] as usize] {
-                    if !ch_dead(p) && cost[base + p as usize] == u16::MAX {
-                        cost[base + p as usize] = d + 1;
+                    if !ch_dead(p) && cost_row[p as usize] == u16::MAX {
+                        cost_row[p as usize] = d + 1;
                         queue.push_back(p);
                     }
                 }
@@ -179,11 +206,11 @@ impl RoutingTables {
                     continue;
                 }
                 let outs = ch.outputs(v);
-                let mbase = (t as usize * n as usize + v as usize) * slots;
+                let mbase = v as usize * slots;
                 // Injection slot: all outputs are candidates.
                 let mut best = u16::MAX;
                 for &c in outs {
-                    best = best.min(cost[base + c as usize]);
+                    best = best.min(cost_row[c as usize]);
                 }
                 if best == u16::MAX {
                     return Err(RoutingError::Disconnected { src: v, dst: t });
@@ -191,22 +218,22 @@ impl RoutingTables {
                 let mut mask = 0u16;
                 let mut any = 0u16;
                 for (p, &c) in outs.iter().enumerate() {
-                    if cost[base + c as usize] == best {
+                    if cost_row[c as usize] == best {
                         mask |= 1 << p;
                     }
-                    if cost[base + c as usize] != u16::MAX {
+                    if cost_row[c as usize] != u16::MAX {
                         any |= 1 << p;
                     }
                 }
-                port_mask[mbase + INJECTION_SLOT] = mask;
-                any_mask[mbase + INJECTION_SLOT] = any;
+                pm_row[mbase + INJECTION_SLOT] = mask;
+                am_row[mbase + INJECTION_SLOT] = any;
                 // Per input port.
                 for (q, &_in_ch) in ch.inputs(v).iter().enumerate() {
                     let allowed = table.mask(v, q as u8);
                     let mut best = u16::MAX;
                     for (p, &c) in outs.iter().enumerate() {
                         if (allowed >> p) & 1 == 1 {
-                            best = best.min(cost[base + c as usize]);
+                            best = best.min(cost_row[c as usize]);
                         }
                     }
                     let mut mask = 0u16;
@@ -214,19 +241,94 @@ impl RoutingTables {
                     if best != u16::MAX {
                         for (p, &c) in outs.iter().enumerate() {
                             if (allowed >> p) & 1 == 1 {
-                                if cost[base + c as usize] == best {
+                                if cost_row[c as usize] == best {
                                     mask |= 1 << p;
                                 }
-                                if cost[base + c as usize] != u16::MAX {
+                                if cost_row[c as usize] != u16::MAX {
                                     any |= 1 << p;
                                 }
                             }
                         }
                     }
-                    port_mask[mbase + 1 + q] = mask;
-                    any_mask[mbase + 1 + q] = any;
+                    pm_row[mbase + 1 + q] = mask;
+                    am_row[mbase + 1 + q] = any;
                 }
             }
+            Ok(())
+        };
+
+        let workers = match threads {
+            0 if n < PARALLEL_BUILD_MIN_NODES => 1,
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            explicit => explicit,
+        }
+        .clamp(1, n.max(1) as usize);
+
+        let row_nch = nch as usize;
+        let row_mask = n as usize * slots;
+        if workers <= 1 || row_nch == 0 {
+            let mut queue = VecDeque::with_capacity(row_nch);
+            for t in 0..n as usize {
+                let (pm_row, am_row) = (
+                    &mut port_mask[t * row_mask..(t + 1) * row_mask],
+                    &mut any_mask[t * row_mask..(t + 1) * row_mask],
+                );
+                fill_dest(
+                    t as NodeId,
+                    &mut cost[t * row_nch..(t + 1) * row_nch],
+                    pm_row,
+                    am_row,
+                    &mut queue,
+                )?;
+            }
+        } else {
+            // Contiguous destination chunks, one scoped worker each. Joining
+            // in chunk order and keeping each worker's first failure makes
+            // the reported error the serial one: the failing destination is
+            // minimal within its chunk, and earlier chunks hold smaller
+            // destinations.
+            let per = (n as usize).div_ceil(workers);
+            let first_err = std::thread::scope(|s| {
+                let fill = &fill_dest;
+                let mut handles = Vec::with_capacity(workers);
+                for (k, (cost_c, (pm_c, am_c))) in cost
+                    .chunks_mut(per * row_nch.max(1))
+                    .zip(
+                        port_mask
+                            .chunks_mut(per * row_mask.max(1))
+                            .zip(any_mask.chunks_mut(per * row_mask.max(1))),
+                    )
+                    .enumerate()
+                {
+                    handles.push(s.spawn(move || {
+                        let mut queue = VecDeque::with_capacity(row_nch);
+                        for (i, (cost_row, (pm_row, am_row))) in cost_c
+                            .chunks_mut(row_nch.max(1))
+                            .zip(
+                                pm_c.chunks_mut(row_mask.max(1))
+                                    .zip(am_c.chunks_mut(row_mask.max(1))),
+                            )
+                            .enumerate()
+                        {
+                            let t = (k * per + i) as NodeId;
+                            if t >= n {
+                                break;
+                            }
+                            fill(t, cost_row, pm_row, am_row, &mut queue)?;
+                        }
+                        Ok(())
+                    }));
+                }
+                let mut first: Result<(), RoutingError> = Ok(());
+                for h in handles {
+                    let r = h.join().expect("routing-table worker panicked");
+                    if first.is_ok() {
+                        first = r;
+                    }
+                }
+                first
+            });
+            first_err?;
         }
 
         Ok(RoutingTables {
@@ -761,6 +863,38 @@ mod tests {
                 }
                 assert_eq!(v, t);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        for seed in 0..4u64 {
+            let topo = gen::random_irregular(gen::IrregularParams::paper(48, 4), seed).unwrap();
+            let cg = cg_of(&topo);
+            let table = TurnTable::from_direction_rule(&cg, |din, dout| {
+                !(din.goes_down() && dout.goes_up())
+            });
+            let serial = RoutingTables::build_with_threads(&cg, &table, 1).unwrap();
+            for threads in [2, 3, 5, 8] {
+                let par = RoutingTables::build_with_threads(&cg, &table, threads).unwrap();
+                assert_eq!(serial, par, "threads={threads} seed={seed}");
+            }
+            // The auto-threaded default path must agree too.
+            assert_eq!(serial, RoutingTables::build(&cg, &table).unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_build_reports_the_serial_error() {
+        // Prohibiting every turn leaves only single-hop routes, so the
+        // first multi-hop pair in (dst, src) scan order is the witness.
+        let topo = gen::random_irregular(gen::IrregularParams::paper(40, 4), 9).unwrap();
+        let cg = cg_of(&topo);
+        let table = TurnTable::from_direction_rule(&cg, |_, _| false);
+        let serial = RoutingTables::build_with_threads(&cg, &table, 1).unwrap_err();
+        for threads in [2, 3, 8] {
+            let par = RoutingTables::build_with_threads(&cg, &table, threads).unwrap_err();
+            assert_eq!(serial, par, "threads={threads}");
         }
     }
 

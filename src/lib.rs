@@ -20,6 +20,9 @@
 //! * [`analyze`] — the static routability analyzer: a feasibility oracle
 //!   with constructive witnesses / minimized obstructions, and whole-table
 //!   property audits (reachability, stretch, minimality, livelock).
+//! * [`flow`] — the flow-level fast path: analytic channel decomposition,
+//!   signature clustering, representative neighborhood sims, and
+//!   delay-distribution generalization (`irnet sweep --backend flow`).
 //! * [`obs`] — observability: flight-recorder event tracing, interval
 //!   samplers, and watchdog deadlock forensics.
 //!
@@ -49,6 +52,7 @@
 pub use irnet_analyze as analyze;
 pub use irnet_baselines as baselines;
 pub use irnet_core as downup;
+pub use irnet_flow as flow;
 pub use irnet_metrics as metrics;
 pub use irnet_obs as obs;
 pub use irnet_sim as sim;
@@ -67,6 +71,9 @@ pub mod prelude {
         plan_epochs, plan_epochs_timeline, plan_epochs_timeline_with, plan_epochs_with,
         repair_epoch, DownUp, DownUpRouting, EpochRepair, ReconfigEpoch, RepairSpans,
         RepairStrategy,
+    };
+    pub use irnet_flow::{
+        predict, predict_instance, FlowConfig, FlowCurve, FlowPoint, FlowPredictor,
     };
     pub use irnet_metrics::paper::PaperMetrics;
     pub use irnet_metrics::sweep;
