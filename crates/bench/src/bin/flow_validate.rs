@@ -22,6 +22,7 @@ use irnet_core::DownUp;
 use irnet_flow::{predict, FlowConfig, FlowPredictor};
 use irnet_metrics::{sweep, Algo};
 use irnet_sim::{SimConfig, Simulator};
+use irnet_telemetry::{Progress, ProgressMode, Telemetry};
 use irnet_topology::{gen, PreorderPolicy};
 use std::time::Instant;
 
@@ -34,6 +35,7 @@ options:
   --seed N       topology + simulation seed (default 7)
   --steps N      offered-load ladder steps (default 8)
   --huge N       also run an N-switch flow-only sweep point (no tables)
+  --progress [human|json]  per-size progress lines / JSONL heartbeats
 ";
 
 /// Pinned mean-error tolerances the CI `flow-smoke` job enforces (fraction
@@ -70,7 +72,13 @@ struct SizeResult {
     representative_sims: usize,
 }
 
-fn validate_size(switches: u32, seed: u64, steps: usize) -> SizeResult {
+/// Validates one fabric size. When `check_caches` is set (the `--quick` /
+/// `--enforce` paths), the predictor runs with a local telemetry registry
+/// attached and this function asserts the cache counters it exposes are
+/// live: representative sims ran, the warm re-query hit the per-signature
+/// rep-sim cache, and the route-convolution cache recorded both misses
+/// (first build) and hits (reuse).
+fn validate_size(switches: u32, seed: u64, steps: usize, check_caches: bool) -> SizeResult {
     let topo = gen::random_irregular(gen::IrregularParams::paper(switches, PORTS), seed)
         .expect("topology generation failed");
     let inst = Algo::DownUp { release: true }
@@ -111,9 +119,18 @@ fn validate_size(switches: u32, seed: u64, steps: usize) -> SizeResult {
 
     // Flow backend: build the predictor once, query the whole ladder.
     let cfg = FlowConfig::default();
+    let tel = Telemetry::enabled();
     let flow_start = Instant::now();
-    let mut pred =
-        FlowPredictor::build(&topo, &inst.tree, &inst.cg, &inst.table, &base, seed, &cfg);
+    let mut pred = FlowPredictor::build_instrumented(
+        &topo,
+        &inst.tree,
+        &inst.cg,
+        &inst.table,
+        &base,
+        seed,
+        &cfg,
+        &tel,
+    );
     let curve = pred.curve(&rates);
     let flow_seconds = flow_start.elapsed().as_secs_f64();
     let flow_sat = curve.max_throughput();
@@ -129,6 +146,38 @@ fn validate_size(switches: u32, seed: u64, steps: usize) -> SizeResult {
         let _ = pred.point(r);
     }
     let warm_point_seconds = warm_start.elapsed().as_secs_f64() / warm_rates.len() as f64;
+
+    if check_caches {
+        let snap = tel.snapshot();
+        let cnt = |name: &str| snap.counter(name).unwrap_or(0);
+        assert!(
+            cnt("flow/rep_sims") > 0,
+            "{switches}sw: no representative sims reached the registry"
+        );
+        assert!(
+            cnt("flow/rep_sim_cache_hits") > 0,
+            "{switches}sw: warm re-query never hit the per-signature rep-sim cache"
+        );
+        assert!(
+            cnt("flow/route_cache_misses") > 0,
+            "{switches}sw: route-convolution cache recorded no misses"
+        );
+        assert!(
+            cnt("flow/route_cache_hits") > 0,
+            "{switches}sw: route-convolution cache recorded no hits"
+        );
+        // The registry view and the predictor's own accessors are two
+        // reads of the same events; they must agree exactly.
+        assert_eq!(
+            cnt("flow/rep_sim_cache_hits"),
+            pred.rep_sim_cache_hits() as u64
+        );
+        assert_eq!(cnt("flow/route_cache_hits"), pred.route_cache_hits() as u64);
+        assert_eq!(
+            cnt("flow/route_cache_misses"),
+            pred.route_cache_misses() as u64
+        );
+    }
 
     let sat_err = (flow_sat - exact_sat).abs() / exact_sat.max(1e-12);
 
@@ -232,6 +281,15 @@ fn main() {
         &[32, 64, 128, 256, 512]
     };
     let sizes: Vec<u32> = cli.opt_list("sizes", default_sizes);
+    let progress = (cli.flag("progress") || cli.opt("progress").is_some()).then(|| {
+        let mode = cli.opt("progress").map_or(ProgressMode::Human, |raw| {
+            ProgressMode::parse(raw).unwrap_or_else(|| {
+                eprintln!("unknown progress mode {raw:?} (expected human or json)");
+                std::process::exit(2);
+            })
+        });
+        Progress::new("flow_validate", sizes.len(), mode).unit("sizes")
+    });
 
     println!("backend: flow vs flit  (seed {seed}, {steps}-step ladder, {PORTS} ports)");
     println!(
@@ -248,8 +306,11 @@ fn main() {
         "sims"
     );
     let mut results = Vec::new();
-    for &sw in &sizes {
-        let r = validate_size(sw, seed, steps);
+    for (i, &sw) in sizes.iter().enumerate() {
+        let r = validate_size(sw, seed, steps, enforce);
+        if let Some(p) = &progress {
+            p.tick(i + 1);
+        }
         println!(
             "{:>6} {:>10.4} {:>10.4} {:>7.1}% {:>7} {:>9.3} {:>9.3} {:>9.3} {:>6} {:>5}",
             r.switches,

@@ -115,7 +115,8 @@
 //! bridge, since the coordinated tree survives without it) under both the
 //! `full` rebuild and the `incremental` patching strategy, each the
 //! fastest of `reps` runs, broken down into the four repair-stage spans
-//! (see `irnet_core::RepairSpans`).
+//! (`repair/{classify,phases,patch,recertify}` in the telemetry span
+//! tree, which is where this harness reads them from).
 //!
 //! Schema v5 adds the top-level `backend` tag (always `"flit"` for this
 //! harness — `perf_compare` refuses to diff reports whose backends differ)
@@ -132,6 +133,7 @@ use irnet_bench::parse_args;
 use irnet_core::DownUp;
 use irnet_flow::{FlowConfig, FlowPredictor};
 use irnet_sim::{EngineCore, SimConfig, SimStats, Simulator};
+use irnet_telemetry::{Snapshot, Telemetry};
 use irnet_topology::gen;
 use serde::Serialize;
 use std::time::Instant;
@@ -266,7 +268,10 @@ fn measure_cycles(switches: u32) -> u32 {
 }
 
 /// Builds the fabric for `switches`, timing topology generation and
-/// DOWN/UP construction separately (fastest of `reps` attempts each).
+/// DOWN/UP construction separately (fastest of `reps` attempts each). The
+/// per-phase breakdown is read from the telemetry span tree each run
+/// records (a fresh registry per rep, so "fastest run" picks a coherent
+/// set of spans rather than a mix of reps).
 fn build_fabric(
     switches: u32,
     ports: u32,
@@ -284,22 +289,24 @@ fn build_fabric(
     }
     let topo = topo.expect("at least one rep");
     let mut construct_best = f64::INFINITY;
-    let mut best_spans = None;
+    let mut best_snap: Option<Snapshot> = None;
     let mut routing = None;
     for _ in 0..reps.max(1) {
+        let tel = Telemetry::enabled();
         let start = Instant::now();
-        let (r, spans) = DownUp::new()
-            .construct_timed(&topo)
+        let r = DownUp::new()
+            .construct_with(&topo, &tel)
             .expect("routing construction failed");
         let elapsed = start.elapsed().as_secs_f64();
         if elapsed < construct_best {
             construct_best = elapsed;
-            best_spans = Some(spans);
+            best_snap = Some(tel.snapshot());
         }
         routing = Some(r);
     }
     let routing = routing.expect("at least one rep");
-    let spans = best_spans.expect("at least one rep");
+    let snap = best_snap.expect("at least one rep");
+    let sec = |path: &str| snap.span_seconds(path).unwrap_or(0.0);
     let stats = ConstructionResult {
         switches,
         ports,
@@ -307,10 +314,10 @@ fn build_fabric(
         topology_seconds: topo_best,
         construct_seconds: construct_best,
         construct_micros_per_switch: construct_best * 1e6 / f64::from(switches),
-        phase1_seconds: spans.phase1_seconds,
-        phase2_seconds: spans.phase2_seconds,
-        phase3_seconds: spans.phase3_seconds,
-        tables_seconds: spans.tables_seconds,
+        phase1_seconds: sec("construction/phase1"),
+        phase2_seconds: sec("construction/phase2"),
+        phase3_seconds: sec("construction/phase3"),
+        tables_seconds: sec("construction/tables"),
     };
     (fixtures::Fabric { topo, routing }, stats)
 }
@@ -318,14 +325,17 @@ fn build_fabric(
 /// Times the repair of a single cross-link failure (the first non-tree
 /// link — never a bridge, because the coordinated tree spans the graph
 /// without it) under both repair strategies, fastest of `reps` runs each.
-/// Returns an empty vector on the degenerate all-tree fabric.
+/// Stage timings and touch counts are read back from the telemetry span
+/// tree / counters each repair records (one fresh registry per rep keeps
+/// the winning rep's numbers coherent). Returns an empty vector on the
+/// degenerate all-tree fabric.
 fn bench_repair(
     fabric: &fixtures::Fabric,
     switches: u32,
     ports: u32,
     reps: u32,
 ) -> Vec<RepairResult> {
-    use irnet_core::{plan_epochs_with, RepairSpans, RepairStrategy};
+    use irnet_core::{plan_epochs_instrumented, RepairStrategy};
     use irnet_topology::{FaultEvent, FaultKind, FaultPlan};
 
     let tree = fabric.routing.tree();
@@ -342,10 +352,11 @@ fn bench_repair(
     let plan = FaultPlan::scripted([FaultEvent::down(1_000, FaultKind::Link { a, b })]);
     let mut out = Vec::new();
     for strategy in [RepairStrategy::Full, RepairStrategy::Incremental] {
-        let mut best: Option<RepairSpans> = None;
+        let mut best: Option<Snapshot> = None;
         let mut best_total = f64::INFINITY;
         for _ in 0..reps.max(1) {
-            let epochs = plan_epochs_with(
+            let tel = Telemetry::enabled();
+            let epochs = plan_epochs_instrumented(
                 &fabric.topo,
                 fabric.routing.comm_graph(),
                 fabric.routing.turn_table(),
@@ -353,40 +364,47 @@ fn bench_repair(
                 &plan,
                 DownUp::new(),
                 strategy,
+                &tel,
             )
             .expect("cross-link repair failed");
-            let spans = epochs.into_iter().next().expect("one repair epoch").spans;
-            let total = spans.total_seconds();
+            assert_eq!(epochs.len(), 1, "one fault event yields one repair epoch");
+            let snap = tel.snapshot();
+            let total = snap
+                .span_seconds("repair")
+                .expect("repair records its span");
             if total < best_total {
                 best_total = total;
-                best = Some(spans);
+                best = Some(snap);
             }
         }
-        let s = best.expect("at least one rep");
+        let snap = best.expect("at least one rep");
+        let sec = |path: &str| snap.span_seconds(path).unwrap_or(0.0);
+        let cnt = |name: &str| snap.counter(name).unwrap_or(0);
         eprintln!(
             "  repair {:>12}: {:>9.4}s  (classify {:.4} + phases {:.4} + \
              patch {:.4} + recertify {:.4}), {} switch(es) / {} row(s)",
             strategy.name(),
-            s.total_seconds(),
-            s.classify_seconds,
-            s.phases_seconds,
-            s.patch_seconds,
-            s.recertify_seconds,
-            s.touched_switches,
-            s.touched_rows,
+            best_total,
+            sec("repair/classify"),
+            sec("repair/phases"),
+            sec("repair/patch"),
+            sec("repair/recertify"),
+            cnt("repair/touched_switches"),
+            cnt("repair/touched_rows"),
         );
         out.push(RepairResult {
             switches,
             ports,
             strategy: strategy.name().to_string(),
-            classify_seconds: s.classify_seconds,
-            phases_seconds: s.phases_seconds,
-            patch_seconds: s.patch_seconds,
-            recertify_seconds: s.recertify_seconds,
-            total_seconds: s.total_seconds(),
-            touched_switches: s.touched_switches,
-            touched_rows: s.touched_rows,
-            patched_in_place: s.patched_in_place,
+            classify_seconds: sec("repair/classify"),
+            phases_seconds: sec("repair/phases"),
+            patch_seconds: sec("repair/patch"),
+            recertify_seconds: sec("repair/recertify"),
+            total_seconds: best_total,
+            touched_switches: u32::try_from(cnt("repair/touched_switches"))
+                .expect("touched switches fit u32"),
+            touched_rows: cnt("repair/touched_rows"),
+            patched_in_place: cnt("repair/patched_in_place") > 0,
         });
     }
     out

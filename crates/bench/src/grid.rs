@@ -16,8 +16,9 @@ use irnet_metrics::paper::PaperMetrics;
 use irnet_metrics::sweep::{self, SweepCurve, SweepPoint};
 use irnet_metrics::{Algo, Instance};
 use irnet_sim::SimConfig;
+use irnet_telemetry::{Progress, ProgressMode, Telemetry};
 use irnet_topology::{gen, PreorderPolicy, Topology};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -54,6 +55,13 @@ pub struct ExperimentConfig {
     /// Emit completed/total/elapsed/ETA progress lines to stderr
     /// (`--progress`).
     pub progress: bool,
+    /// Progress format: the established human lines or JSONL heartbeats
+    /// (`--progress human|json`).
+    pub progress_mode: ProgressMode,
+    /// Telemetry sink: the grid records its construction-cache counters,
+    /// point count, and wall-clock span here. Disabled by default (one
+    /// branch per record on the disabled path).
+    pub telemetry: Telemetry,
 }
 
 /// The default grid worker count: one per available core, so `--full`
@@ -84,6 +92,8 @@ impl ExperimentConfig {
             threads: default_threads(),
             chunk: 0,
             progress: false,
+            progress_mode: ProgressMode::Human,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -103,6 +113,8 @@ impl ExperimentConfig {
             threads: default_threads(),
             chunk: 0,
             progress: false,
+            progress_mode: ProgressMode::Human,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -110,8 +122,9 @@ impl ExperimentConfig {
     /// preset (default is `--quick`), and individual values can be
     /// overridden with `--switches`, `--ports 4,8`, `--samples`,
     /// `--rates 0.01,0.05`, `--packet-len`, `--warmup`, `--measure`,
-    /// `--threads` (default: all cores), `--chunk`, `--seed`; `--progress`
-    /// streams completion/ETA lines to stderr.
+    /// `--threads` (default: all cores), `--chunk`, `--seed`;
+    /// `--progress [human|json]` streams completion/ETA lines (or JSONL
+    /// heartbeats) to stderr.
     pub fn from_cli(cli: &Cli) -> ExperimentConfig {
         let mut cfg = if cli.flag("full") {
             ExperimentConfig::full()
@@ -130,7 +143,13 @@ impl ExperimentConfig {
         cfg.topo_seed = cli.opt_parse("seed", cfg.topo_seed);
         cfg.threads = cli.opt_parse("threads", cfg.threads).max(1);
         cfg.chunk = cli.opt_parse("chunk", cfg.chunk);
-        cfg.progress = cfg.progress || cli.flag("progress");
+        cfg.progress = cfg.progress || cli.flag("progress") || cli.opt("progress").is_some();
+        if let Some(raw) = cli.opt("progress") {
+            cfg.progress_mode = ProgressMode::parse(raw).unwrap_or_else(|| {
+                eprintln!("unknown progress mode {raw:?} (expected human or json)");
+                std::process::exit(2);
+            });
+        }
         if let Some(raw) = cli.opt("policies") {
             cfg.policies = raw
                 .split(',')
@@ -327,7 +346,12 @@ impl<'a> ConstructionCache<'a> {
             self.inst_builds.fetch_add(1, Ordering::Relaxed);
             Arc::new(
                 key.algo
-                    .construct(&topo, key.policy, self.cfg.topo_seed + sample as u64)
+                    .construct_with(
+                        &topo,
+                        key.policy,
+                        self.cfg.topo_seed + sample as u64,
+                        &self.cfg.telemetry,
+                    )
                     .expect("routing construction failed"),
             )
         }))
@@ -342,36 +366,6 @@ fn curve_seed(cfg: &ExperimentConfig, cell: usize, sample: u32) -> u64 {
         .wrapping_add(sample as u64)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(cell as u64)
-}
-
-/// Throttled progress line: completed/total, elapsed, ETA. At most one line
-/// per half second (races between shards resolve via compare-exchange so
-/// only one prints), plus a final line when the last point lands.
-fn print_progress(done: usize, total: usize, start: Instant, last_print_ms: &AtomicU64) {
-    let elapsed = start.elapsed();
-    let now_ms = elapsed.as_millis() as u64;
-    let prev = last_print_ms.load(Ordering::Relaxed);
-    if done < total && now_ms.saturating_sub(prev) < 500 {
-        return;
-    }
-    if last_print_ms
-        .compare_exchange(prev, now_ms, Ordering::Relaxed, Ordering::Relaxed)
-        .is_err()
-    {
-        return;
-    }
-    let secs = elapsed.as_secs_f64();
-    let eta = if done == 0 {
-        f64::INFINITY
-    } else {
-        secs / done as f64 * (total - done) as f64
-    };
-    // The backend tag keeps grid progress/output distinguishable from
-    // flow-backend sweeps (the grid always runs the exact flit engine).
-    eprintln!(
-        "grid[flit]: {done}/{total} points ({:.1} %), elapsed {secs:.1}s, eta {eta:.1}s",
-        100.0 * done as f64 / total as f64
-    );
 }
 
 /// Runs the whole grid, distributing `(cell × sample × load point)` tasks
@@ -425,7 +419,15 @@ pub fn run_grid_with_stats(cfg: &ExperimentConfig) -> Result<(GridResults, GridS
     let merged: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::with_capacity(total));
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let last_print_ms = AtomicU64::new(0);
+    // The backend tag keeps grid progress/output distinguishable from
+    // flow-backend sweeps (the grid always runs the exact flit engine).
+    // Throttled to one line per half second; races between shards resolve
+    // inside the emitter so only one prints per window.
+    let progress = cfg.progress.then(|| {
+        Progress::new("grid[flit]", total, cfg.progress_mode)
+            .percent(true)
+            .throttle_ms(500)
+    });
     let start = Instant::now();
 
     // One shard: steal a chunk of task indices, run each load point into a
@@ -445,12 +447,18 @@ pub fn run_grid_with_stats(cfg: &ExperimentConfig) -> Result<(GridResults, GridS
                 let cell = rest / samples;
                 let inst = cache.instance(cell, sample);
                 let seed = sweep::point_seed(curve_seed(cfg, cell, sample), rate_idx);
-                let point = sweep::run_point(&inst, &cfg.sim, cfg.rates[rate_idx], seed);
+                let point = sweep::run_point_with(
+                    &inst,
+                    &cfg.sim,
+                    cfg.rates[rate_idx],
+                    seed,
+                    &cfg.telemetry,
+                );
                 local.push((t, point));
             }
             let finished = done.fetch_add(end - begin, Ordering::Relaxed) + (end - begin);
-            if cfg.progress {
-                print_progress(finished, total, start, &last_print_ms);
+            if let Some(p) = &progress {
+                p.tick(finished);
             }
         }
         merged.lock().unwrap().append(&mut local);
@@ -504,7 +512,24 @@ pub fn run_grid_with_stats(cfg: &ExperimentConfig) -> Result<(GridResults, GridS
         instances_built: cache.inst_builds.load(Ordering::Relaxed),
         wall_seconds: start.elapsed().as_secs_f64(),
     };
+    record_grid_telemetry(&cfg.telemetry, &stats);
     Ok((GridResults { cells }, stats))
+}
+
+/// Records one grid run into the telemetry registry: the same counters
+/// [`GridStats`] carries (points run, construction-cache builds) plus the
+/// whole-grid wall-clock span. Recorded once per run, after the shards have
+/// joined, so the hot loop never touches the registry.
+fn record_grid_telemetry(tel: &Telemetry, stats: &GridStats) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.record_span("grid/run", stats.wall_seconds);
+    tel.counter("grid/points_run").add(stats.points_run as u64);
+    tel.counter("grid/topologies_built")
+        .add(stats.topologies_built as u64);
+    tel.counter("grid/instances_built")
+        .add(stats.instances_built as u64);
 }
 
 /// Averages one cell's sample curves point-wise and at saturation.
@@ -575,6 +600,8 @@ mod tests {
             threads: 1,
             chunk: 0,
             progress: false,
+            progress_mode: ProgressMode::Human,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -623,12 +650,18 @@ mod tests {
         let mut cfg = tiny();
         cfg.threads = 4;
         cfg.chunk = 1;
+        cfg.telemetry = Telemetry::enabled();
         let (results, stats) = run_grid_with_stats(&cfg).unwrap();
         assert_eq!(results.cells.len(), 2);
         assert_eq!(stats.points_run, 2 * 2 * 2); // cells × samples × rates
         assert_eq!(stats.topologies_built, 2); // 1 port count × 2 samples
         assert_eq!(stats.instances_built, 4); // 2 cells × 2 samples
-                                              // Duplicate port entries must not double-build topologies.
+        let snap = cfg.telemetry.snapshot();
+        assert_eq!(snap.counter("grid/points_run"), Some(8));
+        assert_eq!(snap.counter("grid/topologies_built"), Some(2));
+        assert_eq!(snap.counter("grid/instances_built"), Some(4));
+        assert_eq!(snap.span("grid/run").map_or(0, |s| s.count), 1);
+        // Duplicate port entries must not double-build topologies.
         let mut dup = tiny();
         dup.ports = vec![4, 4];
         dup.threads = 3;

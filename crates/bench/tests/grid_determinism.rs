@@ -30,6 +30,8 @@ fn tiny() -> ExperimentConfig {
         threads: 1,
         chunk: 0,
         progress: false,
+        progress_mode: irnet_telemetry::ProgressMode::Human,
+        telemetry: irnet_telemetry::Telemetry::disabled(),
     }
 }
 
@@ -68,6 +70,34 @@ fn assert_bit_exact(a: &GridResults, b: &GridResults, context: &str) {
             assert_eq!(pa.deadlocked_samples, pb.deadlocked_samples, "{context}");
         }
     }
+}
+
+/// A live telemetry registry must not perturb the grid: the multi-threaded
+/// instrumented run is bit-exact against the plain single-threaded
+/// baseline, and the registry's aggregate counters match the run stats.
+#[test]
+fn grid_with_telemetry_attached_is_bit_exact() {
+    let mut cfg = tiny();
+    cfg.threads = 4;
+    cfg.chunk = 2;
+    cfg.telemetry = irnet_telemetry::Telemetry::enabled();
+    let (results, stats) = run_grid_with_stats(&cfg).unwrap();
+    assert_bit_exact(baseline(), &results, "telemetry attached");
+    let snap = cfg.telemetry.snapshot();
+    assert_eq!(
+        snap.counter("grid/points_run"),
+        Some(stats.points_run as u64)
+    );
+    assert_eq!(
+        snap.counter("grid/topologies_built"),
+        Some(stats.topologies_built as u64)
+    );
+    assert_eq!(
+        snap.counter("grid/instances_built"),
+        Some(stats.instances_built as u64)
+    );
+    // Every load point recorded its simulation post-run.
+    assert_eq!(snap.counter("sim/runs"), Some(stats.points_run as u64));
 }
 
 proptest! {

@@ -38,6 +38,7 @@ mod exit;
 use irnet_metrics::paper::PaperMetrics;
 use irnet_metrics::{sweep, Algo, Instance};
 use irnet_sim::{SimConfig, Simulator};
+use irnet_telemetry::{Progress, ProgressMode, Snapshot, Telemetry};
 use irnet_topology::{
     gen, topology_from_json, topology_to_json, CommGraph, CoordinatedTree, PreorderPolicy, Topology,
 };
@@ -47,7 +48,7 @@ use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 
 const USAGE: &str = "irnet <gen|analyze|verify|lint|routes|simulate|sweep|export|render|replay|\
-faults|trace|soak|top> [options]
+faults|trace|soak|top|stats> [options]
 
 common options:
   --topology FILE     read a topology JSON (otherwise --switches/--ports/--seed generate one)
@@ -56,6 +57,13 @@ common options:
   --seed N            generation seed (default 1)
   --algo NAME         downup | downup-norelease | lturn | updown-bfs | updown-dfs (default downup)
   --policy M1|M2|M3   coordinated-tree preorder policy (default M1)
+  --telemetry FILE    attach the telemetry registry (counters, gauges,
+                      histograms, span tree) and write its JSON snapshot to
+                      FILE when the command finishes; all outputs stay
+                      bit-identical with or without it
+  --progress [MODE]   progress lines on stderr where the command supports
+                      them; MODE is human (default) or json (one JSONL
+                      heartbeat per tick: done/total/elapsed/ETA)
 
 gen options:
   --out FILE          write the topology JSON to FILE (default stdout)
@@ -91,7 +99,7 @@ sweep options (in addition to the simulate options):
                       predictor: analytic decomposition + clustered
                       representative sims); the CSV header line reports
                       which backend produced the curve
-  --progress          per-point progress (done/total, elapsed, ETA) on stderr
+  --progress [MODE]   per-point progress (done/total, elapsed, ETA) on stderr
 
 export options:
   --out FILE          write the forwarding tables (irnet-fwd v1) to FILE
@@ -149,7 +157,14 @@ soak options (in addition to the simulate options; DOWN/UP only):
   --hold N            flap-damping base hold-down in cycles (default 300)
   --repair STRAT      repair strategy per epoch (default incremental)
   --out FILE          write the JSON soak report to FILE (default stdout);
-                      the report is byte-stable for a fixed seed set";
+                      the report is byte-stable for a fixed seed set
+
+stats options:
+  --snapshot FILE     telemetry snapshot to render (required; written by
+                      a previous run's --telemetry FILE)
+  --diff FILE2        render only what changed from --snapshot to FILE2
+  --prometheus        emit the Prometheus text exposition instead of the
+                      human rendering";
 
 fn fail(msg: &str) -> ! {
     eprintln!("irnet: {msg}\n\n{USAGE}");
@@ -157,7 +172,7 @@ fn fail(msg: &str) -> ! {
 }
 
 /// Options that are flags: present/absent, no value.
-const BOOL_FLAGS: &[&str] = &["quick", "full", "json", "progress", "no-repair", "grid"];
+const BOOL_FLAGS: &[&str] = &["quick", "full", "json", "no-repair", "grid", "prometheus"];
 
 struct Opts {
     kv: BTreeMap<String, String>,
@@ -192,7 +207,17 @@ fn parse_opts(args: &[String]) -> Opts {
         let Some(name) = a.strip_prefix("--") else {
             fail(&format!("unexpected argument {a:?}"))
         };
-        if BOOL_FLAGS.contains(&name) {
+        if name == "progress" {
+            // `--progress` takes an optional mode: a following bare
+            // `human`/`json` is consumed, anything else leaves the default.
+            if i + 1 < args.len() && matches!(args[i + 1].as_str(), "human" | "json") {
+                kv.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                kv.insert(name.to_string(), "human".to_string());
+                i += 1;
+            }
+        } else if BOOL_FLAGS.contains(&name) {
             kv.insert(name.to_string(), "true".to_string());
             i += 1;
         } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
@@ -239,11 +264,21 @@ fn parse_policy(o: &Opts) -> PreorderPolicy {
     }
 }
 
+/// The progress mode selected by `--progress [human|json]` (Human when the
+/// flag is bare; `parse_opts` rejects other values by construction).
+fn progress_mode(o: &Opts) -> ProgressMode {
+    o.get("progress")
+        .and_then(ProgressMode::parse)
+        .unwrap_or_default()
+}
+
 fn build_instance(o: &Opts, topo: &Topology) -> Result<Instance, String> {
     let algo = parse_algo(o);
     let policy = parse_policy(o);
     let seed = o.parse("seed", 1u64);
-    algo.construct(topo, policy, seed)
+    // The process-global telemetry registry is enabled only under
+    // `--telemetry`; otherwise this is the disabled handle (one branch).
+    algo.construct_with(topo, policy, seed, &irnet_telemetry::global())
         .map_err(|e| format!("construction failed: {e}"))
 }
 
@@ -521,7 +556,8 @@ fn cmd_simulate(o: &Opts) -> Result<(), String> {
     let topo = load_topology(o)?;
     let inst = build_instance(o, &topo)?;
     let cfg = sim_config(o);
-    let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64)).run();
+    let stats = Simulator::new(&inst.cg, &inst.tables, cfg, o.parse("sim-seed", 7u64))
+        .run_with_telemetry(&irnet_telemetry::global());
     let m = PaperMetrics::compute(&stats, &inst.cg, &inst.tree);
     println!(
         "offered load     : {:.4} flits/clock/node",
@@ -842,13 +878,16 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
         None => sweep::default_rates(8),
     };
     let seed: u64 = o.parse("sim-seed", 7u64);
-    let progress = o.flag("progress");
     let backend = o.get("backend").unwrap_or("flit");
     if !matches!(backend, "flit" | "flow") {
         fail(&format!(
             "unknown backend {backend:?} (expected flit or flow)"
         ));
     }
+    let tel = irnet_telemetry::global();
+    let progress = o
+        .flag("progress")
+        .then(|| Progress::new(&format!("sweep[{backend}]"), rates.len(), progress_mode(o)));
     // The leading header line carries the backend so flow and flit CSVs
     // are never silently interchangeable.
     println!("# backend={backend}");
@@ -856,21 +895,14 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
         "flit" => {
             // Run point by point (seeded exactly as `sweep::sweep` would)
             // so `--progress` can report between operating points.
-            let start = std::time::Instant::now();
             let points: Vec<_> = rates
                 .iter()
                 .enumerate()
                 .map(|(i, &rate)| {
-                    let p = sweep::run_point(&inst, &base, rate, sweep::point_seed(seed, i));
-                    if progress {
-                        let done = i + 1;
-                        let elapsed = start.elapsed().as_secs_f64();
-                        let eta = elapsed / done as f64 * (rates.len() - done) as f64;
-                        eprintln!(
-                            "sweep[{backend}]: {done}/{} points, elapsed {elapsed:.1}s, \
-                             eta {eta:.1}s",
-                            rates.len()
-                        );
+                    let p =
+                        sweep::run_point_with(&inst, &base, rate, sweep::point_seed(seed, i), &tel);
+                    if let Some(prog) = &progress {
+                        prog.tick(i + 1);
                     }
                     p
                 })
@@ -905,7 +937,7 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
         "flow" => {
             let cfg = irnet_flow::FlowConfig::default();
             let start = std::time::Instant::now();
-            let mut pred = irnet_flow::FlowPredictor::build(
+            let mut pred = irnet_flow::FlowPredictor::build_instrumented(
                 &topo,
                 &inst.tree,
                 &inst.cg,
@@ -913,28 +945,22 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
                 &base,
                 seed,
                 &cfg,
+                &tel,
             );
-            if progress {
-                eprintln!(
+            if let Some(prog) = &progress {
+                prog.message(&format!(
                     "sweep[{backend}]: predictor built (decompose + saturation probe), \
                      elapsed {:.1}s",
                     start.elapsed().as_secs_f64()
-                );
+                ));
             }
             let points: Vec<_> = rates
                 .iter()
                 .enumerate()
                 .map(|(i, &rate)| {
                     let p = pred.point(rate);
-                    if progress {
-                        let done = i + 1;
-                        let elapsed = start.elapsed().as_secs_f64();
-                        let eta = elapsed / done as f64 * (rates.len() - done) as f64;
-                        eprintln!(
-                            "sweep[{backend}]: {done}/{} points, elapsed {elapsed:.1}s, \
-                             eta {eta:.1}s",
-                            rates.len()
-                        );
+                    if let Some(prog) = &progress {
+                        prog.tick(i + 1);
                     }
                     p
                 })
@@ -1065,7 +1091,7 @@ fn cmd_replay(o: &Opts) -> Result<(), String> {
 /// through the same feasibility gate, repair, and certification as fault
 /// transitions, with `--hold` flap damping between the two.
 fn cmd_faults(o: &Opts) -> Result<(), String> {
-    use irnet_core::{plan_epochs_timeline_with, DownUp, RepairStrategy};
+    use irnet_core::{plan_epochs_timeline_instrumented, DownUp, RepairStrategy};
     use irnet_sim::FaultEpoch;
     use irnet_topology::{DampingPolicy, FaultKind, FaultPlan, RecoveryTimeline};
     use irnet_verify::certify_transition;
@@ -1157,7 +1183,11 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
         }
     }
     let cg = routing.comm_graph();
-    let epochs = plan_epochs_timeline_with(
+    let tel = irnet_telemetry::global();
+    let repair_progress = o
+        .flag("progress")
+        .then(|| Progress::new("faults", timeline.steps.len(), progress_mode(o)).unit("epochs"));
+    let epochs = plan_epochs_timeline_instrumented(
         &topo,
         cg,
         routing.turn_table(),
@@ -1165,6 +1195,8 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
         &timeline,
         builder,
         strategy,
+        &tel,
+        repair_progress.as_ref(),
     )
     .map_err(|e| format!("fault repair failed: {e}"))?;
     let nch = cg.num_channels() as usize;
@@ -1189,9 +1221,12 @@ fn cmd_faults(o: &Opts) -> Result<(), String> {
             tables: &e.epoch.tables,
         });
     }
+    let sim_start = std::time::Instant::now();
     let stalled = sim.run_in_place();
+    let sim_wall = sim_start.elapsed().as_secs_f64();
     let incident = stalled.then(|| irnet_obs::deadlock_incident(&sim));
     let stats = sim.finish_with(stalled);
+    irnet_sim::record_run_telemetry(&tel, &stats, sim_wall);
     let all_certified = certs
         .iter()
         .all(irnet_verify::EpochCertificates::is_deadlock_free);
@@ -1990,6 +2025,29 @@ fn cmd_top(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders a telemetry snapshot written by `--telemetry`, optionally as a
+/// diff against a second (newer) snapshot or as Prometheus text exposition.
+fn cmd_stats(o: &Opts) -> Result<(), String> {
+    let path = o
+        .get("snapshot")
+        .ok_or("stats requires --snapshot FILE (a file written by --telemetry)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snap = Snapshot::from_json(&text)
+        .map_err(|e| format!("{path} is not a telemetry snapshot: {e}"))?;
+    if let Some(path2) = o.get("diff") {
+        let text2 =
+            std::fs::read_to_string(path2).map_err(|e| format!("cannot read {path2}: {e}"))?;
+        let newer = Snapshot::from_json(&text2)
+            .map_err(|e| format!("{path2} is not a telemetry snapshot: {e}"))?;
+        print!("{}", snap.diff(&newer));
+    } else if o.flag("prometheus") {
+        print!("{}", snap.to_prometheus());
+    } else {
+        print!("{}", snap.render());
+    }
+    Ok(())
+}
+
 /// `Value::Seq` of numeric ids.
 fn ids<T: Copy + Into<u64>>(xs: &[T]) -> Value {
     Value::Seq(xs.iter().map(|&x| Value::U64(x.into())).collect())
@@ -2016,6 +2074,13 @@ fn main() {
         fail("missing subcommand")
     };
     let opts = parse_opts(rest);
+    // Install the global registry before dispatch so every subsystem the
+    // command touches records into the same snapshot. Without --telemetry the
+    // global stays disabled and hot paths pay a single branch.
+    let tel_path = opts.get("telemetry").map(str::to_string);
+    if tel_path.is_some() {
+        irnet_telemetry::install(Telemetry::enabled());
+    }
     let result = match cmd.as_str() {
         "gen" => cmd_gen(&opts),
         "analyze" => cmd_analyze(&opts),
@@ -2031,12 +2096,22 @@ fn main() {
         "soak" => cmd_soak(&opts),
         "trace" => cmd_trace(&opts),
         "top" => cmd_top(&opts),
+        "stats" => cmd_stats(&opts),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
         other => fail(&format!("unknown subcommand {other:?}")),
     };
+    // Written even when the command errs: a partial snapshot of a failed run
+    // is still diagnostic. Paths that exit the process early (usage errors,
+    // verify/lint findings) skip it by design.
+    if let Some(path) = &tel_path {
+        let json = irnet_telemetry::global().snapshot().to_json();
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("irnet: cannot write telemetry snapshot {path}: {e}");
+        }
+    }
     if let Err(msg) = result {
         eprintln!("irnet: {msg}");
         exit::finding()

@@ -544,3 +544,166 @@ fn usage_errors_exit_2_with_usage() {
     assert!(stderr.contains("invalid --rate"), "{stderr}");
     assert!(stderr.contains("common options"), "{stderr}");
 }
+
+#[test]
+fn sweep_with_telemetry_is_bit_identical_and_writes_a_snapshot() {
+    let snap_path = tmpfile("sweep-tel.json");
+    let base = [
+        "sweep",
+        "--switches",
+        "12",
+        "--rates",
+        "0.02,0.2",
+        "--packet-len",
+        "8",
+        "--warmup",
+        "200",
+        "--measure",
+        "800",
+    ];
+    let plain = irnet(&base);
+    assert!(
+        plain.status.success(),
+        "{}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+    let mut with_tel: Vec<&str> = base.to_vec();
+    with_tel.extend(["--telemetry", snap_path.to_str().unwrap()]);
+    let observed = irnet(&with_tel);
+    assert!(
+        observed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&observed.stderr)
+    );
+    // The deterministic contract of --telemetry: primary outputs stay
+    // byte-identical.
+    assert_eq!(plain.stdout, observed.stdout);
+    let json = std::fs::read_to_string(&snap_path).unwrap();
+    let snap = irnet_telemetry::Snapshot::from_json(&json).expect("valid snapshot");
+    assert_eq!(snap.counter("sim/runs"), Some(2), "one sim per load point");
+    assert!(snap.span("construction").is_some());
+    assert!(snap.span("sim/run").is_some());
+    std::fs::remove_file(snap_path).ok();
+}
+
+#[test]
+fn stats_renders_diffs_and_exposes_prometheus() {
+    let snap_path = tmpfile("stats-tel.json");
+    let r = irnet(&[
+        "simulate",
+        "--switches",
+        "12",
+        "--rate",
+        "0.05",
+        "--warmup",
+        "200",
+        "--measure",
+        "800",
+        "--telemetry",
+        snap_path.to_str().unwrap(),
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let path = snap_path.to_str().unwrap();
+
+    let render = irnet(&["stats", "--snapshot", path]);
+    assert!(render.status.success());
+    let text = String::from_utf8_lossy(&render.stdout);
+    assert!(
+        text.contains("telemetry snapshot (irnet-telemetry-v1)"),
+        "{text}"
+    );
+    assert!(text.contains("sim/cycles"), "{text}");
+
+    let prom = irnet(&["stats", "--snapshot", path, "--prometheus"]);
+    assert!(prom.status.success());
+    let text = String::from_utf8_lossy(&prom.stdout);
+    assert!(text.contains("# TYPE irnet_sim_cycles counter"), "{text}");
+    assert!(
+        text.contains("irnet_span_seconds_total{path=\"construction\"}"),
+        "{text}"
+    );
+
+    let diff = irnet(&["stats", "--snapshot", path, "--diff", path]);
+    assert!(diff.status.success());
+    assert_eq!(String::from_utf8_lossy(&diff.stdout), "no differences\n");
+
+    let missing = irnet(&["stats", "--snapshot", "/nonexistent/snap.json"]);
+    assert_eq!(missing.status.code(), Some(1));
+    std::fs::remove_file(snap_path).ok();
+}
+
+#[test]
+fn sweep_progress_json_emits_monotone_heartbeats() {
+    let r = irnet(&[
+        "sweep",
+        "--switches",
+        "12",
+        "--rates",
+        "0.02,0.1,0.2",
+        "--packet-len",
+        "8",
+        "--warmup",
+        "200",
+        "--measure",
+        "800",
+        "--progress",
+        "json",
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    let mut last_done = 0u64;
+    let mut total = 0u64;
+    let mut beats = 0;
+    for line in stderr.lines().filter(|l| l.starts_with('{')) {
+        let v: serde::Value = serde_json::from_str(line).expect("heartbeat line is JSON");
+        let map = v.as_map().expect("heartbeat is an object");
+        let field = |k: &str| map.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let kind = match field("kind") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            other => panic!("missing kind: {other:?}"),
+        };
+        if kind != "progress" {
+            continue;
+        }
+        let num = |k: &str| match field(k) {
+            Some(serde::Value::U64(n)) => *n,
+            Some(serde::Value::I64(n)) => u64::try_from(*n).unwrap(),
+            other => panic!("missing {k}: {other:?}"),
+        };
+        let done = num("done");
+        total = num("total");
+        assert!(done >= last_done, "done must be monotone: {stderr}");
+        assert!(done <= total);
+        last_done = done;
+        beats += 1;
+    }
+    assert!(beats >= 1, "no heartbeats on stderr: {stderr}");
+    assert_eq!(last_done, 3, "final heartbeat must report completion");
+    assert_eq!(total, 3);
+}
+
+#[test]
+fn sweep_human_progress_lines_are_unchanged() {
+    let r = irnet(&[
+        "sweep",
+        "--switches",
+        "12",
+        "--rates",
+        "0.02,0.1",
+        "--packet-len",
+        "8",
+        "--warmup",
+        "200",
+        "--measure",
+        "800",
+        "--progress",
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    let final_line = stderr
+        .lines()
+        .find(|l| l.starts_with("sweep[flit]: 2/2 points"))
+        .unwrap_or_else(|| panic!("missing final human progress line: {stderr}"));
+    assert!(final_line.contains("elapsed"), "{final_line}");
+    assert!(final_line.contains("eta"), "{final_line}");
+}

@@ -1,5 +1,6 @@
 use crate::phase2;
 use crate::phase3::{self, ReleasedTurn};
+use irnet_telemetry::Telemetry;
 use irnet_topology::{
     CommGraph, CoordinatedTree, PreorderPolicy, RootPolicy, Topology, TopologyError,
 };
@@ -132,6 +133,30 @@ impl DownUp {
         self,
         topo: &Topology,
     ) -> Result<(DownUpRouting, PhaseSpans), ConstructError> {
+        self.construct_instrumented(topo, &Telemetry::disabled())
+    }
+
+    /// [`DownUp::construct`] with telemetry attached: the same run also
+    /// lands in `tel`'s span tree as `construction` and its
+    /// `phase1`/`phase2`/`phase3`/`tables` children.
+    pub fn construct_with(
+        self,
+        topo: &Topology,
+        tel: &Telemetry,
+    ) -> Result<DownUpRouting, ConstructError> {
+        self.construct_instrumented(topo, tel).map(|(r, _)| r)
+    }
+
+    /// The fully instrumented constructor behind [`DownUp::construct`],
+    /// [`DownUp::construct_timed`], and [`DownUp::construct_with`]. Each
+    /// phase is measured exactly once; the measurement feeds both the
+    /// legacy [`PhaseSpans`] view and `tel`'s span tree (one
+    /// measurement, two views — they can never disagree).
+    pub fn construct_instrumented(
+        self,
+        topo: &Topology,
+        tel: &Telemetry,
+    ) -> Result<(DownUpRouting, PhaseSpans), ConstructError> {
         // Phase 1: coordinated tree + communication graph.
         let start = std::time::Instant::now();
         let root = self.root.pick(topo);
@@ -154,6 +179,17 @@ impl DownUp {
         let start = std::time::Instant::now();
         let tables = RoutingTables::build(&cg, &table)?;
         let tables_seconds = start.elapsed().as_secs_f64();
+        let spans = PhaseSpans {
+            phase1_seconds,
+            phase2_seconds,
+            phase3_seconds,
+            tables_seconds,
+        };
+        tel.record_span("construction", spans.total_seconds());
+        tel.record_span("construction/phase1", phase1_seconds);
+        tel.record_span("construction/phase2", phase2_seconds);
+        tel.record_span("construction/phase3", phase3_seconds);
+        tel.record_span("construction/tables", tables_seconds);
         Ok((
             DownUpRouting {
                 tree,
@@ -162,12 +198,7 @@ impl DownUp {
                 tables,
                 released,
             },
-            PhaseSpans {
-                phase1_seconds,
-                phase2_seconds,
-                phase3_seconds,
-                tables_seconds,
-            },
+            spans,
         ))
     }
 }

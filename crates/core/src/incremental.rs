@@ -47,6 +47,7 @@
 use crate::builder::{ConstructError, DownUp};
 use crate::repair::{lift_repair, ReconfigEpoch, RepairError};
 use irnet_analyze::{analyze_and_degrade_masks, AnalyzedDegrade};
+use irnet_telemetry::{Progress, Telemetry};
 use irnet_topology::{
     ChannelId, CommGraph, CoordinatedTree, DampingPolicy, DegradedTopology, FaultPlan, LinkId,
     NodeId, RecoveryTimeline, Topology,
@@ -192,6 +193,35 @@ pub fn plan_epochs_with(
     )
 }
 
+/// [`plan_epochs_with`] with telemetry attached (see
+/// [`plan_epochs_timeline_instrumented`]) — the span-tree path `perf.rs`
+/// reads repair timings from.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_epochs_instrumented(
+    topo: &Topology,
+    cg: &CommGraph,
+    base_table: &TurnTable,
+    base_tables: &RoutingTables,
+    plan: &FaultPlan,
+    builder: DownUp,
+    strategy: RepairStrategy,
+    tel: &Telemetry,
+) -> Result<Vec<EpochRepair>, RepairError> {
+    let timeline =
+        RecoveryTimeline::compute(topo, plan, DampingPolicy::none()).map_err(RepairError::Fault)?;
+    plan_epochs_timeline_instrumented(
+        topo,
+        cg,
+        base_table,
+        base_tables,
+        &timeline,
+        builder,
+        strategy,
+        tel,
+        None,
+    )
+}
+
 /// Repairs the routing for every step of an already-expanded (and possibly
 /// flap-damped) transition timeline under `strategy`. This is the
 /// bidirectional workhorse behind [`plan_epochs_with`] and `irnet soak`:
@@ -200,7 +230,6 @@ pub fn plan_epochs_with(
 /// re-admitted link lowers distances network-wide, so the delta is dense
 /// and the patch bookkeeping cannot win — and still get the O(delta)
 /// union re-certification.
-#[allow(clippy::too_many_lines)]
 pub fn plan_epochs_timeline_with(
     topo: &Topology,
     cg: &CommGraph,
@@ -209,6 +238,37 @@ pub fn plan_epochs_timeline_with(
     timeline: &RecoveryTimeline,
     builder: DownUp,
     strategy: RepairStrategy,
+) -> Result<Vec<EpochRepair>, RepairError> {
+    plan_epochs_timeline_instrumented(
+        topo,
+        cg,
+        base_table,
+        base_tables,
+        timeline,
+        builder,
+        strategy,
+        &Telemetry::disabled(),
+        None,
+    )
+}
+
+/// [`plan_epochs_timeline_with`] with telemetry attached: every epoch's
+/// stage timings also land in `tel`'s span tree (`repair` and its
+/// `classify`/`phases`/`patch`/`recertify` children — the same single
+/// measurements that fill [`RepairSpans`]), the touched-region and fault
+/// classification counters accumulate in the registry, and `progress`, if
+/// given, is ticked once per repaired epoch.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn plan_epochs_timeline_instrumented(
+    topo: &Topology,
+    cg: &CommGraph,
+    base_table: &TurnTable,
+    base_tables: &RoutingTables,
+    timeline: &RecoveryTimeline,
+    builder: DownUp,
+    strategy: RepairStrategy,
+    tel: &Telemetry,
+    progress: Option<&Progress>,
 ) -> Result<Vec<EpochRepair>, RepairError> {
     let mut epochs: Vec<EpochRepair> = Vec::new();
     // Classification baseline for the first epoch: the pre-fault tree.
@@ -364,27 +424,75 @@ pub fn plan_epochs_timeline_with(
             flipped_channels: lifted.flipped_channels,
             tables,
         };
-        epochs.push(EpochRepair {
-            epoch,
-            spans: RepairSpans {
-                classify_seconds,
-                phases_seconds,
-                patch_seconds,
-                recertify_seconds,
-                touched_switches,
-                touched_rows,
-                tree_link_faults,
-                cross_link_faults,
-                leaf_switch_faults,
-                internal_switch_faults,
-                patched_in_place,
-                recertified,
-            },
-        });
+        let spans = RepairSpans {
+            classify_seconds,
+            phases_seconds,
+            patch_seconds,
+            recertify_seconds,
+            touched_switches,
+            touched_rows,
+            tree_link_faults,
+            cross_link_faults,
+            leaf_switch_faults,
+            internal_switch_faults,
+            patched_in_place,
+            recertified,
+        };
+        record_repair_telemetry(tel, &spans, step.is_down_only());
+        epochs.push(EpochRepair { epoch, spans });
+        if let Some(p) = progress {
+            p.tick(epochs.len());
+        }
         prev_tree = new_tree;
         prev_deg = Some(deg);
     }
     Ok(epochs)
+}
+
+/// Feeds one epoch's [`RepairSpans`] into the registry: the `repair` span
+/// subtree (the same four measurements, so the two views cannot
+/// disagree) plus the touched-region / classification counters.
+fn record_repair_telemetry(tel: &Telemetry, spans: &RepairSpans, down_only: bool) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.record_span("repair", spans.total_seconds());
+    tel.record_span("repair/classify", spans.classify_seconds);
+    tel.record_span("repair/phases", spans.phases_seconds);
+    tel.record_span("repair/patch", spans.patch_seconds);
+    tel.record_span("repair/recertify", spans.recertify_seconds);
+    tel.counter("repair/epochs").inc();
+    tel.counter(if down_only {
+        "repair/epochs_down"
+    } else {
+        "repair/epochs_up"
+    })
+    .inc();
+    tel.counter("repair/touched_switches")
+        .add(u64::from(spans.touched_switches));
+    tel.counter("repair/touched_rows").add(spans.touched_rows);
+    tel.counter("repair/tree_link_faults")
+        .add(u64::from(spans.tree_link_faults));
+    tel.counter("repair/cross_link_faults")
+        .add(u64::from(spans.cross_link_faults));
+    tel.counter("repair/leaf_switch_faults")
+        .add(u64::from(spans.leaf_switch_faults));
+    tel.counter("repair/internal_switch_faults")
+        .add(u64::from(spans.internal_switch_faults));
+    tel.counter(if spans.patched_in_place {
+        "repair/patched_in_place"
+    } else {
+        "repair/full_rebuilds"
+    })
+    .inc();
+    if let Some(ok) = spans.recertified {
+        tel.counter(if ok {
+            "repair/recertified_ok"
+        } else {
+            "repair/recertified_cyclic"
+        })
+        .inc();
+    }
 }
 
 /// Measures the turn-table delta and decides patch vs rebuild: patch only

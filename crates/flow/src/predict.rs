@@ -20,6 +20,7 @@ use crate::edist::EDist;
 use crate::neighborhood::extract;
 use irnet_core::DownUp;
 use irnet_sim::{SimConfig, Simulator};
+use irnet_telemetry::Telemetry;
 use irnet_topology::{ChannelId, CommGraph, CoordinatedTree, NodeId, Topology};
 use irnet_turns::TurnTable;
 use serde::Serialize;
@@ -178,6 +179,15 @@ pub struct FlowPredictor<'a> {
     representative_sims: usize,
     rep_sim_seconds: f64,
     decompose_seconds: f64,
+    /// Queries answered from the per-signature hop cache instead of a
+    /// fresh representative sim.
+    rep_sim_cache_hits: usize,
+    /// Route convolutions served from / missing the route cache.
+    route_cache_hits: usize,
+    route_cache_misses: usize,
+    /// Telemetry sink ([`Telemetry::disabled`] unless built through
+    /// [`FlowPredictor::build_instrumented`]). Strictly observational.
+    tel: Telemetry,
 }
 
 impl<'a> FlowPredictor<'a> {
@@ -194,6 +204,35 @@ impl<'a> FlowPredictor<'a> {
         seed: u64,
         cfg: &FlowConfig,
     ) -> FlowPredictor<'a> {
+        Self::build_instrumented(
+            topo,
+            tree,
+            cg,
+            table,
+            base,
+            seed,
+            cfg,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// [`FlowPredictor::build`] with telemetry attached: decomposition
+    /// and representative-sim time land in `tel`'s span tree
+    /// (`flow/decompose`, `flow/rep_sim`), and the predictor's cache
+    /// behavior — per-signature rep-sim hits/misses and route-convolution
+    /// cache hits/misses — accumulates in the registry as it serves
+    /// queries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_instrumented(
+        topo: &'a Topology,
+        tree: &'a CoordinatedTree,
+        cg: &'a CommGraph,
+        table: &TurnTable,
+        base: &'a SimConfig,
+        seed: u64,
+        cfg: &FlowConfig,
+        tel: &Telemetry,
+    ) -> FlowPredictor<'a> {
         let n = cg.num_nodes();
         let plen = base.packet_len.max(1);
 
@@ -203,12 +242,15 @@ impl<'a> FlowPredictor<'a> {
         let dec = dx.decompose(cfg.max_dests);
         let (bneck, w_max) = dec.bottleneck();
         let decompose_seconds = t0.elapsed().as_secs_f64();
+        tel.record_span("flow/decompose", decompose_seconds);
 
         // Saturation: drive the bottleneck channel's neighborhood hard and
         // measure what it actually sustains.
         let t1 = Instant::now();
         let (sat_throughput, probe_sims) = measure_saturation(topo, base, bneck, w_max, seed, cfg);
         let rep_sim_seconds = t1.elapsed().as_secs_f64();
+        tel.record_span("flow/rep_sim", rep_sim_seconds);
+        tel.counter("flow/rep_sims").add(probe_sims as u64);
 
         // Deterministic route sample, shared by all rates (routes are
         // load-independent).
@@ -249,6 +291,10 @@ impl<'a> FlowPredictor<'a> {
             representative_sims: probe_sims,
             rep_sim_seconds,
             decompose_seconds,
+            rep_sim_cache_hits: 0,
+            route_cache_hits: 0,
+            route_cache_misses: 0,
+            tel: tel.clone(),
         }
     }
 
@@ -267,6 +313,22 @@ impl<'a> FlowPredictor<'a> {
         self.representative_sims
     }
 
+    /// Queries whose channel signature was already covered by a previous
+    /// representative sim — the per-signature cache doing its job.
+    pub fn rep_sim_cache_hits(&self) -> usize {
+        self.rep_sim_cache_hits
+    }
+
+    /// Route convolutions served straight from the route cache.
+    pub fn route_cache_hits(&self) -> usize {
+        self.route_cache_hits
+    }
+
+    /// Route convolutions that had to be computed (and were then cached).
+    pub fn route_cache_misses(&self) -> usize {
+        self.route_cache_misses
+    }
+
     /// Predicts one operating point. The first queries run one
     /// neighborhood flit sim per previously unseen channel signature;
     /// once the signature cache covers the requested load regime, a query
@@ -275,10 +337,20 @@ impl<'a> FlowPredictor<'a> {
         let loads: Vec<f64> = self.dec.unit_load.iter().map(|&w| w * rate).collect();
         let part = cluster_channels(self.cg, self.tree, &loads);
         self.cluster_count = part.len();
+        self.tel.counter("flow/points").inc();
+        self.tel.gauge("flow/clusters").set(part.len() as f64);
+        self.tel
+            .histogram("flow/clusters_per_point")
+            .record(part.len() as u64);
 
         // Stage 3: one neighborhood sim per previously unseen signature.
         for cl in &part.clusters {
-            if cl.sig.load_bucket == IDLE_BUCKET || self.hop_cache.contains_key(&cl.sig) {
+            if cl.sig.load_bucket == IDLE_BUCKET {
+                continue;
+            }
+            if self.hop_cache.contains_key(&cl.sig) {
+                self.rep_sim_cache_hits += 1;
+                self.tel.counter("flow/rep_sim_cache_hits").inc();
                 continue;
             }
             let t = Instant::now();
@@ -291,8 +363,11 @@ impl<'a> FlowPredictor<'a> {
                 &self.cfg,
                 self.plen,
             );
-            self.rep_sim_seconds += t.elapsed().as_secs_f64();
+            let dt = t.elapsed().as_secs_f64();
+            self.rep_sim_seconds += dt;
             self.representative_sims += 1;
+            self.tel.record_span("flow/rep_sim", dt);
+            self.tel.counter("flow/rep_sims").inc();
             self.hop_cache.insert(cl.sig, hop);
         }
 
@@ -319,12 +394,18 @@ impl<'a> FlowPredictor<'a> {
                 }
                 key.sort_unstable();
                 let base = match self.route_cache.get(&key) {
-                    Some(d) => d.clone(),
+                    Some(d) => {
+                        self.route_cache_hits += 1;
+                        self.tel.counter("flow/route_cache_hits").inc();
+                        d.clone()
+                    }
                     None => {
                         let mut acc = EDist::constant(0.0);
                         for sig in &key {
                             acc = acc.convolve(&self.hop_cache[sig]);
                         }
+                        self.route_cache_misses += 1;
+                        self.tel.counter("flow/route_cache_misses").inc();
                         self.route_cache.insert(key, acc.clone());
                         acc
                     }

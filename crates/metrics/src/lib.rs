@@ -18,6 +18,7 @@ pub mod sweep;
 
 use irnet_baselines::{lturn, updown, BaselineError};
 use irnet_core::{ConstructError, DownUp, PhaseSpans};
+use irnet_telemetry::Telemetry;
 use irnet_topology::{CommGraph, CoordinatedTree, PreorderPolicy, Topology};
 use irnet_turns::{RoutingTables, TurnTable};
 
@@ -70,13 +71,26 @@ impl Algo {
         policy: PreorderPolicy,
         seed: u64,
     ) -> Result<Instance, AlgoError> {
+        self.construct_with(topo, policy, seed, &Telemetry::disabled())
+    }
+
+    /// [`Algo::construct`] with telemetry attached: construction time
+    /// lands in `tel`'s span tree as `construction` (with the per-phase
+    /// children for DOWN/UP, whose constructor reports them).
+    pub fn construct_with(
+        self,
+        topo: &Topology,
+        policy: PreorderPolicy,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> Result<Instance, AlgoError> {
         match self {
             Algo::DownUp { release } => {
                 let (r, spans) = DownUp::new()
                     .policy(policy)
                     .seed(seed)
                     .release(release)
-                    .construct_timed(topo)?;
+                    .construct_instrumented(topo, tel)?;
                 let (tree, cg, table, tables) = r.into_parts();
                 Ok(Instance {
                     tree,
@@ -87,6 +101,7 @@ impl Algo {
                 })
             }
             Algo::LTurn { release } => {
+                let t0 = std::time::Instant::now();
                 let r = lturn::construct_with(
                     topo,
                     lturn::LTurnOptions {
@@ -95,6 +110,7 @@ impl Algo {
                         release,
                     },
                 )?;
+                tel.record_span("construction", t0.elapsed().as_secs_f64());
                 let (tree, cg, table, tables) = r.into_parts();
                 Ok(Instance {
                     tree,
@@ -105,7 +121,9 @@ impl Algo {
                 })
             }
             Algo::UpDownBfs => {
+                let t0 = std::time::Instant::now();
                 let (tree, cg, table, tables) = updown::construct_bfs(topo)?.into_parts();
+                tel.record_span("construction", t0.elapsed().as_secs_f64());
                 Ok(Instance {
                     tree,
                     cg,
@@ -115,7 +133,9 @@ impl Algo {
                 })
             }
             Algo::UpDownDfs => {
+                let t0 = std::time::Instant::now();
                 let (tree, cg, table, tables) = updown::construct_dfs(topo)?.into_parts();
+                tel.record_span("construction", t0.elapsed().as_secs_f64());
                 Ok(Instance {
                     tree,
                     cg,

@@ -296,6 +296,18 @@ impl<'a> Simulator<'a> {
         self.into_stats(deadlocked)
     }
 
+    /// [`Simulator::run`] with telemetry attached. The run itself is
+    /// byte-identical to a plain [`Simulator::run`] — the registry is fed
+    /// only after the final cycle (see
+    /// [`crate::record_run_telemetry`]), so the per-cycle hot path never
+    /// touches it.
+    pub fn run_with_telemetry(self, tel: &irnet_telemetry::Telemetry) -> SimStats {
+        let t0 = std::time::Instant::now();
+        let stats = self.run();
+        crate::record_run_telemetry(tel, &stats, t0.elapsed().as_secs_f64());
+        stats
+    }
+
     /// The watchdog loop behind [`Simulator::run`], usable without
     /// consuming the simulator: steps until the configured horizon and
     /// returns `true` if the stall watchdog fired first. The caller can

@@ -61,6 +61,6 @@ pub use config::{EngineCore, InjectionSampling, RouteChoice, SimConfig};
 pub use engine::{FaultEpoch, Simulator};
 pub use hist::Histogram;
 pub use record::{BlockedWorm, Recorder, SimEvent};
-pub use stats::SimStats;
+pub use stats::{record_run_telemetry, SimStats};
 pub use trace::{replay, ReplayResult, Trace, TraceEntry, TraceError};
 pub use traffic::{ArrivalProcess, TrafficPattern};

@@ -138,6 +138,37 @@ impl SimStats {
     }
 }
 
+/// Feeds one finished run's throughput into a telemetry registry: the
+/// `sim/run` span (`wall_seconds` of wall clock), delivered-work counters,
+/// the `sim/cycles_per_sec` throughput gauge, and a log2 histogram of run
+/// lengths. Strictly post-run — the simulator's hot path never sees the
+/// registry, so attaching telemetry cannot perturb a run (proptest-pinned
+/// in `tests/telemetry.rs`).
+pub fn record_run_telemetry(tel: &irnet_telemetry::Telemetry, stats: &SimStats, wall_seconds: f64) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.record_span("sim/run", wall_seconds);
+    tel.counter("sim/runs").inc();
+    tel.counter("sim/cycles").add(u64::from(stats.cycles));
+    tel.counter("sim/flits_delivered")
+        .add(stats.flits_delivered);
+    tel.counter("sim/packets_delivered")
+        .add(stats.packets_delivered);
+    tel.counter("sim/dropped_flits").add(stats.dropped_flits);
+    tel.counter("sim/reconfig_epochs")
+        .add(u64::from(stats.reconfig_epochs));
+    if stats.deadlocked {
+        tel.counter("sim/deadlocks").inc();
+    }
+    if wall_seconds > 0.0 {
+        tel.gauge("sim/cycles_per_sec")
+            .set(f64::from(stats.cycles) / wall_seconds);
+    }
+    tel.histogram("sim/run_cycles")
+        .record(u64::from(stats.cycles));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

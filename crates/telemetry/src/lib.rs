@@ -1,0 +1,419 @@
+#![warn(missing_docs)]
+//! Unified telemetry for the irnet workspace (DESIGN.md §19).
+//!
+//! One substrate for everything the long-running subsystems want to
+//! report:
+//!
+//! * a **registry** of named [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Hist`]ograms ([`Telemetry`]) — lock-light: registration takes a
+//!   mutex once, every subsequent increment is a single relaxed atomic op
+//!   on a shared handle;
+//! * a **hierarchical span tree** ([`Span`]) — start/stop wall-clock
+//!   timing with parent/child nesting, aggregated per slash-separated
+//!   path (`construction/phase1`, `repair/classify`, …);
+//! * byte-stable **snapshots** ([`Snapshot`]) rendered as JSON
+//!   (`"schema": "irnet-telemetry-v1"`), Prometheus-style text
+//!   exposition, a human summary, or a diff of two snapshots
+//!   (`irnet stats`);
+//! * a structured **progress stream** ([`Progress`]) — the one emitter
+//!   behind `--progress human|json`, replacing the previously divergent
+//!   ad-hoc stderr formats with either the existing human lines or JSONL
+//!   heartbeats carrying work-done / work-total / ETA.
+//!
+//! Telemetry is strictly observational: nothing read from the registry
+//! ever feeds back into routing construction, repair, or simulation, so
+//! attaching it cannot perturb results (the same non-perturbation
+//! discipline `crates/obs` established for the flight recorder, and
+//! `tests/telemetry.rs` proves it bit-exactly by proptest). A *disabled*
+//! handle ([`Telemetry::disabled`], the default) carries no allocation
+//! and costs one branch per call on hot paths.
+//!
+//! ```
+//! use irnet_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! tel.counter("sim/runs").inc();
+//! tel.gauge("sim/cycles_per_sec").set(1.5e6);
+//! tel.histogram("sim/run_cycles").record(10_000);
+//! tel.record_span("construction/phase1", 0.002);
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.counter("sim/runs"), Some(1));
+//! assert!(snap.to_json().contains("irnet-telemetry-v1"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+mod progress;
+mod snapshot;
+
+pub use progress::{Progress, ProgressMode};
+pub use snapshot::{HistSnapshot, Snapshot, SpanStat};
+
+/// Number of log2 histogram buckets: value `v > 0` lands in bucket
+/// `64 - v.leading_zeros()` (upper bound `2^i - 1`), zero in bucket 0.
+const HIST_BUCKETS: usize = 65;
+
+/// Shared histogram cell: total count, total sum, and log2 buckets.
+struct HistCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistCell {
+    fn new() -> HistCell {
+        HistCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The registry behind an enabled [`Telemetry`] handle.
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<HistCell>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+/// A cheap, cloneable handle to a telemetry registry — or to nothing.
+///
+/// The default ([`Telemetry::disabled`]) holds no allocation; every
+/// operation on it is a single `None` branch. An enabled handle shares
+/// one registry across all of its clones, so a registry installed by the
+/// CLI (or a test) sees increments from every subsystem it was passed to.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, empty, enabled registry.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// The no-op handle: records nothing, costs one branch per call.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle points at a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter named `name`, registering it on first use. The
+    /// returned handle increments with one relaxed atomic op; hold on to
+    /// it in loops to skip the registry lookup.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|i| {
+            let mut map = i.counters.lock().unwrap();
+            Arc::clone(map.entry(name.to_string()).or_default())
+        }))
+    }
+
+    /// The gauge named `name` (an `f64` cell; last write wins).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|i| {
+            let mut map = i.gauges.lock().unwrap();
+            Arc::clone(map.entry(name.to_string()).or_default())
+        }))
+    }
+
+    /// The log2-bucketed histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Hist {
+        Hist(self.inner.as_ref().map(|i| {
+            let mut map = i.hists.lock().unwrap();
+            Arc::clone(
+                map.entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistCell::new())),
+            )
+        }))
+    }
+
+    /// Starts a root span named `path`; its wall-clock time is added to
+    /// the span tree when the guard drops (or [`Span::finish`] is
+    /// called). Nest with [`Span::child`].
+    pub fn span(&self, path: &str) -> Span {
+        Span {
+            tel: self.clone(),
+            path: path.to_string(),
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Adds an externally measured duration to the span at `path`. This
+    /// is how already-instrumented code (one `Instant` measurement, two
+    /// views) feeds the tree without timing twice, and how the golden
+    /// test records deterministic values.
+    pub fn record_span(&self, path: &str, seconds: f64) {
+        if let Some(i) = &self.inner {
+            let mut spans = i.spans.lock().unwrap();
+            let stat = spans.entry(path.to_string()).or_default();
+            stat.count += 1;
+            stat.seconds += seconds;
+        }
+    }
+
+    /// A point-in-time copy of every metric and span. Empty when
+    /// disabled.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        if let Some(i) = &self.inner {
+            for (k, v) in i.counters.lock().unwrap().iter() {
+                snap.counters.insert(k.clone(), v.load(Ordering::Relaxed));
+            }
+            for (k, v) in i.gauges.lock().unwrap().iter() {
+                snap.gauges
+                    .insert(k.clone(), f64::from_bits(v.load(Ordering::Relaxed)));
+            }
+            for (k, h) in i.hists.lock().unwrap().iter() {
+                let mut buckets = Vec::new();
+                for (idx, b) in h.buckets.iter().enumerate() {
+                    let n = b.load(Ordering::Relaxed);
+                    if n > 0 {
+                        let le = if idx == 0 {
+                            0
+                        } else if idx >= 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << idx) - 1
+                        };
+                        buckets.push((le, n));
+                    }
+                }
+                snap.histograms.insert(
+                    k.clone(),
+                    HistSnapshot {
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        buckets,
+                    },
+                );
+            }
+            for (k, s) in i.spans.lock().unwrap().iter() {
+                snap.spans.insert(k.clone(), s.clone());
+            }
+        }
+        snap
+    }
+}
+
+/// Handle to a registered counter. Increments are relaxed atomic adds;
+/// a handle from a disabled registry is a no-op.
+#[derive(Clone)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// Handle to a registered gauge (an `f64`; last write wins).
+#[derive(Clone)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Handle to a registered log2-bucketed histogram.
+#[derive(Clone)]
+pub struct Hist(Option<Arc<HistCell>>);
+
+impl Hist {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+}
+
+/// A live timing span. Dropping it (or calling [`Span::finish`]) adds
+/// the elapsed wall-clock time to the registry under the span's path;
+/// [`Span::child`] opens a nested span at `parent_path/name`.
+pub struct Span {
+    tel: Telemetry,
+    path: String,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Opens a child span under this one's path.
+    pub fn child(&self, name: &str) -> Span {
+        Span {
+            tel: self.tel.clone(),
+            path: format!("{}/{}", self.path, name),
+            start: self.start.map(|_| Instant::now()),
+        }
+    }
+
+    /// Stops the span now and returns the elapsed seconds it recorded
+    /// (0.0 when the registry is disabled).
+    pub fn finish(mut self) -> f64 {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> f64 {
+        match self.start.take() {
+            Some(t0) => {
+                let dt = t0.elapsed().as_secs_f64();
+                self.tel.record_span(&self.path, dt);
+                dt
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The process-global registry, installed at most once (the CLI does so
+/// for `--telemetry <path>`). Defaults to disabled, so library code can
+/// always fall back to [`global`] at zero cost.
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// Installs `tel` as the process-global registry. Returns `false` if one
+/// was already installed (the original stays in force). Tests should use
+/// local [`Telemetry`] instances instead — they run in parallel within
+/// one process.
+pub fn install(tel: Telemetry) -> bool {
+    GLOBAL.set(tel).is_ok()
+}
+
+/// The process-global registry: whatever [`install`] put there, else a
+/// disabled handle.
+pub fn global() -> Telemetry {
+    GLOBAL.get().cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.counter("x").add(5);
+        tel.gauge("y").set(1.0);
+        tel.histogram("z").record(9);
+        tel.record_span("a/b", 0.5);
+        let _guard = tel.span("root");
+        let snap = tel.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_register_and_accumulate() {
+        let tel = Telemetry::enabled();
+        let c = tel.counter("grid/points_run");
+        c.add(3);
+        c.inc();
+        tel.counter("grid/points_run").add(6); // same cell via re-lookup
+        tel.gauge("sim/cycles_per_sec").set(2.0);
+        tel.gauge("sim/cycles_per_sec").set(4.5);
+        let h = tel.histogram("sim/run_cycles");
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(1000);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("grid/points_run"), Some(10));
+        assert_eq!(snap.gauges.get("sim/cycles_per_sec"), Some(&4.5));
+        let hist = &snap.histograms["sim/run_cycles"];
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum, 1004);
+        // 0 -> le 0; 1 -> le 1; 3 -> le 3; 1000 -> le 1023.
+        assert_eq!(hist.buckets, vec![(0, 1), (1, 1), (3, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn span_guards_nest_and_aggregate_by_path() {
+        let tel = Telemetry::enabled();
+        {
+            let root = tel.span("construction");
+            let _p1 = root.child("phase1");
+        }
+        {
+            let root = tel.span("construction");
+            let secs = root.child("phase1").finish();
+            assert!(secs >= 0.0);
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.span("construction").unwrap().count, 2);
+        assert_eq!(snap.span("construction/phase1").unwrap().count, 2);
+        assert!(snap.span_seconds("construction").unwrap() >= 0.0);
+        assert!(snap.span("missing").is_none());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let tel = Telemetry::enabled();
+        let other = tel.clone();
+        other.counter("faults/epochs").inc();
+        assert_eq!(tel.snapshot().counter("faults/epochs"), Some(1));
+    }
+
+    #[test]
+    fn global_defaults_to_disabled() {
+        // Never `install` here: tests share the process.
+        assert!(!global().is_enabled() || global().is_enabled());
+        let tel = global();
+        tel.counter("noop").inc(); // must not panic either way
+    }
+}

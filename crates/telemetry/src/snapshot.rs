@@ -1,0 +1,478 @@
+//! Point-in-time registry snapshots and their renderings: byte-stable
+//! JSON (`irnet-telemetry-v1`), Prometheus-style text exposition, a human
+//! summary with the span hierarchy indented, and a two-snapshot diff.
+
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Schema tag carried by every JSON snapshot.
+pub const SCHEMA: &str = "irnet-telemetry-v1";
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    /// How many times the span was entered.
+    pub count: u64,
+    /// Total wall-clock seconds across all entries.
+    pub seconds: f64,
+}
+
+/// Snapshot of one log2-bucketed histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `(upper_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time copy of a telemetry registry.
+///
+/// All sections are `BTreeMap`s, so every rendering below is byte-stable
+/// for identical recorded values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Span statistics by slash-separated path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+/// Formats an `f64` so the token always reads back as a float (the same
+/// convention the vendored `serde_json` writer uses).
+fn fmt_f64(x: f64) -> String {
+    let s = x.to_string();
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Prometheus metric-name sanitization: `[a-zA-Z0-9_]`, everything else
+/// becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The statistics of span path `path`, if present.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.get(path)
+    }
+
+    /// Total seconds recorded under span path `path`, if present.
+    pub fn span_seconds(&self, path: &str) -> Option<f64> {
+        self.spans.get(path).map(|s| s.seconds)
+    }
+
+    /// Renders the snapshot as pretty-printed JSON under the
+    /// `irnet-telemetry-v1` schema. Byte-stable: identical recorded
+    /// values produce identical bytes.
+    pub fn to_json(&self) -> String {
+        let counters = Value::Map(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                .collect(),
+        );
+        let gauges = Value::Map(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                .collect(),
+        );
+        let histograms = Value::Map(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Value::Seq(
+                        h.buckets
+                            .iter()
+                            .map(|&(le, n)| Value::Seq(vec![Value::U64(le), Value::U64(n)]))
+                            .collect(),
+                    );
+                    (
+                        k.clone(),
+                        Value::Map(vec![
+                            ("count".to_string(), Value::U64(h.count)),
+                            ("sum".to_string(), Value::U64(h.sum)),
+                            ("buckets".to_string(), buckets),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let spans = Value::Map(
+            self.spans
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        Value::Map(vec![
+                            ("count".to_string(), Value::U64(s.count)),
+                            ("seconds".to_string(), Value::F64(s.seconds)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let root = Value::Map(vec![
+            ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+            ("spans".to_string(), spans),
+        ]);
+        let mut out = serde_json::to_string_pretty(&root).expect("value tree always serializes");
+        out.push('\n');
+        out
+    }
+
+    /// Parses a snapshot previously written by [`Snapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let root: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let schema = match root.get("schema") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => return Err("missing schema tag".to_string()),
+        };
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (expected {SCHEMA})"));
+        }
+        let mut snap = Snapshot::default();
+        if let Some(map) = root.get("counters").and_then(Value::as_map) {
+            for (k, v) in map {
+                snap.counters
+                    .insert(k.clone(), as_u64(v).ok_or_else(|| bad("counter", k))?);
+            }
+        }
+        if let Some(map) = root.get("gauges").and_then(Value::as_map) {
+            for (k, v) in map {
+                snap.gauges
+                    .insert(k.clone(), as_f64(v).ok_or_else(|| bad("gauge", k))?);
+            }
+        }
+        if let Some(map) = root.get("histograms").and_then(Value::as_map) {
+            for (k, v) in map {
+                let count = v
+                    .get("count")
+                    .and_then(as_u64)
+                    .ok_or_else(|| bad("histogram", k))?;
+                let sum = v
+                    .get("sum")
+                    .and_then(as_u64)
+                    .ok_or_else(|| bad("histogram", k))?;
+                let mut buckets = Vec::new();
+                for pair in v
+                    .get("buckets")
+                    .and_then(Value::as_seq)
+                    .ok_or_else(|| bad("histogram", k))?
+                {
+                    let pair = pair.as_seq().ok_or_else(|| bad("histogram", k))?;
+                    if pair.len() != 2 {
+                        return Err(bad("histogram", k));
+                    }
+                    buckets.push((
+                        as_u64(&pair[0]).ok_or_else(|| bad("histogram", k))?,
+                        as_u64(&pair[1]).ok_or_else(|| bad("histogram", k))?,
+                    ));
+                }
+                snap.histograms.insert(
+                    k.clone(),
+                    HistSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    },
+                );
+            }
+        }
+        if let Some(map) = root.get("spans").and_then(Value::as_map) {
+            for (k, v) in map {
+                let count = v
+                    .get("count")
+                    .and_then(as_u64)
+                    .ok_or_else(|| bad("span", k))?;
+                let seconds = v
+                    .get("seconds")
+                    .and_then(as_f64)
+                    .ok_or_else(|| bad("span", k))?;
+                snap.spans.insert(k.clone(), SpanStat { count, seconds });
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition.
+    /// Counters become `irnet_<name>_total`, gauges `irnet_<name>`,
+    /// histograms the standard cumulative `_bucket{le=…}/_sum/_count`
+    /// triple, and spans the pair `irnet_span_seconds_total{path=…}` /
+    /// `irnet_span_calls_total{path=…}`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = sanitize(name);
+            out.push_str(&format!("# TYPE irnet_{m} counter\n"));
+            out.push_str(&format!("irnet_{m}_total {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let m = sanitize(name);
+            out.push_str(&format!("# TYPE irnet_{m} gauge\n"));
+            out.push_str(&format!("irnet_{m} {}\n", fmt_f64(*v)));
+        }
+        for (name, h) in &self.histograms {
+            let m = sanitize(name);
+            out.push_str(&format!("# TYPE irnet_{m} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(le, n) in &h.buckets {
+                cumulative += n;
+                out.push_str(&format!("irnet_{m}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("irnet_{m}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("irnet_{m}_sum {}\n", h.sum));
+            out.push_str(&format!("irnet_{m}_count {}\n", h.count));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE irnet_span_seconds counter\n");
+            for (path, s) in &self.spans {
+                out.push_str(&format!(
+                    "irnet_span_seconds_total{{path=\"{path}\"}} {}\n",
+                    fmt_f64(s.seconds)
+                ));
+            }
+            out.push_str("# TYPE irnet_span_calls counter\n");
+            for (path, s) in &self.spans {
+                out.push_str(&format!(
+                    "irnet_span_calls_total{{path=\"{path}\"}} {}\n",
+                    s.count
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders a human-readable summary (the `irnet stats` view): the
+    /// span tree indented by path depth, then counters, gauges, and
+    /// histograms.
+    pub fn render(&self) -> String {
+        let mut out = format!("telemetry snapshot ({SCHEMA})\n");
+        if !self.spans.is_empty() {
+            out.push_str("\nspans (calls, total seconds):\n");
+            for (path, s) in &self.spans {
+                // Indent under ancestors that are themselves recorded spans;
+                // a path whose parent was never recorded (e.g. `sim/run`
+                // without a `sim` span) keeps its full name at top level
+                // instead of masquerading as a child of the previous root.
+                let mut depth = 0;
+                let mut name = path.as_str();
+                let mut cut = 0;
+                while let Some(pos) = path[cut..].find('/') {
+                    let parent = &path[..cut + pos];
+                    if self.spans.contains_key(parent) {
+                        depth += 1;
+                        name = &path[cut + pos + 1..];
+                    }
+                    cut += pos + 1;
+                }
+                out.push_str(&format!(
+                    "  {:indent$}{name:<width$} {:>6}x  {:>12.6} s\n",
+                    "",
+                    s.count,
+                    s.seconds,
+                    indent = depth * 2,
+                    width = 30usize.saturating_sub(depth * 2),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<34} {v:>14}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<34} {:>14}\n", fmt_f64(*v)));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms:\n");
+            for (name, h) in &self.histograms {
+                let max_le = h.buckets.last().map_or(0, |&(le, _)| le);
+                out.push_str(&format!(
+                    "  {name:<34} count {:<8} sum {:<12} max-bucket le<={max_le}\n",
+                    h.count, h.sum
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the differences from `self` (the older snapshot) to
+    /// `newer`: changed and newly appearing entries only.
+    pub fn diff(&self, newer: &Snapshot) -> String {
+        let mut out = String::new();
+        let mut counter_lines = String::new();
+        for (name, new) in &newer.counters {
+            let old = self.counter(name).unwrap_or(0);
+            if *new != old {
+                let delta = *new as i128 - i128::from(old);
+                counter_lines.push_str(&format!("  {name}: {old} -> {new} ({delta:+})\n"));
+            }
+        }
+        if !counter_lines.is_empty() {
+            out.push_str("counters:\n");
+            out.push_str(&counter_lines);
+        }
+        let mut gauge_lines = String::new();
+        for (name, new) in &newer.gauges {
+            let old = self.gauges.get(name).copied();
+            if old != Some(*new) {
+                let old = old.map_or_else(|| "-".to_string(), fmt_f64);
+                gauge_lines.push_str(&format!("  {name}: {old} -> {}\n", fmt_f64(*new)));
+            }
+        }
+        if !gauge_lines.is_empty() {
+            out.push_str("gauges:\n");
+            out.push_str(&gauge_lines);
+        }
+        let mut hist_lines = String::new();
+        for (name, new) in &newer.histograms {
+            let old = self.histograms.get(name);
+            if old != Some(new) {
+                let (oc, os) = old.map_or((0, 0), |h| (h.count, h.sum));
+                hist_lines.push_str(&format!(
+                    "  {name}: count {oc} -> {}, sum {os} -> {}\n",
+                    new.count, new.sum
+                ));
+            }
+        }
+        if !hist_lines.is_empty() {
+            out.push_str("histograms:\n");
+            out.push_str(&hist_lines);
+        }
+        let mut span_lines = String::new();
+        for (path, new) in &newer.spans {
+            let old = self.spans.get(path);
+            if old != Some(new) {
+                let (oc, os) = old.map_or((0, 0.0), |s| (s.count, s.seconds));
+                span_lines.push_str(&format!(
+                    "  {path}: {oc}x {}s -> {}x {}s\n",
+                    fmt_f64(os),
+                    new.count,
+                    fmt_f64(new.seconds)
+                ));
+            }
+        }
+        if !span_lines.is_empty() {
+            out.push_str("spans:\n");
+            out.push_str(&span_lines);
+        }
+        if out.is_empty() {
+            out.push_str("no differences\n");
+        }
+        out
+    }
+}
+
+fn bad(section: &str, key: &str) -> String {
+    format!("malformed {section} entry {key:?}")
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample() -> Snapshot {
+        let tel = Telemetry::enabled();
+        tel.counter("grid/points_run").add(10);
+        tel.counter("flow/route_cache_hits").add(3);
+        tel.gauge("sim/cycles_per_sec").set(1.5e6);
+        let h = tel.histogram("sim/run_cycles");
+        h.record(1000);
+        h.record(3000);
+        tel.record_span("construction", 0.012);
+        tel.record_span("construction/phase1", 0.004);
+        tel.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrips_bit_exactly() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_wrong_schema() {
+        assert!(Snapshot::from_json("{").is_err());
+        assert!(Snapshot::from_json("{\"schema\": \"other-v9\"}").is_err());
+        assert!(Snapshot::from_json("{\"no\": 1}").is_err());
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("irnet_grid_points_run_total 10"));
+        assert!(text.contains("irnet_sim_cycles_per_sec 1500000.0"));
+        assert!(text.contains("irnet_sim_run_cycles_bucket{le=\"1023\"} 1\n"));
+        assert!(text.contains("irnet_sim_run_cycles_bucket{le=\"4095\"} 2\n"));
+        assert!(text.contains("irnet_sim_run_cycles_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("irnet_span_seconds_total{path=\"construction/phase1\"} 0.004"));
+    }
+
+    #[test]
+    fn render_indents_span_children() {
+        let text = sample().render();
+        assert!(text.contains("telemetry snapshot (irnet-telemetry-v1)"));
+        let root_line = text.lines().find(|l| l.contains("construction ")).unwrap();
+        let child_line = text.lines().find(|l| l.contains("phase1")).unwrap();
+        let indent = |l: &str| l.chars().take_while(|c| *c == ' ').count();
+        assert!(indent(child_line) > indent(root_line));
+    }
+
+    #[test]
+    fn diff_reports_changed_entries_only() {
+        let old = sample();
+        let mut new = old.clone();
+        new.counters.insert("grid/points_run".to_string(), 16);
+        let text = old.diff(&new);
+        assert!(text.contains("grid/points_run: 10 -> 16 (+6)"));
+        assert!(!text.contains("route_cache_hits"));
+        assert_eq!(old.diff(&old), "no differences\n");
+    }
+}

@@ -25,6 +25,10 @@
 //!   delay-distribution generalization (`irnet sweep --backend flow`).
 //! * [`obs`] — observability: flight-recorder event tracing, interval
 //!   samplers, and watchdog deadlock forensics.
+//! * [`telemetry`] — the unified metrics layer: counters, gauges,
+//!   histograms, and a hierarchical span tree behind one lock-light
+//!   registry, with JSON snapshots, Prometheus exposition, and a
+//!   structured progress/heartbeat emitter (`--telemetry`, `irnet stats`).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +60,7 @@ pub use irnet_flow as flow;
 pub use irnet_metrics as metrics;
 pub use irnet_obs as obs;
 pub use irnet_sim as sim;
+pub use irnet_telemetry as telemetry;
 pub use irnet_topology as topology;
 pub use irnet_turns as turns;
 pub use irnet_verify as verify;
@@ -83,6 +88,7 @@ pub mod prelude {
         ArrivalProcess, EngineCore, FaultEpoch, InjectionSampling, Recorder, RouteChoice,
         SimConfig, SimEvent, SimStats, Simulator, TrafficPattern,
     };
+    pub use irnet_telemetry::{Progress, ProgressMode, Snapshot, Telemetry};
     pub use irnet_topology::analysis;
     pub use irnet_topology::{
         chaos_plan, chaos_plan_filtered, gen, ChaosParams, CommGraph, CoordinatedTree,
